@@ -1,0 +1,80 @@
+// Shared helpers for the table/figure regeneration benches.
+//
+// Every bench prints (a) the paper's published numbers for the experiment it
+// regenerates and (b) this reproduction's numbers — measured on this machine
+// where the experiment is CPU-feasible, or produced by the calibrated
+// cluster simulator where it needs the paper's testbed (see DESIGN.md §2).
+//
+// Environment knobs:
+//   SALIENT_BENCH_SCALE  — dataset scale multiplier (default 1.0; presets
+//                          are already sized for a small machine)
+//   SALIENT_BENCH_EPOCHS — training epochs for accuracy benches
+#pragma once
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace salient::benchutil {
+
+inline double env_scale(double def = 1.0) {
+  const char* s = std::getenv("SALIENT_BENCH_SCALE");
+  return s != nullptr ? std::atof(s) : def;
+}
+
+inline int env_epochs(int def) {
+  const char* s = std::getenv("SALIENT_BENCH_EPOCHS");
+  return s != nullptr ? std::atoi(s) : def;
+}
+
+/// Minimal fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    for (const auto& h : headers_) widths_.push_back(h.size());
+  }
+
+  void add_row(std::vector<std::string> cells) {
+    for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+      widths_[i] = std::max(widths_[i], cells[i].size());
+    }
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    print_row(os, headers_);
+    std::string sep;
+    for (const auto w : widths_) sep += std::string(w + 2, '-') + "+";
+    os << sep << "\n";
+    for (const auto& r : rows_) print_row(os, r);
+  }
+
+ private:
+  void print_row(std::ostream& os, const std::vector<std::string>& cells) const {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << ' ' << std::left << std::setw(static_cast<int>(widths_[i]))
+         << cells[i] << " |";
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int precision = 3) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+inline void heading(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+}  // namespace salient::benchutil

@@ -1,0 +1,182 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical kernels:
+// sampler variants (baseline vs SALIENT, and individual design choices),
+// ID-map implementations, slicing, half conversion, SpMM, matmul, and the
+// lock-free queue. These are the building blocks behind Tables 2-3 and
+// Figure 2; run with --benchmark_filter=... to focus.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "graph/dataset.h"
+#include "prep/slicing.h"
+#include "sampling/baseline_sampler.h"
+#include "sampling/fast_sampler.h"
+#include "sampling/id_map.h"
+#include "sampling/parameterized.h"
+#include "tensor/ops.h"
+#include "util/half.h"
+#include "util/mpmc_queue.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace salient;
+
+const Dataset& bench_dataset() {
+  static Dataset ds = [] {
+    DatasetConfig c;
+    c.name = "bench";
+    c.num_nodes = 60000;
+    c.feature_dim = 100;
+    c.num_classes = 16;
+    c.avg_degree = 20;
+    c.max_degree = 2000;
+    c.seed = 99;
+    return generate_dataset(c);
+  }();
+  return ds;
+}
+
+std::vector<NodeId> bench_batch(std::size_t n) {
+  const auto& ds = bench_dataset();
+  std::vector<NodeId> batch(ds.train_idx.begin(),
+                            ds.train_idx.begin() +
+                                std::min(n, ds.train_idx.size()));
+  return batch;
+}
+
+void BM_SamplerBaseline(benchmark::State& state) {
+  const auto& ds = bench_dataset();
+  BaselineSampler sampler(ds.graph, {15, 10, 5});
+  const auto batch = bench_batch(256);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Mfg mfg = sampler.sample(batch, ++seed);
+    benchmark::DoNotOptimize(mfg.n_ids.data());
+    state.counters["edges"] = static_cast<double>(mfg.total_edges());
+  }
+}
+BENCHMARK(BM_SamplerBaseline)->Unit(benchmark::kMillisecond);
+
+void BM_SamplerFast(benchmark::State& state) {
+  const auto& ds = bench_dataset();
+  FastSampler sampler(ds.graph, {15, 10, 5});
+  const auto batch = bench_batch(256);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Mfg mfg = sampler.sample(batch, ++seed);
+    benchmark::DoNotOptimize(mfg.n_ids.data());
+    state.counters["edges"] = static_cast<double>(mfg.total_edges());
+  }
+}
+BENCHMARK(BM_SamplerFast)->Unit(benchmark::kMillisecond);
+
+void BM_IdMapFlat(benchmark::State& state) {
+  Xoshiro256ss rng(5);
+  std::vector<NodeId> keys(100000);
+  for (auto& k : keys) k = static_cast<NodeId>(bounded_rand(rng, 1000000));
+  for (auto _ : state) {
+    FlatIdMap map;
+    std::vector<NodeId> locals;
+    for (const NodeId k : keys) {
+      benchmark::DoNotOptimize(map.get_or_insert(k, locals));
+    }
+  }
+}
+BENCHMARK(BM_IdMapFlat)->Unit(benchmark::kMillisecond);
+
+void BM_IdMapStd(benchmark::State& state) {
+  Xoshiro256ss rng(5);
+  std::vector<NodeId> keys(100000);
+  for (auto& k : keys) k = static_cast<NodeId>(bounded_rand(rng, 1000000));
+  for (auto _ : state) {
+    StdIdMap map;
+    std::vector<NodeId> locals;
+    for (const NodeId k : keys) {
+      benchmark::DoNotOptimize(map.get_or_insert(k, locals));
+    }
+  }
+}
+BENCHMARK(BM_IdMapStd)->Unit(benchmark::kMillisecond);
+
+void BM_SliceRows(benchmark::State& state) {
+  const auto& ds = bench_dataset();
+  Xoshiro256ss rng(7);
+  std::vector<NodeId> ids(20000);
+  for (auto& v : ids) {
+    v = static_cast<NodeId>(
+        bounded_rand(rng, static_cast<std::uint64_t>(ds.graph.num_nodes())));
+  }
+  Tensor out({static_cast<std::int64_t>(ids.size()), ds.feature_dim},
+             DType::kF16);
+  for (auto _ : state) {
+    slice_rows_serial(ds.features, ids, out);
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(out.nbytes()));
+}
+BENCHMARK(BM_SliceRows)->Unit(benchmark::kMillisecond);
+
+void BM_HalfToFloat(benchmark::State& state) {
+  std::vector<Half> src(1 << 18);
+  std::vector<float> dst(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = float_to_half(static_cast<float>(i) * 0.001f);
+  }
+  for (auto _ : state) {
+    half_to_float_n(src.data(), dst.data(), src.size());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(src.size() * 2));
+}
+BENCHMARK(BM_HalfToFloat)->Unit(benchmark::kMillisecond);
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = state.range(0);
+  Tensor a = Tensor::uniform({n, n}, 1, -1, 1);
+  Tensor b = Tensor::uniform({n, n}, 2, -1, 1);
+  for (auto _ : state) {
+    Tensor c = ops::matmul(a, b);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.counters["GFLOPs"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Matmul)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_SpmmMean(benchmark::State& state) {
+  const auto& ds = bench_dataset();
+  FastSampler sampler(ds.graph, {15, 10});
+  const auto batch = bench_batch(256);
+  Mfg mfg = sampler.sample(batch, 3);
+  const auto& level = mfg.levels[0];
+  Tensor x = Tensor::uniform({level.num_src, 64}, 4, -1, 1);
+  for (auto _ : state) {
+    Tensor y = ops::spmm_mean(*level.indptr, *level.indices, x,
+                              level.num_dst);
+    benchmark::DoNotOptimize(y.raw());
+  }
+}
+BENCHMARK(BM_SpmmMean)->Unit(benchmark::kMillisecond);
+
+void BM_MpmcQueuePingPong(benchmark::State& state) {
+  MpmcQueue<int> q(1024);
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) {
+      benchmark::DoNotOptimize(q.try_push(i));
+    }
+    int v;
+    for (int i = 0; i < 256; ++i) {
+      benchmark::DoNotOptimize(q.try_pop(v));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_MpmcQueuePingPong);
+
+}  // namespace
+
+BENCHMARK_MAIN();

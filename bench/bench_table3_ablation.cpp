@@ -1,0 +1,97 @@
+// Table 3: impact of SALIENT's optimizations on per-epoch runtime —
+// cumulative ablation: PyG baseline, +fast sampling, +shared-memory batch
+// prep, +pipelined data transfers.
+//
+// Rows are produced by the calibrated cluster simulator. Two calibrations
+// are shown: (a) per-batch costs measured from this repository's real
+// implementation on scaled datasets (the reproduction's own ratios), and
+// (b) costs distilled from the paper's published tables at full scale.
+#include "bench_common.h"
+#include "graph/dataset.h"
+#include "sim/calibration.h"
+#include "sim/pipeline_model.h"
+
+int main() {
+  using namespace salient;
+  using namespace salient::benchutil;
+  const double scale = env_scale();
+
+  heading("Table 3 (paper): per-epoch runtime under cumulative optimizations");
+  {
+    TablePrinter t({"Optimization", "arxiv", "products", "papers"});
+    t.add_row({"None (PyG)", "1.7s", "8.6s", "50.4s"});
+    t.add_row({"+ Fast sampling", "0.7s", "5.3s", "34.6s"});
+    t.add_row({"+ Shared-memory batch prep.", "0.6s", "4.2s", "27.8s"});
+    t.add_row({"+ Pipelined data transfers", "0.5s", "2.8s", "16.5s"});
+    t.print();
+  }
+
+  const std::vector<std::pair<std::string, sim::SystemOptions>> steps = {
+      {"None (PyG)", sim::SystemOptions::pyg()},
+      {"+ Fast sampling", {true, false, false}},
+      {"+ Shared-memory batch prep.", {true, true, false}},
+      {"+ Pipelined data transfers", sim::SystemOptions::salient()},
+  };
+
+  heading("Table 3 (SIMULATED from costs MEASURED on this machine)");
+  {
+    struct Spec {
+      const char* preset;
+      double scale;
+    };
+    const std::vector<Spec> specs = {{"arxiv-sim", 0.3 * scale},
+                                     {"products-sim", 0.2 * scale},
+                                     {"papers-sim", 0.05 * scale}};
+    std::vector<sim::WorkloadModel> workloads;
+    for (const auto& spec : specs) {
+      Dataset ds = generate_dataset(preset_config(spec.preset, spec.scale));
+      sim::CalibrationConfig cc;
+      cc.batch_size = 1024;
+      cc.measure_batches = 3;
+      cc.hidden_channels = 256;  // the paper's hidden width
+      workloads.push_back(sim::calibrate(ds, cc));
+      std::cout << "  calibrated " << spec.preset << ": sample(pyg)="
+                << fmt(workloads.back().sample_pyg_s * 1e3, 2)
+                << "ms sample(salient)="
+                << fmt(workloads.back().sample_salient_s * 1e3, 2)
+                << "ms slice=" << fmt(workloads.back().slice_s * 1e3, 2)
+                << "ms train=" << fmt(workloads.back().train_gpu_s * 1e3, 2)
+                << "ms xfer=" << fmt(workloads.back().transfer_mb, 1)
+                << "MB/batch (" << workloads.back().num_batches
+                << " batches)\n";
+    }
+    std::cout << "\n";
+    TablePrinter t({"Optimization", "arxiv-sim", "products-sim",
+                    "papers-sim"});
+    for (const auto& [label, opts] : steps) {
+      std::vector<std::string> row{label};
+      for (const auto& w : workloads) {
+        // GPU compute measured on one CPU core; the testbed profile's V100
+        // is far faster. Keep the host costs and rescale only the GPU term
+        // so per-epoch time reflects the paper's CPU:GPU balance.
+        sim::HwProfile hw;
+        hw.gpu_relative_speed = 40.0;  // V100 vs one Xeon core, order est.
+        const auto r = sim::simulate_epoch(w, hw, opts, 20, 1);
+        row.push_back(fmt(r.epoch_seconds, 3) + "s");
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+  }
+
+  heading("Table 3 (SIMULATED from the paper's published cost tables)");
+  {
+    TablePrinter t({"Optimization", "arxiv", "products", "papers"});
+    for (const auto& [label, opts] : steps) {
+      std::vector<std::string> row{label};
+      for (const char* name : {"arxiv", "products", "papers"}) {
+        const auto r = sim::simulate_epoch(sim::paper_workload(name),
+                                           sim::HwProfile{}, opts, 20, 1);
+        row.push_back(fmt(r.epoch_seconds, 2) + "s");
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+  }
+  return 0;
+}

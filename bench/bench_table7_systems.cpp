@@ -1,0 +1,79 @@
+// Table 7: representative GNN training systems and their reported
+// performance on the largest graph each reports. Literature rows are the
+// paper's published constants (none of those systems is available offline);
+// the SALIENT row is this reproduction's: the real measured run at reduced
+// scale plus the calibrated simulator's projection to the paper's cluster.
+#include "bench_common.h"
+#include "core/system.h"
+#include "sim/pipeline_model.h"
+#include "train/full_batch.h"
+
+int main() {
+  using namespace salient;
+  using namespace salient::benchutil;
+  const double scale = env_scale();
+
+  heading("Table 7: representative systems on their largest reported graph");
+  TablePrinter t({"System", "Framework", "Batching", "Data Set",
+                  "s/epoch", "Acc"});
+  t.add_row({"NeuGraph", "TensorFlow", "full-batch", "amazon (8.6M)",
+             "0.655", "n/a"});
+  t.add_row({"Roc", "FlexFlow/Lux", "full-batch", "amazon (9.4M)", "0.526",
+             "n/a"});
+  t.add_row({"DistDGL", "PyTorch/DGL", "mini-batch", "papers100M", "13",
+             "n/a"});
+  t.add_row({"DeepGalois", "Galois", "full-batch", "papers100M", "70",
+             "n/a"});
+  t.add_row({"Zero-Copy", "PyTorch/DGL", "mini-batch", "papers100M", "648",
+             "n/a"});
+  t.add_row({"GNS", "PyTorch/DGL", "mini-batch", "papers100M", "98.5",
+             "63.31"});
+  t.add_row({"SALIENT (paper)", "PyTorch/PyG", "mini-batch", "papers100M",
+             "2.0 (+2.4 infer)", "64.58"});
+
+  // Our reproduction's row: real small-scale run + projection.
+  SystemConfig cfg;
+  cfg.dataset = "papers-sim";
+  cfg.dataset_scale = 0.05 * scale;
+  cfg.hidden_channels = 64;
+  cfg.batch_size = 512;
+  cfg.num_workers = 2;
+  System sys(cfg);
+  sys.train_epoch();
+  const EpochStats s = sys.train_epoch();
+  // Pipelined mini-batch inference over the test set, fanout (20,20,20) —
+  // the paper's "Infer: 2.4s" row runs through the same pipeline.
+  const std::vector<std::int64_t> infer_fanouts{20, 20, 20};
+  const auto infer = sys.trainer().inference_epoch(sys.dataset().test_idx,
+                                                   infer_fanouts);
+
+  const sim::WorkloadModel w = sim::paper_workload("papers");
+  const auto r = sim::simulate_epoch(w, sim::HwProfile{},
+                                     sim::SystemOptions::salient(), 20, 16);
+  t.add_row({"SALIENT (this repro)", "C++ (this repo)", "mini-batch",
+             "papers-sim: " + fmt(s.epoch_seconds, 2) + "s train + " +
+                 fmt(infer.seconds, 2) + "s infer (real)",
+             fmt(r.epoch_seconds, 2) + " (sim, 16 GPUs)", "see Table 6"});
+
+  // A REAL full-batch comparison point on the same graph (the batching
+  // scheme of NeuGraph/Roc/DeepGalois, see src/train/full_batch.h).
+  FullBatchConfig fb;
+  fb.hidden_channels = 64;
+  FullBatchGcnTrainer full(sys.dataset(), fb);
+  full.train_epoch(0);  // warm-up
+  const EpochStats fs = full.train_epoch(1);
+  t.add_row({"full-batch GCN (this repro)", "C++ (this repo)", "full-batch",
+             "papers-sim: " + fmt(fs.epoch_seconds, 2) + "s (real), " +
+                 fmt(static_cast<double>(full.activation_bytes()) / 1e6, 0) +
+                 "MB activations",
+             "n/a", "n/a"});
+  t.print();
+
+  std::cout << "\nnotes:\n"
+            << "  * literature rows are the paper's Table 7 constants; those\n"
+            << "    systems are closed or need clusters unavailable here.\n"
+            << "  * the simulated 16-GPU papers epoch uses costs distilled\n"
+            << "    from the paper's published component measurements and\n"
+            << "    this repo's measured SALIENT/PyG ratios (DESIGN.md).\n";
+  return 0;
+}

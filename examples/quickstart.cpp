@@ -1,0 +1,44 @@
+// Quickstart: train a 3-layer GraphSAGE with SALIENT's pipelined batch
+// preparation on a synthetic ogbn-arxiv-like dataset, then run sampled
+// inference — the end-to-end workflow of the paper in ~40 lines.
+//
+//   ./quickstart [epochs] [dataset-scale]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/system.h"
+
+int main(int argc, char** argv) {
+  const int epochs = argc > 1 ? std::atoi(argv[1]) : 4;
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.05;
+
+  salient::SystemConfig cfg;
+  cfg.dataset = "arxiv-sim";
+  cfg.dataset_scale = scale;
+  cfg.arch = "sage";
+  cfg.hidden_channels = 64;
+  cfg.num_layers = 3;
+  cfg.train_fanouts = {15, 10, 5};   // the paper's training fanout
+  cfg.infer_fanouts = {20, 20, 20};  // the paper's inference fanout
+  cfg.batch_size = 512;
+  cfg.num_workers = 2;
+
+  std::cout << "Generating " << cfg.dataset << " (scale " << scale
+            << ") and building the SALIENT stack...\n";
+  salient::System sys(cfg);
+  std::cout << "  nodes=" << sys.dataset().graph.num_nodes()
+            << " edges=" << sys.dataset().graph.num_edges()
+            << " feat=" << sys.dataset().feature_dim
+            << " classes=" << sys.dataset().num_classes
+            << " params=" << sys.model()->num_parameters() << "\n\n";
+
+  for (int e = 0; e < epochs; ++e) {
+    const salient::EpochStats stats = sys.train_epoch();
+    std::cout << stats.summary() << "\n";
+  }
+
+  std::cout << "\nval accuracy  (fanout 20,20,20): " << sys.val_accuracy()
+            << "\ntest accuracy (fanout 20,20,20): " << sys.test_accuracy()
+            << std::endl;
+  return 0;
+}

@@ -1,0 +1,15 @@
+// The reverse-sweep engine for the autograd tape.
+#pragma once
+
+#include "autograd/variable.h"
+
+namespace salient {
+
+/// Propagate `grad_root` (gradient of a scalar loss w.r.t. `root`) backwards
+/// through the tape, accumulating into every reachable leaf that requires
+/// grad. Nodes with multiple consumers receive the sum of their consumers'
+/// contributions before their own backward runs (classic reverse topological
+/// order).
+void run_backward(const Variable& root, Tensor grad_root);
+
+}  // namespace salient

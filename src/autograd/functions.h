@@ -1,0 +1,84 @@
+// Differentiable operations over Variables.
+//
+// Each function computes its forward result with the kernels from
+// tensor/ops.h and registers a backward closure on the tape. The set covers
+// everything the paper's four model architectures (Appendix A) need:
+// GEMM, bias, activations, dropout, log-softmax + NLL, row slicing/concat,
+// and the CSR neighborhood aggregations used by the conv layers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace salient::autograd {
+
+/// a + b (same shape).
+Variable add(const Variable& a, const Variable& b);
+/// a - b.
+Variable sub(const Variable& a, const Variable& b);
+/// a * b (Hadamard).
+Variable mul(const Variable& a, const Variable& b);
+/// alpha * a.
+Variable scale(const Variable& a, double alpha);
+/// op(a) @ op(b) with optional transposes.
+Variable matmul(const Variable& a, const Variable& b, bool trans_a = false,
+                bool trans_b = false);
+/// x @ W^T + bias; W is [out,in] (PyTorch Linear layout); bias optional.
+Variable linear(const Variable& x, const Variable& weight,
+                const Variable& bias);
+/// max(x, 0).
+Variable relu(const Variable& x);
+/// leaky ReLU with the given negative slope.
+Variable leaky_relu(const Variable& x, double slope = 0.01);
+/// Inverted dropout. Identity when !training or p == 0.
+Variable dropout(const Variable& x, double p, bool training,
+                 std::uint64_t seed);
+/// Row-wise log-softmax.
+Variable log_softmax(const Variable& x);
+/// Mean NLL of log-probabilities vs integer targets; returns a [1] scalar.
+Variable nll_loss(const Variable& logp, const Tensor& target);
+/// Zero-copy forward view of rows [0, len); backward zero-pads.
+Variable narrow_rows(const Variable& x, std::int64_t begin, std::int64_t len);
+/// out[k,:] = x[idx[k],:] (idx i64, may repeat); backward scatter-adds.
+Variable gather_rows(const Variable& x, const Tensor& idx);
+/// Horizontal concat of same-height matrices.
+Variable concat_cols(const std::vector<Variable>& xs);
+
+/// Mean-aggregation over one MFG level (see ops::spmm_mean). The CSR arrays
+/// are captured by shared_ptr so the batch object can outlive the call
+/// without copies.
+Variable spmm_mean(std::shared_ptr<const std::vector<std::int64_t>> indptr,
+                   std::shared_ptr<const std::vector<std::int64_t>> indices,
+                   const Variable& x, std::int64_t num_dst);
+/// Sum-aggregation over one MFG level.
+Variable spmm_sum(std::shared_ptr<const std::vector<std::int64_t>> indptr,
+                  std::shared_ptr<const std::vector<std::int64_t>> indices,
+                  const Variable& x, std::int64_t num_dst);
+
+/// Edge-weighted aggregation (weights are non-differentiable constants,
+/// e.g. GCN's symmetric normalization coefficients).
+Variable spmm_weighted(
+    std::shared_ptr<const std::vector<std::int64_t>> indptr,
+    std::shared_ptr<const std::vector<std::int64_t>> indices,
+    std::shared_ptr<const std::vector<double>> weights, const Variable& x,
+    std::int64_t num_dst);
+
+/// Elementwise-max aggregation (GraphSAGE pooling aggregator core);
+/// gradients flow to each output element's argmax source.
+Variable spmm_max(std::shared_ptr<const std::vector<std::int64_t>> indptr,
+                  std::shared_ptr<const std::vector<std::int64_t>> indices,
+                  const Variable& x, std::int64_t num_dst);
+
+/// Batch normalization over rows of a [M,N] tensor with affine parameters
+/// gamma/beta ([N] each). In training mode uses batch statistics and updates
+/// running_mean/var in place (momentum as in torch.nn.BatchNorm1d); in eval
+/// mode uses the running statistics.
+Variable batch_norm(const Variable& x, const Variable& gamma,
+                    const Variable& beta, Tensor& running_mean,
+                    Tensor& running_var, bool training, double momentum = 0.1,
+                    double eps = 1e-5);
+
+}  // namespace salient::autograd

@@ -1,0 +1,63 @@
+#include "autograd/gradcheck.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace salient::autograd {
+
+GradcheckResult gradcheck(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    std::vector<Variable> inputs, double eps, double tol) {
+  GradcheckResult result;
+
+  for (auto& in : inputs) {
+    if (in.data().dtype() != DType::kF64) {
+      throw std::invalid_argument("gradcheck: inputs must be f64");
+    }
+    if (!in.requires_grad()) {
+      throw std::invalid_argument("gradcheck: inputs must require grad");
+    }
+    in.zero_grad();
+  }
+
+  // Analytic gradients.
+  Variable out = fn(inputs);
+  if (out.data().numel() != 1) {
+    throw std::invalid_argument("gradcheck: fn must return a scalar");
+  }
+  out.backward();
+
+  // Numeric gradients via central differences, input by input, entry by
+  // entry. fn is re-evaluated with the perturbed data in place.
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    Tensor& x = inputs[k].data();
+    double* px = x.data<double>();
+    const Tensor& analytic = inputs[k].grad();
+    const double* pa =
+        analytic.defined() ? analytic.data<double>() : nullptr;
+    const std::int64_t n = x.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double orig = px[i];
+      px[i] = orig + eps;
+      const double fplus = fn(inputs).data().data<double>()[0];
+      px[i] = orig - eps;
+      const double fminus = fn(inputs).data().data<double>()[0];
+      px[i] = orig;
+      const double numeric = (fplus - fminus) / (2 * eps);
+      const double analytic_v = pa ? pa[i] : 0.0;
+      const double err = std::abs(numeric - analytic_v);
+      result.max_abs_err = std::max(result.max_abs_err, err);
+      if (err > tol && result.ok) {
+        result.ok = false;
+        std::ostringstream os;
+        os << "input " << k << " entry " << i << ": analytic=" << analytic_v
+           << " numeric=" << numeric << " err=" << err;
+        result.message = os.str();
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace salient::autograd

@@ -1,0 +1,27 @@
+// Numerical gradient checking for autograd functions.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace salient::autograd {
+
+/// Result of a gradient check.
+struct GradcheckResult {
+  bool ok = true;
+  double max_abs_err = 0.0;  ///< max |analytic - numeric| over all entries
+  std::string message;       ///< first failing location, when !ok
+};
+
+/// Verify the analytic gradients of `fn` at `inputs` against central finite
+/// differences. `fn` maps the input Variables to a scalar Variable.
+/// Inputs must be f64 leaves with requires_grad=true (f64 keeps the finite
+/// differences meaningful). `eps` is the perturbation, `tol` the absolute
+/// comparison tolerance.
+GradcheckResult gradcheck(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    std::vector<Variable> inputs, double eps = 1e-5, double tol = 1e-6);
+
+}  // namespace salient::autograd

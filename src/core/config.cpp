@@ -1,0 +1,20 @@
+#include "core/config.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace salient {
+
+std::vector<std::int64_t> parse_fanouts(const std::string& text) {
+  std::vector<std::int64_t> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    out.push_back(std::stoll(item));
+  }
+  if (out.empty()) throw std::invalid_argument("parse_fanouts: empty list");
+  return out;
+}
+
+}  // namespace salient

@@ -1,0 +1,46 @@
+// Top-level run configuration for the SALIENT system facade.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "device/device_sim.h"
+#include "train/trainer.h"
+
+namespace salient {
+
+struct SystemConfig {
+  /// Dataset preset name ("arxiv-sim", "products-sim", "papers-sim") and a
+  /// size multiplier (1.0 = the preset's default size; see DESIGN.md).
+  std::string dataset = "arxiv-sim";
+  double dataset_scale = 0.1;
+
+  /// Architecture: "sage", "gat", "gin", "sage-ri" (Appendix A).
+  std::string arch = "sage";
+  std::int64_t hidden_channels = 64;
+  int num_layers = 3;
+
+  std::vector<std::int64_t> train_fanouts{15, 10, 5};
+  std::vector<std::int64_t> infer_fanouts{20, 20, 20};
+  std::int64_t batch_size = 1024;
+  int num_workers = 2;
+  double lr = 3e-3;
+
+  /// kSalient/kPipelined is the full SALIENT system; kBaseline/kBlocking is
+  /// the performance-engineered PyG baseline of §3.
+  LoaderKind loader_kind = LoaderKind::kSalient;
+  ExecutionMode execution = ExecutionMode::kPipelined;
+
+  /// When > 0, enable device feature caching of this many highest-degree
+  /// nodes (paper §8 future work; SALIENT loader paths only).
+  std::int64_t feature_cache_nodes = 0;
+
+  DeviceConfig device;
+  std::uint64_t seed = 1;
+};
+
+/// Parse "a,b,c" into a fanout list (helper for example/bench CLIs).
+std::vector<std::int64_t> parse_fanouts(const std::string& text);
+
+}  // namespace salient

@@ -1,0 +1,78 @@
+#include "core/system.h"
+
+namespace salient {
+
+System::System(SystemConfig config) : config_(std::move(config)) {
+  dataset_ = generate_dataset(
+      preset_config(config_.dataset, config_.dataset_scale));
+  build();
+}
+
+System::System(Dataset dataset, SystemConfig config)
+    : config_(std::move(config)), dataset_(std::move(dataset)) {
+  build();
+}
+
+void System::build() {
+  nn::ModelConfig mc;
+  mc.in_channels = dataset_.feature_dim;
+  mc.hidden_channels = config_.hidden_channels;
+  mc.out_channels = dataset_.num_classes;
+  mc.num_layers = config_.num_layers;
+  mc.seed = config_.seed * 31 + 7;
+  model_ = nn::make_model(config_.arch, mc);
+
+  DeviceConfig dev = config_.device;
+  // The baseline keeps PyG's blocking post-transfer assertions; SALIENT
+  // skips them (§4.3).
+  dev.validate_sparse_after_transfer =
+      config_.execution == ExecutionMode::kBlocking;
+  device_ = std::make_unique<DeviceSim>(dev);
+
+  TrainConfig tc;
+  tc.loader.batch_size = config_.batch_size;
+  tc.loader.fanouts = config_.train_fanouts;
+  tc.loader.num_workers = config_.num_workers;
+  tc.loader.seed = config_.seed;
+  tc.loader_kind = config_.loader_kind;
+  tc.execution = config_.execution;
+  tc.lr = config_.lr;
+  tc.feature_cache_nodes = config_.feature_cache_nodes;
+  trainer_ = std::make_unique<Trainer>(dataset_, model_, *device_, tc);
+}
+
+EpochStats System::train_epoch() {
+  return trainer_->train_epoch(epochs_trained_++);
+}
+
+std::vector<EpochStats> System::train(int epochs) {
+  std::vector<EpochStats> stats;
+  stats.reserve(static_cast<std::size_t>(epochs));
+  for (int e = 0; e < epochs; ++e) stats.push_back(train_epoch());
+  return stats;
+}
+
+double System::test_accuracy() {
+  return test_accuracy(config_.infer_fanouts);
+}
+
+double System::test_accuracy(std::span<const std::int64_t> fanouts) {
+  const double acc =
+      evaluate_sampled(*model_, dataset_, dataset_.test_idx, fanouts,
+                       config_.batch_size, config_.seed ^ 0x7e57)
+          .accuracy;
+  model_->train(true);
+  return acc;
+}
+
+double System::val_accuracy() {
+  const double acc =
+      evaluate_sampled(*model_, dataset_, dataset_.val_idx,
+                       config_.infer_fanouts, config_.batch_size,
+                       config_.seed ^ 0x7a1)
+          .accuracy;
+  model_->train(true);
+  return acc;
+}
+
+}  // namespace salient

@@ -1,0 +1,60 @@
+// salient::System — the library's top-level facade.
+//
+// Wires together a dataset (synthetic preset or caller-provided), one of the
+// paper's four GNN architectures, the simulated device, and the training
+// pipeline (SALIENT or the PyG baseline). This is the API the examples and
+// most benches drive; everything underneath is also public for finer control.
+//
+//   SystemConfig cfg;                     // arxiv-sim, GraphSAGE, SALIENT
+//   System sys(cfg);
+//   sys.train(5);                         // five epochs
+//   double acc = sys.test_accuracy();     // sampled inference, fanout 20^3
+#pragma once
+
+#include <memory>
+
+#include "core/config.h"
+#include "graph/dataset.h"
+#include "nn/models.h"
+#include "train/inference.h"
+#include "train/metrics.h"
+
+namespace salient {
+
+class System {
+ public:
+  /// Generate the configured dataset preset and build the full stack.
+  explicit System(SystemConfig config);
+  /// Use a caller-provided dataset (takes ownership).
+  System(Dataset dataset, SystemConfig config);
+
+  /// Train one epoch; returns its stats (per-phase blocking, loss, ...).
+  EpochStats train_epoch();
+  /// Train `epochs` epochs; returns per-epoch stats.
+  std::vector<EpochStats> train(int epochs);
+
+  /// Sampled-inference accuracy on the test/validation split using
+  /// config.infer_fanouts (or an override).
+  double test_accuracy();
+  double test_accuracy(std::span<const std::int64_t> fanouts);
+  double val_accuracy();
+
+  const Dataset& dataset() const { return dataset_; }
+  const std::shared_ptr<nn::GnnModel>& model() const { return model_; }
+  DeviceSim& device() { return *device_; }
+  Trainer& trainer() { return *trainer_; }
+  const SystemConfig& config() const { return config_; }
+  int epochs_trained() const { return epochs_trained_; }
+
+ private:
+  void build();
+
+  SystemConfig config_;
+  Dataset dataset_;
+  std::shared_ptr<nn::GnnModel> model_;
+  std::unique_ptr<DeviceSim> device_;
+  std::unique_ptr<Trainer> trainer_;
+  int epochs_trained_ = 0;
+};
+
+}  // namespace salient

@@ -1,0 +1,174 @@
+#include "device/device_sim.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/half.h"
+
+namespace salient {
+
+DeviceSim::DeviceSim(DeviceConfig config)
+    : config_(config),
+      dma_(config.dma),
+      compute_("compute" + std::to_string(config.device_id)),
+      copy_("copy" + std::to_string(config.device_id)) {}
+
+void DeviceSim::enqueue_common_transfers(const PreparedBatch& batch,
+                                         bool pinned, DeviceBatch& out) {
+  out.index = batch.index;
+  out.mfg.batch_size = batch.mfg.batch_size;
+  out.mfg.n_ids = batch.mfg.n_ids;  // kept host-side (IDs are metadata)
+
+  // Adjacency: one DMA per level array, as PyG transfers each sparse tensor.
+  out.mfg.levels.reserve(batch.mfg.levels.size());
+  for (const auto& level : batch.mfg.levels) {
+    MfgLevel dl;
+    dl.num_src = level.num_src;
+    dl.num_dst = level.num_dst;
+    auto indptr =
+        std::make_shared<std::vector<std::int64_t>>(level.indptr->size());
+    auto indices =
+        std::make_shared<std::vector<std::int64_t>>(level.indices->size());
+    // Capture the source arrays by shared_ptr: the transfer stays valid even
+    // if the caller recycles the PreparedBatch before the copy stream runs.
+    auto src_indptr = level.indptr;
+    auto src_indices = level.indices;
+    copy_.enqueue([this, indptr, indices, src_indptr, src_indices, pinned] {
+      dma_.copy(indptr->data(), src_indptr->data(),
+                src_indptr->size() * sizeof(std::int64_t), pinned);
+      dma_.copy(indices->data(), src_indices->data(),
+                src_indices->size() * sizeof(std::int64_t), pinned);
+      if (config_.validate_sparse_after_transfer) {
+        // PyG's sparse-tensor assertions: a blocking device round trip per
+        // transferred adjacency (§4.3).
+        dma_.round_trip();
+      }
+    });
+    dl.indptr = std::move(indptr);
+    dl.indices = std::move(indices);
+    out.mfg.levels.push_back(std::move(dl));
+  }
+
+  // Labels.
+  out.y = Tensor(batch.y.shape(), batch.y.dtype());
+  Tensor y_dev = out.y;
+  const Tensor y_host = batch.y;
+  copy_.enqueue([this, y_dev, y_host, pinned]() mutable {
+    dma_.copy(y_dev.raw(), y_host.raw(), y_host.nbytes(), pinned);
+  });
+}
+
+namespace {
+
+/// Device-side f16 -> f32 up-conversion (or plain copy for f32 stores).
+void convert_features(const Tensor& src, Tensor& dst) {
+  if (src.dtype() == DType::kF16) {
+    half_to_float_n(src.data<Half>(), dst.data<float>(),
+                    static_cast<std::size_t>(src.numel()));
+  } else {
+    std::memcpy(dst.raw(), src.raw(), src.nbytes());
+  }
+}
+
+}  // namespace
+
+DeviceBatch DeviceSim::transfer_batch(const PreparedBatch& batch,
+                                      bool blocking, Event* ready) {
+  DeviceBatch out;
+  const bool pinned = batch.x.pinned();
+  enqueue_common_transfers(batch, pinned, out);
+
+  // Features: DMA the f16 rows, then convert to f32 on the compute stream
+  // ("GPU training computations are still done in single precision", §3).
+  Tensor x_f16_dev(batch.x.shape(), batch.x.dtype());
+  const Tensor x_host = batch.x;
+  Tensor x_f16_copy = x_f16_dev;  // shared storage alias for the lambda
+  copy_.enqueue([this, x_f16_copy, x_host, pinned]() mutable {
+    dma_.copy(x_f16_copy.raw(), x_host.raw(), x_host.nbytes(), pinned);
+  });
+
+  // Compute stream waits for the copies, then up-converts the features.
+  Event copies_done = copy_.record();
+  compute_.wait(copies_done);
+  out.x_f32 = Tensor(batch.x.shape(), DType::kF32);
+  Tensor x_f32_dev = out.x_f32;
+  compute_.enqueue([x_f16_dev, x_f32_dev]() mutable {
+    convert_features(x_f16_dev, x_f32_dev);
+  });
+  if (ready != nullptr) {
+    *ready = compute_.record();
+  }
+  if (blocking) {
+    compute_.synchronize();
+  }
+  return out;
+}
+
+DeviceBatch DeviceSim::transfer_batch_cached(const PreparedBatch& batch,
+                                             const CachePlan& plan,
+                                             const FeatureCache& cache,
+                                             bool blocking, Event* ready) {
+  if (batch.x.size(0) != plan.num_missing) {
+    throw std::invalid_argument(
+        "transfer_batch_cached: batch.x must hold the plan's missing rows");
+  }
+  if (plan.from_cache.size() != batch.mfg.n_ids.size()) {
+    throw std::invalid_argument("transfer_batch_cached: plan size mismatch");
+  }
+  DeviceBatch out;
+  const bool pinned = batch.x.pinned();
+  enqueue_common_transfers(batch, pinned, out);
+
+  // Transfer only the missing rows.
+  Tensor missing_dev(batch.x.shape(), batch.x.dtype());
+  const Tensor x_host = batch.x;
+  Tensor missing_copy = missing_dev;
+  copy_.enqueue([this, missing_copy, x_host, pinned]() mutable {
+    if (x_host.numel() > 0) {
+      dma_.copy(missing_copy.raw(), x_host.raw(), x_host.nbytes(), pinned);
+    }
+  });
+
+  // Assemble the full feature matrix on the compute stream: cached rows are
+  // device-to-device gathers (no PCIe), missing rows are up-converted from
+  // the transferred staging buffer.
+  Event copies_done = copy_.record();
+  compute_.wait(copies_done);
+  const auto num_rows = static_cast<std::int64_t>(plan.from_cache.size());
+  const std::int64_t f = cache.features().defined() && cache.capacity() > 0
+                             ? cache.features().size(1)
+                             : batch.x.size(1);
+  out.x_f32 = Tensor({num_rows, f}, DType::kF32);
+  Tensor x_f32_dev = out.x_f32;
+  const Tensor cache_feats = cache.features();
+  // Copy the plan by value: the caller's plan may die before the stream runs.
+  auto plan_copy = std::make_shared<CachePlan>(plan);
+  compute_.enqueue([missing_dev, x_f32_dev, cache_feats, plan_copy,
+                    f]() mutable {
+    // Up-convert the missing rows once, then scatter both sources.
+    Tensor missing_f32;
+    if (missing_dev.size(0) > 0) {
+      missing_f32 = Tensor(missing_dev.shape(), DType::kF32);
+      convert_features(missing_dev, missing_f32);
+    }
+    float* dst = x_f32_dev.data<float>();
+    const std::size_t row_bytes = static_cast<std::size_t>(f) * sizeof(float);
+    for (std::size_t i = 0; i < plan_copy->from_cache.size(); ++i) {
+      const std::int64_t src_row = plan_copy->source[i];
+      const float* src =
+          plan_copy->from_cache[i]
+              ? cache_feats.data<float>() + src_row * f
+              : missing_f32.data<float>() + src_row * f;
+      std::memcpy(dst + static_cast<std::int64_t>(i) * f, src, row_bytes);
+    }
+  });
+  if (ready != nullptr) {
+    *ready = compute_.record();
+  }
+  if (blocking) {
+    compute_.synchronize();
+  }
+  return out;
+}
+
+}  // namespace salient

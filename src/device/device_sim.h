@@ -1,0 +1,83 @@
+// The simulated accelerator device.
+//
+// Stands in for a CUDA GPU: a compute stream and a copy stream (dedicated
+// threads with FIFO semantics), a DMA engine with modelled bandwidth, and
+// helpers to move a PreparedBatch to the "device". Device memory is host
+// memory — what matters for the system under study is the *pipeline
+// structure* (streams, events, pinned staging, transfer ordering), which
+// runs unmodified against this device. See DESIGN.md for the substitution
+// rationale.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "device/dma.h"
+#include "prep/feature_cache.h"
+#include "device/stream.h"
+#include "prep/batch.h"
+#include "tensor/tensor.h"
+
+namespace salient {
+
+struct DeviceConfig {
+  int device_id = 0;
+  DmaConfig dma;
+  /// Baseline PyG behaviour: after transferring each MFG level's sparse
+  /// adjacency, run the validity assertions that force a blocking CPU-GPU
+  /// round trip (§4.3). SALIENT sets this to false.
+  bool validate_sparse_after_transfer = false;
+};
+
+/// A mini-batch resident on the device: adjacency arrays, single-precision
+/// features (converted from the half-precision host store on the compute
+/// stream), and labels.
+struct DeviceBatch {
+  std::int64_t index = -1;
+  Mfg mfg;       // adjacency arrays are device-side copies
+  Tensor x_f32;  // [num_input, F] f32
+  Tensor y;      // [batch_size] i64
+};
+
+class DeviceSim {
+ public:
+  explicit DeviceSim(DeviceConfig config = {});
+
+  Stream& compute_stream() { return compute_; }
+  Stream& copy_stream() { return copy_; }
+  DmaEngine& dma() { return dma_; }
+  const DeviceConfig& config() const { return config_; }
+
+  /// Enqueue the full H2D transfer of `batch` on the copy stream and the
+  /// f16->f32 feature conversion on the compute stream (after the copy).
+  /// Returns the device batch and records `ready` on the compute stream —
+  /// kernels enqueued after a wait on `ready` see the complete batch.
+  ///
+  /// When `blocking`, the call synchronizes before returning (the standard
+  /// PyTorch `.to(device)` behaviour of Listing 1); otherwise it returns
+  /// immediately (SALIENT's pipelined transfer).
+  DeviceBatch transfer_batch(const PreparedBatch& batch, bool blocking,
+                             Event* ready);
+
+  /// Cache-aware transfer (paper §8 / GNS-style device cache): `batch.x`
+  /// holds only the plan's missing rows; the compute stream assembles the
+  /// full f32 feature matrix from the device-resident cache plus the
+  /// transferred rows. Transfer volume drops by the cache hit rate.
+  DeviceBatch transfer_batch_cached(const PreparedBatch& batch,
+                                    const CachePlan& plan,
+                                    const FeatureCache& cache, bool blocking,
+                                    Event* ready);
+
+ private:
+  /// Enqueue the adjacency-array and label DMAs shared by both transfer
+  /// paths; fills out.mfg/out.y.
+  void enqueue_common_transfers(const PreparedBatch& batch, bool pinned,
+                                DeviceBatch& out);
+
+  DeviceConfig config_;
+  DmaEngine dma_;
+  Stream compute_;
+  Stream copy_;
+};
+
+}  // namespace salient

@@ -1,0 +1,53 @@
+#include "device/dma.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/timer.h"
+
+namespace salient {
+
+namespace {
+
+/// Wait until `deadline_s` seconds elapsed on `timer`, sleeping for coarse
+/// remainders and spinning for the final stretch (sub-100us precision).
+void wait_until(const WallTimer& timer, double deadline_s) {
+  for (;;) {
+    const double remaining = deadline_s - timer.seconds();
+    if (remaining <= 0) return;
+    if (remaining > 200e-6) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(remaining - 100e-6));
+    }
+    // spin for the final stretch
+  }
+}
+
+}  // namespace
+
+void DmaEngine::copy(void* dst, const void* src, std::size_t bytes,
+                     bool pinned) {
+  WallTimer t;
+  std::memcpy(dst, src, bytes);
+  const double rate = config_.bandwidth_gb_per_s *
+                      (pinned ? 1.0 : config_.pageable_fraction) * 1e9;
+  const double model_s =
+      config_.latency_us * 1e-6 + static_cast<double>(bytes) / rate;
+  wait_until(t, model_s);
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  busy_ns_.fetch_add(t.nanos(), std::memory_order_relaxed);
+}
+
+void DmaEngine::round_trip() {
+  WallTimer t;
+  wait_until(t, config_.round_trip_us * 1e-6);
+  busy_ns_.fetch_add(t.nanos(), std::memory_order_relaxed);
+}
+
+double DmaEngine::achieved_gb_per_s() const {
+  const double s = busy_seconds();
+  return s > 0 ? static_cast<double>(bytes_.load()) / s / 1e9 : 0.0;
+}
+
+}  // namespace salient

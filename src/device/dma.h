@@ -1,0 +1,56 @@
+// Bandwidth/latency-modelled DMA engine for host->device transfers.
+//
+// The paper's transfer analysis (§3.3, §4.3): peak DMA host-to-GPU bandwidth
+// on their machine is 12.3 GB/s; the baseline achieves only ~75% of it
+// because PyG's sparse-tensor library performs blocking validity assertions
+// that add a CPU-GPU round trip after each adjacency transfer; skipping the
+// redundant assertions reaches 99% of peak.
+//
+// This engine really copies the bytes (so data integrity is testable) and
+// additionally enforces the modelled transfer time: if the memcpy finished
+// faster than bytes/bandwidth (+ per-transfer latency), it waits out the
+// remainder. Pageable (non-pinned) sources are penalized, and an optional
+// round_trip() models the blocking assertion synchronization.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace salient {
+
+struct DmaConfig {
+  double bandwidth_gb_per_s = 12.3;  ///< pinned-memory DMA bandwidth
+  double pageable_fraction = 0.45;   ///< pageable transfers: fraction of peak
+  double latency_us = 8.0;           ///< per-transfer setup latency
+  double round_trip_us = 40.0;       ///< cost of one blocking CPU-GPU sync
+};
+
+class DmaEngine {
+ public:
+  explicit DmaEngine(DmaConfig config = {}) : config_(config) {}
+
+  /// Copy `bytes` from src to dst at the modelled rate. Runs on the calling
+  /// thread (enqueue on a copy stream for async semantics).
+  void copy(void* dst, const void* src, std::size_t bytes, bool pinned);
+
+  /// Model a blocking CPU-GPU round trip (e.g., a device-side assertion the
+  /// host waits on). Costs round_trip_us of wall time.
+  void round_trip();
+
+  const DmaConfig& config() const { return config_; }
+
+  /// Total bytes moved through this engine.
+  std::size_t bytes_transferred() const { return bytes_; }
+  /// Total wall seconds spent inside copy()/round_trip().
+  double busy_seconds() const { return busy_ns_ * 1e-9; }
+  /// Achieved throughput in GB/s over the engine's lifetime.
+  double achieved_gb_per_s() const;
+
+ private:
+  DmaConfig config_;
+  std::atomic<std::size_t> bytes_{0};
+  std::atomic<std::int64_t> busy_ns_{0};
+};
+
+}  // namespace salient

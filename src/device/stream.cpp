@@ -1,0 +1,97 @@
+#include "device/stream.h"
+
+#include "util/timer.h"
+
+namespace salient {
+
+Event::Event() : state_(std::make_shared<State>()) {}
+
+bool Event::query() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+void Event::synchronize() const {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+}
+
+void Event::signal() const {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->done = true;
+  }
+  state_->cv.notify_all();
+}
+
+Stream::Stream(std::string name)
+    : name_(std::move(name)), thread_([this] { loop(); }) {}
+
+Stream::~Stream() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void Stream::enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    work_.push_back(std::move(fn));
+    ++enqueued_;
+  }
+  cv_.notify_all();
+}
+
+Event Stream::record() {
+  Event e;
+  enqueue([e] { e.signal(); });
+  return e;
+}
+
+void Stream::wait(Event e) {
+  enqueue([e] { e.synchronize(); });
+}
+
+void Stream::synchronize() {
+  std::uint64_t target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    target = enqueued_;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this, target] { return completed_ >= target; });
+}
+
+double Stream::busy_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return busy_seconds_;
+}
+
+void Stream::loop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !work_.empty(); });
+      if (work_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      fn = std::move(work_.front());
+      work_.pop_front();
+    }
+    WallTimer t;
+    fn();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      busy_seconds_ += t.seconds();
+      ++completed_;
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace salient

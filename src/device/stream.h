@@ -1,0 +1,84 @@
+// Execution streams for the simulated device.
+//
+// A Stream is a dedicated thread that executes enqueued work strictly in
+// FIFO order — the semantics of a CUDA stream. The device simulator gives
+// each device two streams (compute + copy), which is exactly the structure
+// SALIENT uses to overlap data transfer with training computation (§4.3):
+// "SALIENT uses separate GPU streams for computation and data transfer,
+// synchronizing those streams to ensure a training iteration begins after
+// the necessary data is transferred."
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace salient {
+
+/// A one-shot synchronization point recorded on a stream (cudaEvent
+/// analogue). Copyable value type; all copies share state.
+class Event {
+ public:
+  Event();
+
+  /// True once the recording stream executed past the record point.
+  bool query() const;
+  /// Block the calling (host) thread until the event completed.
+  void synchronize() const;
+
+ private:
+  friend class Stream;
+  struct State {
+    mutable std::mutex mu;
+    mutable std::condition_variable cv;
+    bool done = false;
+  };
+  void signal() const;
+  std::shared_ptr<State> state_;
+};
+
+class Stream {
+ public:
+  explicit Stream(std::string name);
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Enqueue work; returns immediately. Work items run in FIFO order.
+  void enqueue(std::function<void()> fn);
+
+  /// Record an event that completes when all previously enqueued work ran.
+  Event record();
+
+  /// Make this stream wait (without blocking the host) until `e` completes
+  /// before running subsequently enqueued work (cudaStreamWaitEvent).
+  void wait(Event e);
+
+  /// Block the host thread until everything enqueued so far has run.
+  void synchronize();
+
+  const std::string& name() const { return name_; }
+  /// Total busy seconds (time spent executing work items).
+  double busy_seconds() const;
+
+ private:
+  void loop();
+
+  std::string name_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> work_;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t completed_ = 0;
+  double busy_seconds_ = 0;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace salient

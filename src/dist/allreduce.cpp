@@ -1,0 +1,65 @@
+#include "dist/allreduce.h"
+
+#include <stdexcept>
+
+namespace salient {
+
+RingAllreduce::RingAllreduce(int world_size)
+    : world_size_(world_size),
+      barrier_(world_size),
+      buffers_(static_cast<std::size_t>(world_size)) {
+  if (world_size < 1) throw std::invalid_argument("RingAllreduce: world size");
+}
+
+void RingAllreduce::run(int rank, std::span<float> buffer) {
+  if (rank < 0 || rank >= world_size_) {
+    throw std::out_of_range("RingAllreduce: rank");
+  }
+  if (world_size_ == 1) return;
+  buffers_[static_cast<std::size_t>(rank)] = buffer;
+  barrier_.arrive_and_wait();  // all buffers registered
+  if (buffer.size() != buffers_[0].size()) {
+    throw std::invalid_argument("RingAllreduce: buffer length mismatch");
+  }
+
+  const std::size_t n = buffer.size();
+  const auto r = static_cast<std::size_t>(world_size_);
+  // Chunk boundaries: chunk c covers [c*n/R, (c+1)*n/R).
+  auto chunk_begin = [&](std::size_t c) { return c * n / r; };
+
+  // Phase 1: scatter-reduce. In step s, rank k adds its chunk
+  // (k - s - 1 mod R) into the next rank's buffer... equivalently each rank
+  // reduces into the chunk it will own. With shared memory we express it as:
+  // rank k accumulates chunk (k + 1 + s) from its ring predecessor into its
+  // own buffer, stepping the barrier between rounds so reads and writes of
+  // the same chunk never race.
+  const auto rank_u = static_cast<std::size_t>(rank);
+  for (std::size_t s = 0; s < r - 1; ++s) {
+    // In step s rank k "receives" chunk (k - s - 1) mod R: it pulls the
+    // partial sum of that chunk from its ring predecessor and adds it into
+    // its own buffer. Per-step barriers keep reads and writes of any chunk
+    // in different rounds, so no copy buffer is needed.
+    const std::size_t c = (rank_u + 2 * r - s - 1) % r;
+    const std::size_t prev = (rank_u + r - 1) % r;
+    const std::size_t b = chunk_begin(c), e = chunk_begin(c + 1);
+    const std::span<float> src = buffers_[prev];
+    for (std::size_t i = b; i < e; ++i) buffer[i] += src[i];
+    barrier_.arrive_and_wait();
+  }
+  // After R-1 rounds, rank k holds the fully reduced chunk (k + 1) mod R.
+  // Phase 2: all-gather — propagate the reduced chunks around the ring.
+  for (std::size_t s = 0; s < r - 1; ++s) {
+    const std::size_t c = (rank_u + 1 + r - s) % r;
+    const std::size_t next = (rank_u + 1) % r;
+    const std::size_t b = chunk_begin(c), e = chunk_begin(c + 1);
+    const std::span<float> dst = buffers_[next];
+    for (std::size_t i = b; i < e; ++i) dst[i] = buffer[i];
+    barrier_.arrive_and_wait();
+  }
+  // Average.
+  const float inv = 1.0f / static_cast<float>(world_size_);
+  for (std::size_t i = 0; i < n; ++i) buffer[i] *= inv;
+  barrier_.arrive_and_wait();
+}
+
+}  // namespace salient

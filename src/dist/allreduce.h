@@ -1,0 +1,36 @@
+// Ring all-reduce over in-process replicas.
+//
+// Stands in for the NCCL all-reduce that PyTorch DDP issues after backward:
+// given R replicas' gradient buffers (same length), every buffer ends up
+// holding the elementwise mean. The implementation is the classic two-phase
+// ring (R-1 scatter-reduce steps, then R-1 all-gather steps) with barrier
+// synchronization between steps, executed by the replicas' own threads —
+// the same communication structure the paper's multi-GPU runs rely on.
+#pragma once
+
+#include <barrier>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace salient {
+
+/// Coordination object shared by the R participating threads. Create one per
+/// replica group, then have each replica thread call `run(rank, buffer)`
+/// with its gradient buffer; all buffers must have equal length.
+class RingAllreduce {
+ public:
+  explicit RingAllreduce(int world_size);
+
+  /// Collective call: blocks until all ranks arrived and the reduction
+  /// completed. After return, `buffer` holds the elementwise mean across
+  /// ranks. Must be called by exactly `world_size` distinct ranks.
+  void run(int rank, std::span<float> buffer);
+
+ private:
+  int world_size_;
+  std::barrier<> barrier_;
+  std::vector<std::span<float>> buffers_;
+};
+
+}  // namespace salient

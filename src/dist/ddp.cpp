@@ -1,0 +1,149 @@
+#include "dist/ddp.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "nn/loss.h"
+#include "prep/slicing.h"
+#include "sampling/fast_sampler.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace salient {
+
+DdpTrainer::DdpTrainer(const Dataset& dataset, DdpConfig config)
+    : dataset_(dataset), config_(std::move(config)) {
+  if (config_.world_size < 1) {
+    throw std::invalid_argument("DdpTrainer: world_size");
+  }
+  for (int r = 0; r < config_.world_size; ++r) {
+    // Identical seed => identical initial parameters on every replica.
+    models_.push_back(nn::make_model(config_.arch, config_.model));
+    optimizers_.push_back(
+        std::make_unique<optim::Adam>(models_.back()->parameters(),
+                                      config_.lr));
+  }
+}
+
+DdpEpochResult DdpTrainer::train_epoch(int epoch) {
+  const auto world = static_cast<std::size_t>(config_.world_size);
+  // Epoch-shuffled node order shared by all replicas (DistributedSampler).
+  std::vector<NodeId> order(dataset_.train_idx);
+  Xoshiro256ss shuffle_rng(config_.loader.seed +
+                           static_cast<std::uint64_t>(epoch) * 7919u);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[bounded_rand(shuffle_rng, i)]);
+  }
+  // Equal shard sizes so every replica reaches every all-reduce: truncate to
+  // a multiple of world_size * batch_size (DistributedSampler pads; we drop).
+  const auto bs = static_cast<std::size_t>(config_.loader.batch_size);
+  const std::size_t batches_per_replica =
+      order.size() / (world * bs);
+  if (batches_per_replica == 0) {
+    throw std::runtime_error("DdpTrainer: not enough nodes for one batch");
+  }
+
+  RingAllreduce allreduce(config_.world_size);
+  std::vector<double> replica_loss(world, 0.0);
+  WallTimer timer;
+
+  auto replica_body = [&](int rank) {
+    auto& model = *models_[static_cast<std::size_t>(rank)];
+    auto& opt = *optimizers_[static_cast<std::size_t>(rank)];
+    model.train(true);
+    FastSampler sampler(dataset_.graph, config_.loader.fanouts);
+    auto params = model.parameters();
+    double loss_sum = 0;
+
+    for (std::size_t b = 0; b < batches_per_replica; ++b) {
+      // Strided shard: batch b of rank k covers the (b*world + k)-th block.
+      const std::size_t block = b * world + static_cast<std::size_t>(rank);
+      const std::span<const NodeId> nodes(order.data() + block * bs, bs);
+      const std::uint64_t batch_seed =
+          SplitMix64(config_.loader.seed ^ (block * 0x9e3779b97f4a7c15ull))
+              .next();
+      Mfg mfg = sampler.sample(nodes, batch_seed);
+
+      Tensor x_f16({mfg.num_input_nodes(), dataset_.feature_dim},
+                   dataset_.features.dtype());
+      slice_rows_serial(dataset_.features, mfg.n_ids, x_f16);
+      Tensor y({mfg.batch_size}, DType::kI64);
+      slice_labels(dataset_.labels,
+                   {mfg.n_ids.data(), static_cast<std::size_t>(mfg.batch_size)},
+                   y);
+
+      Variable x(x_f16.to(DType::kF32));
+      Variable logp = model.forward(x, mfg);
+      Variable loss = nn::nll_loss(logp, y);
+      model.zero_grad();
+      loss.backward();
+      loss_sum += static_cast<double>(loss.data().data<float>()[0]);
+
+      // Flatten gradients, all-reduce (mean), write back, step.
+      std::size_t total = 0;
+      for (const auto& p : params) {
+        total += static_cast<std::size_t>(p.data().numel());
+      }
+      std::vector<float> flat(total);
+      std::size_t off = 0;
+      for (const auto& p : params) {
+        const auto n = static_cast<std::size_t>(p.data().numel());
+        if (p.grad().defined()) {
+          std::copy(p.grad().data<float>(), p.grad().data<float>() + n,
+                    flat.begin() + static_cast<std::ptrdiff_t>(off));
+        } else {
+          std::fill(flat.begin() + static_cast<std::ptrdiff_t>(off),
+                    flat.begin() + static_cast<std::ptrdiff_t>(off + n), 0.0f);
+        }
+        off += n;
+      }
+      allreduce.run(rank, flat);
+      off = 0;
+      for (auto& p : params) {
+        const auto n = static_cast<std::size_t>(p.data().numel());
+        Tensor g(p.data().shape(), DType::kF32);
+        std::copy(flat.begin() + static_cast<std::ptrdiff_t>(off),
+                  flat.begin() + static_cast<std::ptrdiff_t>(off + n),
+                  g.data<float>());
+        p.zero_grad();
+        p.accumulate_grad(g);
+        off += n;
+      }
+      opt.step();
+    }
+    replica_loss[static_cast<std::size_t>(rank)] = loss_sum;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(world);
+  for (int r = 0; r < config_.world_size; ++r) {
+    threads.emplace_back(replica_body, r);
+  }
+  for (auto& t : threads) t.join();
+
+  DdpEpochResult result;
+  result.epoch_seconds = timer.seconds();
+  result.batches_per_replica = static_cast<std::int64_t>(batches_per_replica);
+  double total_loss = 0;
+  for (const double l : replica_loss) total_loss += l;
+  result.mean_loss = total_loss / static_cast<double>(world *
+                                                      batches_per_replica);
+  return result;
+}
+
+bool DdpTrainer::replicas_in_sync() const {
+  if (models_.size() < 2) return true;
+  const auto ref = models_[0]->parameters();
+  for (std::size_t r = 1; r < models_.size(); ++r) {
+    const auto params = models_[r]->parameters();
+    if (params.size() != ref.size()) return false;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (!allclose(params[i].data(), ref[i].data(), 0.0, 0.0)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace salient

@@ -1,0 +1,64 @@
+// Distributed-data-parallel training over in-process replicas.
+//
+// Mirrors the structure of PyTorch DDP as the paper uses it (§6, multi-GPU
+// scaling): every replica holds an identical copy of the model, processes
+// its shard of the shuffled training set (effective batch size scales with
+// the number of replicas), and after each local backward the replicas
+// average gradients with a ring all-reduce before stepping their (identical)
+// optimizers — keeping parameters bit-wise in sync, which tests assert.
+//
+// Replicas are threads in one process; wall-clock scaling numbers for the
+// paper's cluster come from the calibrated discrete-event simulator (see
+// src/sim), not from this class.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dist/allreduce.h"
+#include "graph/dataset.h"
+#include "nn/models.h"
+#include "optim/adam.h"
+#include "prep/loader_config.h"
+
+namespace salient {
+
+struct DdpConfig {
+  int world_size = 2;
+  std::string arch = "sage";
+  nn::ModelConfig model;  ///< same seed => identical replica initialization
+  LoaderConfig loader;    ///< per-replica batch size, fanouts, epoch seed
+  double lr = 3e-3;
+};
+
+struct DdpEpochResult {
+  double epoch_seconds = 0;
+  double mean_loss = 0;
+  std::int64_t batches_per_replica = 0;
+};
+
+class DdpTrainer {
+ public:
+  DdpTrainer(const Dataset& dataset, DdpConfig config);
+
+  /// One synchronized epoch across all replicas.
+  DdpEpochResult train_epoch(int epoch);
+
+  /// True when all replicas' parameters are exactly equal (the DDP
+  /// invariant; gradients averaging keeps it).
+  bool replicas_in_sync() const;
+
+  /// Access a replica's model (e.g. replica 0 for evaluation).
+  const std::shared_ptr<nn::GnnModel>& replica(int r) const {
+    return models_[static_cast<std::size_t>(r)];
+  }
+  int world_size() const { return config_.world_size; }
+
+ private:
+  const Dataset& dataset_;
+  DdpConfig config_;
+  std::vector<std::shared_ptr<nn::GnnModel>> models_;
+  std::vector<std::unique_ptr<optim::Adam>> optimizers_;
+};
+
+}  // namespace salient

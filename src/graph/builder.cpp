@@ -1,0 +1,68 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace salient {
+
+CsrGraph build_csr(std::int64_t num_nodes, const EdgeList& edges,
+                   bool symmetrize, bool dedup) {
+  if (edges.src.size() != edges.dst.size()) {
+    throw std::invalid_argument("build_csr: src/dst size mismatch");
+  }
+  const std::size_t m = edges.size();
+  const std::size_t total = symmetrize ? 2 * m : m;
+
+  // Counting sort by source: one pass to count degrees, one to place.
+  std::vector<std::int64_t> indptr(static_cast<std::size_t>(num_nodes) + 1, 0);
+  auto check = [num_nodes](NodeId v) {
+    if (v < 0 || v >= num_nodes) {
+      throw std::out_of_range("build_csr: node id out of range");
+    }
+  };
+  for (std::size_t i = 0; i < m; ++i) {
+    check(edges.src[i]);
+    check(edges.dst[i]);
+    ++indptr[static_cast<std::size_t>(edges.src[i]) + 1];
+    if (symmetrize) ++indptr[static_cast<std::size_t>(edges.dst[i]) + 1];
+  }
+  for (std::size_t i = 1; i < indptr.size(); ++i) indptr[i] += indptr[i - 1];
+
+  std::vector<NodeId> indices(total);
+  std::vector<std::int64_t> cursor(indptr.begin(), indptr.end() - 1);
+  for (std::size_t i = 0; i < m; ++i) {
+    indices[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(edges.src[i])]++)] = edges.dst[i];
+    if (symmetrize) {
+      indices[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(edges.dst[i])]++)] = edges.src[i];
+    }
+  }
+
+  if (!dedup) return CsrGraph(num_nodes, std::move(indptr), std::move(indices));
+
+  // Sort each row, drop duplicates and self-loops, then compact.
+  std::vector<std::int64_t> new_indptr(indptr.size(), 0);
+  std::size_t write = 0;
+  for (std::int64_t v = 0; v < num_nodes; ++v) {
+    const auto b = static_cast<std::size_t>(indptr[static_cast<std::size_t>(v)]);
+    const auto e =
+        static_cast<std::size_t>(indptr[static_cast<std::size_t>(v) + 1]);
+    std::sort(indices.begin() + static_cast<std::ptrdiff_t>(b),
+              indices.begin() + static_cast<std::ptrdiff_t>(e));
+    NodeId prev = -1;
+    for (std::size_t k = b; k < e; ++k) {
+      const NodeId u = indices[k];
+      if (u == v || u == prev) continue;  // self-loop or duplicate
+      indices[write++] = u;
+      prev = u;
+    }
+    new_indptr[static_cast<std::size_t>(v) + 1] =
+        static_cast<std::int64_t>(write);
+  }
+  indices.resize(write);
+  indices.shrink_to_fit();
+  return CsrGraph(num_nodes, std::move(new_indptr), std::move(indices));
+}
+
+}  // namespace salient

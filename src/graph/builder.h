@@ -1,0 +1,28 @@
+// COO -> CSR construction with optional symmetrization and deduplication.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace salient {
+
+/// An edge list (directed, parallel arrays).
+struct EdgeList {
+  std::vector<NodeId> src;
+  std::vector<NodeId> dst;
+
+  std::size_t size() const { return src.size(); }
+  void push(NodeId s, NodeId d) {
+    src.push_back(s);
+    dst.push_back(d);
+  }
+};
+
+/// Build a CSR graph from an edge list.
+/// `symmetrize` adds the reverse of every edge (making the graph undirected);
+/// `dedup` removes parallel edges and self-loops after sorting each row.
+CsrGraph build_csr(std::int64_t num_nodes, const EdgeList& edges,
+                   bool symmetrize = true, bool dedup = true);
+
+}  // namespace salient

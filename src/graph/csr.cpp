@@ -1,0 +1,31 @@
+#include "graph/csr.h"
+
+#include <stdexcept>
+
+namespace salient {
+
+CsrGraph::CsrGraph(std::int64_t num_nodes, std::vector<std::int64_t> indptr,
+                   std::vector<NodeId> indices)
+    : num_nodes_(num_nodes),
+      indptr_(std::move(indptr)),
+      indices_(std::move(indices)) {
+  if (!valid()) throw std::invalid_argument("CsrGraph: invalid CSR arrays");
+}
+
+bool CsrGraph::valid() const {
+  if (num_nodes_ < 0) return false;
+  if (static_cast<std::int64_t>(indptr_.size()) != num_nodes_ + 1) return false;
+  if (indptr_.front() != 0) return false;
+  if (indptr_.back() != static_cast<std::int64_t>(indices_.size())) {
+    return false;
+  }
+  for (std::size_t i = 1; i < indptr_.size(); ++i) {
+    if (indptr_[i] < indptr_[i - 1]) return false;
+  }
+  for (const NodeId v : indices_) {
+    if (v < 0 || v >= num_nodes_) return false;
+  }
+  return true;
+}
+
+}  // namespace salient

@@ -1,0 +1,65 @@
+// Compressed-sparse-row graph representation.
+//
+// The input graph for sampling is stored exactly as PyG/DGL store it for
+// NeighborSampler: a CSR adjacency (indptr/indices) over node IDs. Graphs are
+// made undirected by symmetrization at build time, matching the common
+// practice noted in the paper (§6, "All graphs were made undirected").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace salient {
+
+using NodeId = std::int64_t;
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Takes ownership of prebuilt CSR arrays. indptr must have
+  /// num_nodes+1 monotone entries starting at 0 and ending at indices.size().
+  CsrGraph(std::int64_t num_nodes, std::vector<std::int64_t> indptr,
+           std::vector<NodeId> indices);
+
+  std::int64_t num_nodes() const { return num_nodes_; }
+  /// Number of directed adjacency entries (2x the undirected edge count).
+  std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(indices_.size());
+  }
+
+  /// Out-degree of v.
+  std::int64_t degree(NodeId v) const {
+    return indptr_[static_cast<std::size_t>(v) + 1] -
+           indptr_[static_cast<std::size_t>(v)];
+  }
+
+  /// Neighbor list of v.
+  std::span<const NodeId> neighbors(NodeId v) const {
+    const auto b = static_cast<std::size_t>(indptr_[static_cast<std::size_t>(v)]);
+    const auto e =
+        static_cast<std::size_t>(indptr_[static_cast<std::size_t>(v) + 1]);
+    return {indices_.data() + b, e - b};
+  }
+
+  const std::vector<std::int64_t>& indptr() const { return indptr_; }
+  const std::vector<NodeId>& indices() const { return indices_; }
+
+  /// Validate structural invariants (monotone indptr, in-range indices).
+  bool valid() const;
+
+  /// Average degree (num_edges / num_nodes).
+  double avg_degree() const {
+    return num_nodes_ ? static_cast<double>(num_edges()) /
+                            static_cast<double>(num_nodes_)
+                      : 0.0;
+  }
+
+ private:
+  std::int64_t num_nodes_ = 0;
+  std::vector<std::int64_t> indptr_{0};
+  std::vector<NodeId> indices_;
+};
+
+}  // namespace salient

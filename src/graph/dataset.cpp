@@ -1,0 +1,159 @@
+#include "graph/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace salient {
+
+namespace {
+
+double unit_uniform(Xoshiro256ss& rng) {
+  return (static_cast<double>(rng()) + 0.5) / 18446744073709551616.0;
+}
+
+}  // namespace
+
+Dataset generate_dataset(const DatasetConfig& c) {
+  if (c.train_frac + c.val_frac + c.test_frac > 1.0 + 1e-9) {
+    throw std::invalid_argument("generate_dataset: split fractions > 1");
+  }
+  SbmParams sp;
+  sp.num_nodes = c.num_nodes;
+  sp.num_blocks = c.num_classes;
+  sp.avg_degree = c.avg_degree;
+  sp.exponent = c.powerlaw_exponent;
+  sp.max_degree = c.max_degree;
+  sp.p_in = c.p_in;
+  sp.seed = c.seed;
+  SbmGraph sg = sbm_powerlaw(sp);
+
+  Dataset ds;
+  ds.name = c.name;
+  ds.graph = std::move(sg.graph);
+  ds.num_classes = c.num_classes;
+  ds.feature_dim = c.feature_dim;
+
+  Xoshiro256ss rng(c.seed ^ 0x9e3779b97f4a7c15ull);
+
+  // Class centroids: random +/- feature_signal patterns.
+  std::vector<float> centroids(
+      static_cast<std::size_t>(c.num_classes * c.feature_dim));
+  for (auto& v : centroids) {
+    v = (rng() & 1) ? static_cast<float>(c.feature_signal)
+                    : -static_cast<float>(c.feature_signal);
+  }
+
+  // Labels: planted community with label noise.
+  ds.labels = Tensor({c.num_nodes}, DType::kI64);
+  std::int64_t* py = ds.labels.data<std::int64_t>();
+  for (std::int64_t v = 0; v < c.num_nodes; ++v) {
+    if (unit_uniform(rng) < c.label_noise) {
+      py[v] = static_cast<std::int64_t>(
+          bounded_rand(rng, static_cast<std::uint64_t>(c.num_classes)));
+    } else {
+      py[v] = sg.block[static_cast<std::size_t>(v)];
+    }
+  }
+
+  // Features: centroid of the *true* community plus uniform noise, stored in
+  // half precision. Uniform noise keeps generation cheap at papers-sim scale.
+  ds.features = Tensor({c.num_nodes, c.feature_dim}, DType::kF16);
+  Half* px = ds.features.data<Half>();
+  const auto noise = static_cast<float>(c.feature_noise);
+  for (std::int64_t v = 0; v < c.num_nodes; ++v) {
+    const float* cen =
+        centroids.data() +
+        static_cast<std::size_t>(sg.block[static_cast<std::size_t>(v)]) *
+            static_cast<std::size_t>(c.feature_dim);
+    Half* row = px + v * c.feature_dim;
+    for (std::int64_t j = 0; j < c.feature_dim; ++j) {
+      const auto u = static_cast<float>(2.0 * unit_uniform(rng) - 1.0);
+      row[j] = float_to_half(cen[j] + noise * u);
+    }
+  }
+
+  // Splits: a random permutation divided by the configured fractions.
+  std::vector<NodeId> perm(static_cast<std::size_t>(c.num_nodes));
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[bounded_rand(rng, i)]);
+  }
+  const auto n_train = static_cast<std::size_t>(
+      c.train_frac * static_cast<double>(c.num_nodes));
+  const auto n_val =
+      static_cast<std::size_t>(c.val_frac * static_cast<double>(c.num_nodes));
+  const auto n_test =
+      static_cast<std::size_t>(c.test_frac * static_cast<double>(c.num_nodes));
+  ds.train_idx.assign(perm.begin(), perm.begin() + n_train);
+  ds.val_idx.assign(perm.begin() + n_train, perm.begin() + n_train + n_val);
+  ds.test_idx.assign(perm.begin() + n_train + n_val,
+                     perm.begin() + std::min(perm.size(), n_train + n_val + n_test));
+  return ds;
+}
+
+DatasetConfig arxiv_sim_config(double scale) {
+  // ogbn-arxiv: 169K nodes, 1.2M edges, f=128, 40 classes,
+  // splits 91K/30K/48K (54%/18%/28%). Default scale keeps full size.
+  DatasetConfig c;
+  c.name = "arxiv-sim";
+  c.num_nodes = static_cast<std::int64_t>(169000 * scale);
+  c.feature_dim = 128;
+  c.num_classes = 40;
+  c.avg_degree = 14.0;  // 2*1.2M/169K directed adjacency entries
+  c.powerlaw_exponent = 2.6;
+  c.max_degree = 1000;
+  c.train_frac = 0.54;
+  c.val_frac = 0.18;
+  c.test_frac = 0.28;
+  c.seed = 41;
+  return c;
+}
+
+DatasetConfig products_sim_config(double scale) {
+  // ogbn-products: 2.4M nodes, 62M edges, f=100, 47 classes,
+  // splits 197K/39K/2.2M (8%/1.6%/90%). Default scaled to 300K nodes.
+  DatasetConfig c;
+  c.name = "products-sim";
+  c.num_nodes = static_cast<std::int64_t>(300000 * scale);
+  c.feature_dim = 100;
+  c.num_classes = 47;
+  c.avg_degree = 25.0;  // paper's avg directed degree ~51; halved for scale
+  c.powerlaw_exponent = 2.3;
+  c.max_degree = 5000;
+  c.train_frac = 0.08;
+  c.val_frac = 0.016;
+  c.test_frac = 0.9;
+  c.seed = 42;
+  return c;
+}
+
+DatasetConfig papers_sim_config(double scale) {
+  // ogbn-papers100M: 111M nodes, 1.6B edges, f=128, 172 classes,
+  // splits 1.2M/125K/214K (1.1%/0.11%/0.19%). Default scaled to 1M nodes.
+  DatasetConfig c;
+  c.name = "papers-sim";
+  c.num_nodes = static_cast<std::int64_t>(1000000 * scale);
+  c.feature_dim = 128;
+  c.num_classes = 172;
+  c.avg_degree = 16.0;
+  c.powerlaw_exponent = 2.4;
+  c.max_degree = 10000;
+  c.train_frac = 0.011;
+  c.val_frac = 0.0011;
+  c.test_frac = 0.0019;
+  c.seed = 43;
+  return c;
+}
+
+DatasetConfig preset_config(const std::string& name, double scale) {
+  if (name == "arxiv-sim") return arxiv_sim_config(scale);
+  if (name == "products-sim") return products_sim_config(scale);
+  if (name == "papers-sim") return papers_sim_config(scale);
+  throw std::invalid_argument("preset_config: unknown preset " + name);
+}
+
+}  // namespace salient

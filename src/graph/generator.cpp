@@ -1,0 +1,164 @@
+#include "graph/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace salient {
+
+namespace {
+
+/// Sample a degree from a discrete power law P(d) ~ d^-exponent on
+/// [1, max_degree] via inverse-CDF of the continuous Pareto, rounded down.
+std::int64_t sample_powerlaw_degree(Xoshiro256ss& rng, double exponent,
+                                    std::int64_t max_degree) {
+  const double u =
+      (static_cast<double>(rng()) + 0.5) / 18446744073709551616.0;  // (0,1)
+  // Inverse CDF of Pareto with x_min=1: x = (1-u)^(-1/(alpha-1)).
+  const double x = std::pow(1.0 - u, -1.0 / (exponent - 1.0));
+  const auto d = static_cast<std::int64_t>(x);
+  return std::clamp<std::int64_t>(d, 1, max_degree);
+}
+
+/// Scale a degree sequence so its mean is ~avg_degree (keeps minimum 1).
+void rescale_degrees(std::vector<std::int64_t>& deg, double avg_degree,
+                     Xoshiro256ss& rng) {
+  double sum = 0;
+  for (auto d : deg) sum += static_cast<double>(d);
+  const double mean = sum / static_cast<double>(deg.size());
+  const double f = avg_degree / mean;
+  for (auto& d : deg) {
+    const double scaled = static_cast<double>(d) * f;
+    auto floor_d = static_cast<std::int64_t>(scaled);
+    // Stochastic rounding keeps the mean on target without bias.
+    const double frac = scaled - static_cast<double>(floor_d);
+    const double u =
+        (static_cast<double>(rng()) + 0.5) / 18446744073709551616.0;
+    d = std::max<std::int64_t>(1, floor_d + (u < frac ? 1 : 0));
+  }
+}
+
+/// Pair up stubs of the configuration model into an edge list.
+EdgeList pair_stubs(const std::vector<std::int64_t>& deg, Xoshiro256ss& rng) {
+  std::size_t total = 0;
+  for (auto d : deg) total += static_cast<std::size_t>(d);
+  std::vector<NodeId> stubs;
+  stubs.reserve(total);
+  for (std::size_t v = 0; v < deg.size(); ++v) {
+    for (std::int64_t k = 0; k < deg[v]; ++k) {
+      stubs.push_back(static_cast<NodeId>(v));
+    }
+  }
+  // Fisher-Yates shuffle, then pair consecutive stubs.
+  for (std::size_t i = stubs.size(); i > 1; --i) {
+    const std::size_t j = bounded_rand(rng, i);
+    std::swap(stubs[i - 1], stubs[j]);
+  }
+  EdgeList edges;
+  const std::size_t pairs = stubs.size() / 2;
+  edges.src.reserve(pairs);
+  edges.dst.reserve(pairs);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    edges.push(stubs[i], stubs[i + 1]);
+  }
+  return edges;
+}
+
+}  // namespace
+
+CsrGraph erdos_renyi(std::int64_t num_nodes, double avg_degree,
+                     std::uint64_t seed) {
+  if (num_nodes <= 1) throw std::invalid_argument("erdos_renyi: num_nodes");
+  Xoshiro256ss rng(seed);
+  const auto num_edges =
+      static_cast<std::int64_t>(avg_degree * static_cast<double>(num_nodes) / 2.0);
+  EdgeList edges;
+  edges.src.reserve(static_cast<std::size_t>(num_edges));
+  edges.dst.reserve(static_cast<std::size_t>(num_edges));
+  for (std::int64_t i = 0; i < num_edges; ++i) {
+    const auto s = static_cast<NodeId>(
+        bounded_rand(rng, static_cast<std::uint64_t>(num_nodes)));
+    const auto d = static_cast<NodeId>(
+        bounded_rand(rng, static_cast<std::uint64_t>(num_nodes)));
+    edges.push(s, d);
+  }
+  return build_csr(num_nodes, edges, /*symmetrize=*/true, /*dedup=*/true);
+}
+
+CsrGraph powerlaw_configuration(std::int64_t num_nodes, double avg_degree,
+                                double exponent, std::int64_t max_degree,
+                                std::uint64_t seed) {
+  if (num_nodes <= 1) {
+    throw std::invalid_argument("powerlaw_configuration: num_nodes");
+  }
+  if (exponent <= 1.0) {
+    throw std::invalid_argument("powerlaw_configuration: exponent must be > 1");
+  }
+  Xoshiro256ss rng(seed);
+  std::vector<std::int64_t> deg(static_cast<std::size_t>(num_nodes));
+  for (auto& d : deg) d = sample_powerlaw_degree(rng, exponent, max_degree);
+  rescale_degrees(deg, avg_degree, rng);
+  EdgeList edges = pair_stubs(deg, rng);
+  return build_csr(num_nodes, edges, /*symmetrize=*/true, /*dedup=*/true);
+}
+
+SbmGraph sbm_powerlaw(const SbmParams& p) {
+  if (p.num_nodes <= 1 || p.num_blocks <= 0) {
+    throw std::invalid_argument("sbm_powerlaw: bad sizes");
+  }
+  Xoshiro256ss rng(p.seed);
+
+  // Assign blocks uniformly and draw power-law degree weights.
+  std::vector<std::int32_t> block(static_cast<std::size_t>(p.num_nodes));
+  std::vector<std::int64_t> deg(static_cast<std::size_t>(p.num_nodes));
+  for (std::size_t v = 0; v < block.size(); ++v) {
+    block[v] = static_cast<std::int32_t>(
+        bounded_rand(rng, static_cast<std::uint64_t>(p.num_blocks)));
+    deg[v] = sample_powerlaw_degree(rng, p.exponent, p.max_degree);
+  }
+  rescale_degrees(deg, p.avg_degree, rng);
+
+  // Stub lists: global and per block, enabling O(1) degree-weighted sampling
+  // of edge endpoints (a stub appears deg[v] times for node v).
+  std::vector<NodeId> global_stubs;
+  std::vector<std::vector<NodeId>> block_stubs(
+      static_cast<std::size_t>(p.num_blocks));
+  for (std::size_t v = 0; v < deg.size(); ++v) {
+    for (std::int64_t k = 0; k < deg[v]; ++k) {
+      global_stubs.push_back(static_cast<NodeId>(v));
+      block_stubs[static_cast<std::size_t>(block[v])].push_back(
+          static_cast<NodeId>(v));
+    }
+  }
+
+  const auto num_edges = static_cast<std::int64_t>(
+      p.avg_degree * static_cast<double>(p.num_nodes) / 2.0);
+  const auto p_in_threshold = static_cast<std::uint64_t>(
+      p.p_in * static_cast<double>(Xoshiro256ss::max()));
+  EdgeList edges;
+  edges.src.reserve(static_cast<std::size_t>(num_edges));
+  edges.dst.reserve(static_cast<std::size_t>(num_edges));
+  for (std::int64_t e = 0; e < num_edges; ++e) {
+    const NodeId s = global_stubs[bounded_rand(rng, global_stubs.size())];
+    NodeId d;
+    if (rng() <= p_in_threshold) {
+      const auto& bs = block_stubs[static_cast<std::size_t>(
+          block[static_cast<std::size_t>(s)])];
+      d = bs[bounded_rand(rng, bs.size())];
+    } else {
+      d = global_stubs[bounded_rand(rng, global_stubs.size())];
+    }
+    edges.push(s, d);
+  }
+  SbmGraph out;
+  out.graph = build_csr(p.num_nodes, edges, /*symmetrize=*/true,
+                        /*dedup=*/true);
+  out.block = std::move(block);
+  return out;
+}
+
+}  // namespace salient

@@ -1,0 +1,52 @@
+// Synthetic graph generators.
+//
+// The OGB benchmark graphs (ogbn-arxiv/products/papers100M) are not available
+// offline, so the evaluation runs on synthetic stand-ins whose degree
+// distribution (power law), community structure (degree-corrected stochastic
+// block model) and feature/label generation (noisy community centroids)
+// preserve the properties the paper's experiments depend on: heavy-tailed
+// neighborhood-expansion cost, and labels that are recoverable from sampled
+// neighborhoods so fanout-vs-accuracy tradeoffs are meaningful.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace salient {
+
+/// Erdos-Renyi G(n, m)-style random graph (undirected, deduped).
+CsrGraph erdos_renyi(std::int64_t num_nodes, double avg_degree,
+                     std::uint64_t seed);
+
+/// Power-law degree sequence graph via the configuration model (undirected,
+/// deduped). `exponent` is the power-law exponent (typ. 2.0-3.0); degrees are
+/// clamped to [1, max_degree].
+CsrGraph powerlaw_configuration(std::int64_t num_nodes, double avg_degree,
+                                double exponent, std::int64_t max_degree,
+                                std::uint64_t seed);
+
+/// Degree-corrected stochastic block model combined with a power-law degree
+/// sequence. `num_blocks` communities; each edge endpoint is drawn by degree
+/// weight, and with probability `p_in` the second endpoint is drawn from the
+/// same community (else from the whole graph).
+struct SbmParams {
+  std::int64_t num_nodes = 0;
+  std::int64_t num_blocks = 10;
+  double avg_degree = 10.0;
+  double exponent = 2.5;      ///< power-law exponent for degree weights
+  std::int64_t max_degree = 1000;
+  double p_in = 0.8;          ///< probability an edge stays intra-community
+  std::uint64_t seed = 1;
+};
+
+/// The generated graph plus the planted community of each node.
+struct SbmGraph {
+  CsrGraph graph;
+  std::vector<std::int32_t> block;  ///< block[v] in [0, num_blocks)
+};
+
+SbmGraph sbm_powerlaw(const SbmParams& params);
+
+}  // namespace salient

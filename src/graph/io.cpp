@@ -1,0 +1,132 @@
+#include "graph/io.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace salient {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'A', 'L', 'D'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("load_dataset: truncated file");
+  return v;
+}
+
+template <typename T>
+void write_vec(std::ofstream& os, const std::vector<T>& v) {
+  write_pod(os, static_cast<std::int64_t>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::ifstream& is, std::int64_t max_len) {
+  const auto len = read_pod<std::int64_t>(is);
+  if (len < 0 || len > max_len) {
+    throw std::runtime_error("load_dataset: implausible array length");
+  }
+  std::vector<T> v(static_cast<std::size_t>(len));
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(T)));
+  if (!is) throw std::runtime_error("load_dataset: truncated file");
+  return v;
+}
+
+}  // namespace
+
+void save_dataset(const Dataset& ds, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("save_dataset: cannot open " + path);
+  os.write(kMagic, 4);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint32_t>(ds.name.size()));
+  os.write(ds.name.data(), static_cast<std::streamsize>(ds.name.size()));
+  write_pod(os, ds.graph.num_nodes());
+  write_pod(os, ds.num_classes);
+  write_pod(os, ds.feature_dim);
+  write_vec(os, ds.graph.indptr());
+  write_vec(os, ds.graph.indices());
+  write_pod(os, static_cast<std::uint8_t>(ds.features.dtype()));
+  os.write(static_cast<const char*>(ds.features.raw()),
+           static_cast<std::streamsize>(ds.features.nbytes()));
+  os.write(static_cast<const char*>(ds.labels.raw()),
+           static_cast<std::streamsize>(ds.labels.nbytes()));
+  write_vec(os, ds.train_idx);
+  write_vec(os, ds.val_idx);
+  write_vec(os, ds.test_idx);
+  if (!os) throw std::runtime_error("save_dataset: write failed");
+}
+
+Dataset load_dataset(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_dataset: cannot open " + path);
+  char magic[4];
+  is.read(magic, 4);
+  const auto version = read_pod<std::uint32_t>(is);
+  if (!is || std::memcmp(magic, kMagic, 4) != 0 || version != kVersion) {
+    throw std::runtime_error("load_dataset: bad header");
+  }
+  Dataset ds;
+  const auto name_len = read_pod<std::uint32_t>(is);
+  if (name_len > 4096) throw std::runtime_error("load_dataset: name length");
+  ds.name.resize(name_len);
+  is.read(ds.name.data(), name_len);
+
+  const auto num_nodes = read_pod<std::int64_t>(is);
+  ds.num_classes = read_pod<std::int64_t>(is);
+  ds.feature_dim = read_pod<std::int64_t>(is);
+  if (num_nodes < 0 || ds.num_classes <= 0 || ds.feature_dim <= 0) {
+    throw std::runtime_error("load_dataset: bad dimensions");
+  }
+  constexpr std::int64_t kMaxLen = 1LL << 40;
+  auto indptr = read_vec<std::int64_t>(is, kMaxLen);
+  auto indices = read_vec<NodeId>(is, kMaxLen);
+  // CsrGraph's constructor validates the CSR invariants.
+  ds.graph = CsrGraph(num_nodes, std::move(indptr), std::move(indices));
+
+  const auto dtype = static_cast<DType>(read_pod<std::uint8_t>(is));
+  if (dtype != DType::kF16 && dtype != DType::kF32) {
+    throw std::runtime_error("load_dataset: bad feature dtype");
+  }
+  ds.features = Tensor({num_nodes, ds.feature_dim}, dtype);
+  is.read(static_cast<char*>(ds.features.raw()),
+          static_cast<std::streamsize>(ds.features.nbytes()));
+  ds.labels = Tensor({num_nodes}, DType::kI64);
+  is.read(static_cast<char*>(ds.labels.raw()),
+          static_cast<std::streamsize>(ds.labels.nbytes()));
+  if (!is) throw std::runtime_error("load_dataset: truncated file");
+
+  ds.train_idx = read_vec<NodeId>(is, num_nodes);
+  ds.val_idx = read_vec<NodeId>(is, num_nodes);
+  ds.test_idx = read_vec<NodeId>(is, num_nodes);
+
+  // Validate labels and splits.
+  const std::int64_t* labels = ds.labels.data<std::int64_t>();
+  for (std::int64_t v = 0; v < num_nodes; ++v) {
+    if (labels[v] < 0 || labels[v] >= ds.num_classes) {
+      throw std::runtime_error("load_dataset: label out of range");
+    }
+  }
+  for (const auto* split : {&ds.train_idx, &ds.val_idx, &ds.test_idx}) {
+    for (const NodeId v : *split) {
+      if (v < 0 || v >= num_nodes) {
+        throw std::runtime_error("load_dataset: split node out of range");
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace salient

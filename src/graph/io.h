@@ -1,0 +1,30 @@
+// Dataset serialization: save/load a full Dataset (graph, features, labels,
+// splits) to a self-describing binary file, so users can import real graphs
+// (e.g. converted OGB data) instead of the synthetic generators, and so
+// generated datasets can be reused across runs without regeneration.
+//
+// Format (little-endian):
+//   magic "SALD", version u32
+//   name_len u32, name bytes
+//   num_nodes i64, num_classes i64, feature_dim i64
+//   indptr i64[num_nodes+1], indices_len i64, indices i64[...]
+//   feature dtype u8, raw feature bytes
+//   labels i64[num_nodes]
+//   3x (split_len i64, split i64[...])   — train/val/test
+#pragma once
+
+#include <string>
+
+#include "graph/dataset.h"
+
+namespace salient {
+
+/// Write `dataset` to `path` (overwrites). Throws on I/O failure.
+void save_dataset(const Dataset& dataset, const std::string& path);
+
+/// Load a dataset saved by save_dataset. Validates the header and all
+/// structural invariants (CSR validity, label/split ranges); throws
+/// std::runtime_error on any mismatch or truncation.
+Dataset load_dataset(const std::string& path);
+
+}  // namespace salient

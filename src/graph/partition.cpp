@@ -1,0 +1,106 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace salient {
+
+GraphPartition partition_random(const CsrGraph& graph, int num_parts,
+                                std::uint64_t seed) {
+  if (num_parts < 1) throw std::invalid_argument("partition_random: parts");
+  GraphPartition p;
+  p.num_parts = num_parts;
+  p.assignment.resize(static_cast<std::size_t>(graph.num_nodes()));
+  Xoshiro256ss rng(seed);
+  for (auto& a : p.assignment) {
+    a = static_cast<std::int32_t>(
+        bounded_rand(rng, static_cast<std::uint64_t>(num_parts)));
+  }
+  return p;
+}
+
+GraphPartition partition_ldg(const CsrGraph& graph, int num_parts,
+                             double capacity_slack) {
+  if (num_parts < 1) throw std::invalid_argument("partition_ldg: parts");
+  if (capacity_slack < 1.0) {
+    throw std::invalid_argument("partition_ldg: capacity_slack < 1");
+  }
+  const std::int64_t n = graph.num_nodes();
+  GraphPartition p;
+  p.num_parts = num_parts;
+  p.assignment.assign(static_cast<std::size_t>(n), -1);
+
+  const double capacity =
+      capacity_slack * static_cast<double>(n) / num_parts;
+  std::vector<std::int64_t> load(static_cast<std::size_t>(num_parts), 0);
+  std::vector<std::int64_t> neighbor_count(
+      static_cast<std::size_t>(num_parts), 0);
+
+  // Stream nodes in descending-degree order: hubs anchor their communities.
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return graph.degree(a) > graph.degree(b);
+  });
+
+  for (const NodeId v : order) {
+    std::fill(neighbor_count.begin(), neighbor_count.end(), 0);
+    for (const NodeId u : graph.neighbors(v)) {
+      const std::int32_t part = p.assignment[static_cast<std::size_t>(u)];
+      if (part >= 0) ++neighbor_count[static_cast<std::size_t>(part)];
+    }
+    // LDG score: neighbors in part * (1 - load/capacity).
+    int best = 0;
+    double best_score = -1;
+    for (int k = 0; k < num_parts; ++k) {
+      const double penalty =
+          1.0 - static_cast<double>(load[static_cast<std::size_t>(k)]) /
+                    capacity;
+      if (penalty <= 0) continue;  // part full
+      const double score =
+          static_cast<double>(neighbor_count[static_cast<std::size_t>(k)]) *
+              penalty +
+          penalty * 1e-9;  // tie-break toward the least-loaded part
+      if (score > best_score) {
+        best_score = score;
+        best = k;
+      }
+    }
+    p.assignment[static_cast<std::size_t>(v)] =
+        static_cast<std::int32_t>(best);
+    ++load[static_cast<std::size_t>(best)];
+  }
+  return p;
+}
+
+double edge_cut_fraction(const CsrGraph& graph, const GraphPartition& p) {
+  if (static_cast<std::int64_t>(p.assignment.size()) != graph.num_nodes()) {
+    throw std::invalid_argument("edge_cut_fraction: partition size");
+  }
+  std::int64_t cut = 0;
+  const std::int64_t total = graph.num_edges();
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const NodeId u : graph.neighbors(v)) {
+      cut += (p.part_of(u) != p.part_of(v));
+    }
+  }
+  return total > 0 ? static_cast<double>(cut) / static_cast<double>(total)
+                   : 0.0;
+}
+
+double balance_factor(const GraphPartition& p) {
+  if (p.assignment.empty()) return 1.0;
+  std::vector<std::int64_t> load(static_cast<std::size_t>(p.num_parts), 0);
+  for (const auto a : p.assignment) {
+    ++load[static_cast<std::size_t>(a)];
+  }
+  const auto max_load = *std::max_element(load.begin(), load.end());
+  const double ideal =
+      static_cast<double>(p.assignment.size()) / p.num_parts;
+  return static_cast<double>(max_load) / ideal;
+}
+
+}  // namespace salient

@@ -1,0 +1,52 @@
+// Graph partitioning for distributed GNN training (paper §8, future work).
+//
+// "An additional avenue of future work is distributing the graph and node
+// data ... Graph partitioning will inevitably be invoked, but the objective
+// may consider not only edge cut and load balance but also the cost of
+// multi-hop neighborhood sampling."
+//
+// This implements the standard streaming baseline pair:
+//   * partition_random — hash assignment (the no-structure baseline);
+//   * partition_ldg    — Linear Deterministic Greedy (Stanton & Kliot):
+//     nodes stream in degree order and each goes to the part holding most of
+//     its already-placed neighbors, weighted by a capacity penalty.
+// plus the metrics the paper's objective mentions: edge-cut fraction, load
+// balance, and — the sampling-specific cost — the fraction of a sampled
+// MFG's edges that cross partitions (each such edge is a remote neighbor
+// fetch in a distributed sampler).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace salient {
+
+struct GraphPartition {
+  int num_parts = 1;
+  std::vector<std::int32_t> assignment;  ///< node -> part in [0, num_parts)
+
+  std::int32_t part_of(NodeId v) const {
+    return assignment[static_cast<std::size_t>(v)];
+  }
+};
+
+/// Uniform hash assignment.
+GraphPartition partition_random(const CsrGraph& graph, int num_parts,
+                                std::uint64_t seed);
+
+/// Linear Deterministic Greedy streaming partitioner. `capacity_slack` > 1
+/// allows parts to exceed the ideal size by that factor; nodes stream in
+/// descending-degree order (hubs placed first anchor their communities).
+GraphPartition partition_ldg(const CsrGraph& graph, int num_parts,
+                             double capacity_slack = 1.05);
+
+/// Fraction of graph edges whose endpoints land in different parts.
+double edge_cut_fraction(const CsrGraph& graph, const GraphPartition& p);
+
+/// Largest part size divided by the ideal (num_nodes / num_parts); 1.0 is
+/// perfectly balanced.
+double balance_factor(const GraphPartition& p);
+
+}  // namespace salient

@@ -1,0 +1,28 @@
+// Functional activations and a Dropout module (torch.nn.functional flavour).
+#pragma once
+
+#include "autograd/variable.h"
+#include "nn/module.h"
+
+namespace salient::nn {
+
+/// max(x, 0).
+Variable relu(const Variable& x);
+/// Leaky ReLU with the PyTorch default slope 0.01.
+Variable leaky_relu(const Variable& x, double slope = 0.01);
+/// Row-wise log-softmax.
+Variable log_softmax(const Variable& x);
+
+/// Inverted dropout. Each forward in training mode draws a fresh mask from
+/// the module's deterministic seed stream (see Module::set_seed).
+class Dropout : public Module {
+ public:
+  explicit Dropout(double p) : p_(p) {}
+  Variable forward(const Variable& x);
+  double p() const { return p_; }
+
+ private:
+  double p_;
+};
+
+}  // namespace salient::nn

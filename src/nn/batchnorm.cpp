@@ -1,0 +1,22 @@
+#include "nn/batchnorm.h"
+
+#include "autograd/functions.h"
+
+namespace salient::nn {
+
+BatchNorm1d::BatchNorm1d(std::int64_t num_features, double momentum,
+                         double eps)
+    : momentum_(momentum), eps_(eps) {
+  gamma_ = register_parameter("weight", Tensor::ones({num_features}));
+  beta_ = register_parameter("bias", Tensor::zeros({num_features}));
+  running_mean_ = register_buffer("running_mean",
+                                  Tensor::zeros({num_features}));
+  running_var_ = register_buffer("running_var", Tensor::ones({num_features}));
+}
+
+Variable BatchNorm1d::forward(const Variable& x) {
+  return autograd::batch_norm(x, gamma_, beta_, running_mean_, running_var_,
+                              is_training(), momentum_, eps_);
+}
+
+}  // namespace salient::nn

@@ -1,0 +1,30 @@
+// 1-D batch normalization (torch.nn.BatchNorm1d semantics).
+#pragma once
+
+#include "nn/module.h"
+
+namespace salient::nn {
+
+class BatchNorm1d : public Module {
+ public:
+  explicit BatchNorm1d(std::int64_t num_features, double momentum = 0.1,
+                       double eps = 1e-5);
+
+  /// Normalize rows of a [M, num_features] input. In training mode uses
+  /// batch statistics and updates the running estimates; in eval mode uses
+  /// the running estimates.
+  Variable forward(const Variable& x);
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  double momentum_;
+  double eps_;
+  Variable gamma_;
+  Variable beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+};
+
+}  // namespace salient::nn

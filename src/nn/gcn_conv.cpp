@@ -1,0 +1,54 @@
+#include "nn/gcn_conv.h"
+
+#include <cmath>
+
+#include "autograd/functions.h"
+
+namespace salient::nn {
+
+NormalizedAdjacency normalize_adjacency(const CsrGraph& graph) {
+  const std::int64_t n = graph.num_nodes();
+  auto indptr = std::make_shared<std::vector<std::int64_t>>();
+  auto indices = std::make_shared<std::vector<std::int64_t>>();
+  auto weights = std::make_shared<std::vector<double>>();
+  indptr->reserve(static_cast<std::size_t>(n) + 1);
+  indices->reserve(static_cast<std::size_t>(graph.num_edges() + n));
+  weights->reserve(indices->capacity());
+  indptr->push_back(0);
+  auto inv_sqrt_deg = [&](NodeId v) {
+    return 1.0 / std::sqrt(static_cast<double>(graph.degree(v)) + 1.0);
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    const double dv = inv_sqrt_deg(v);
+    // self loop
+    indices->push_back(v);
+    weights->push_back(dv * dv);
+    for (const NodeId u : graph.neighbors(v)) {
+      indices->push_back(u);
+      weights->push_back(dv * inv_sqrt_deg(u));
+    }
+    indptr->push_back(static_cast<std::int64_t>(indices->size()));
+  }
+  NormalizedAdjacency adj;
+  adj.num_nodes = n;
+  adj.indptr = std::move(indptr);
+  adj.indices = std::move(indices);
+  adj.weights = std::move(weights);
+  return adj;
+}
+
+GcnConv::GcnConv(std::int64_t in_channels, std::int64_t out_channels,
+                 bool bias, std::uint64_t init_seed) {
+  lin_ = register_module(
+      "lin", std::make_shared<Linear>(in_channels, out_channels, bias,
+                                      init_seed));
+}
+
+Variable GcnConv::forward(const Variable& x, const NormalizedAdjacency& adj) {
+  // Aggregate first (SpMM on the narrower input), then project.
+  Variable agg = autograd::spmm_weighted(adj.indptr, adj.indices, adj.weights,
+                                         x, adj.num_nodes);
+  return lin_->forward(agg);
+}
+
+}  // namespace salient::nn

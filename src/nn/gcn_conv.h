@@ -1,0 +1,43 @@
+// Graph convolutional layer (Kipf & Welling) over a precomputed normalized
+// adjacency — the model behind the full-batch systems the paper compares
+// against in Table 7 (NeuGraph, Roc both train GCNs full-batch).
+//
+//   out = Ahat X W^T + b,   Ahat = D^-1/2 (A + I) D^-1/2
+//
+// The normalized adjacency is built once per graph (NormalizedAdjacency)
+// and shared across layers/epochs; the layer itself is a weighted SpMM plus
+// a Linear.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/csr.h"
+#include "nn/linear.h"
+
+namespace salient::nn {
+
+/// Ahat in CSR form with per-edge normalization weights (self loops added).
+struct NormalizedAdjacency {
+  std::int64_t num_nodes = 0;
+  std::shared_ptr<const std::vector<std::int64_t>> indptr;
+  std::shared_ptr<const std::vector<std::int64_t>> indices;
+  std::shared_ptr<const std::vector<double>> weights;
+};
+
+/// Build D^-1/2 (A + I) D^-1/2 from an undirected CSR graph.
+NormalizedAdjacency normalize_adjacency(const CsrGraph& graph);
+
+class GcnConv : public Module {
+ public:
+  GcnConv(std::int64_t in_channels, std::int64_t out_channels,
+          bool bias = true, std::uint64_t init_seed = 19);
+
+  /// x is the full-graph feature matrix [N, in]; returns [N, out].
+  Variable forward(const Variable& x, const NormalizedAdjacency& adj);
+
+ private:
+  std::shared_ptr<Linear> lin_;
+};
+
+}  // namespace salient::nn

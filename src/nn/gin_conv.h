@@ -1,0 +1,42 @@
+// Graph isomorphism convolution (PyG GINConv semantics, eps = 0 fixed).
+//
+//   out_v = MLP( (1 + eps) * x_dst[v] + sum_{u in N(v)} x_src[u] )
+//
+// The MLP is supplied by the caller as in the paper's GIN listing
+// (Linear -> BatchNorm1d -> ReLU -> Linear -> ReLU).
+#pragma once
+
+#include <functional>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/linear.h"
+#include "sampling/mfg.h"
+
+namespace salient::nn {
+
+/// The two-layer MLP used inside the paper's GINConv blocks.
+class GinMlp : public Module {
+ public:
+  GinMlp(std::int64_t in_channels, std::int64_t hidden_channels,
+         std::uint64_t init_seed = 17);
+  Variable forward(const Variable& x);
+
+ private:
+  std::shared_ptr<Linear> lin1_;
+  std::shared_ptr<BatchNorm1d> bn_;
+  std::shared_ptr<Linear> lin2_;
+};
+
+class GinConv : public Module {
+ public:
+  GinConv(std::shared_ptr<GinMlp> mlp, double eps = 0.0);
+
+  Variable forward(const Variable& x, const MfgLevel& level);
+
+ private:
+  std::shared_ptr<GinMlp> mlp_;
+  double eps_;
+};
+
+}  // namespace salient::nn

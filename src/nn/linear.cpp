@@ -1,0 +1,25 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "autograd/functions.h"
+
+namespace salient::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, bool bias,
+               std::uint64_t init_seed)
+    : in_(in_features), out_(out_features) {
+  const double k = 1.0 / std::sqrt(static_cast<double>(in_features));
+  weight_ = register_parameter(
+      "weight", Tensor::uniform({out_features, in_features}, init_seed, -k, k));
+  if (bias) {
+    bias_ = register_parameter(
+        "bias", Tensor::uniform({out_features}, init_seed ^ 0xb1a5, -k, k));
+  }
+}
+
+Variable Linear::forward(const Variable& x) {
+  return autograd::linear(x, weight_, bias_);
+}
+
+}  // namespace salient::nn

@@ -1,0 +1,15 @@
+#include "nn/loss.h"
+
+#include "autograd/functions.h"
+
+namespace salient::nn {
+
+Variable nll_loss(const Variable& logp, const Tensor& target) {
+  return autograd::nll_loss(logp, target);
+}
+
+Variable cross_entropy(const Variable& logits, const Tensor& target) {
+  return autograd::nll_loss(autograd::log_softmax(logits), target);
+}
+
+}  // namespace salient::nn

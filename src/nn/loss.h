@@ -1,0 +1,15 @@
+// Classification losses.
+#pragma once
+
+#include "autograd/variable.h"
+
+namespace salient::nn {
+
+/// Mean negative log-likelihood of row-wise log-probabilities `logp` against
+/// i64 class targets (the loss_fn of Listing 1; models emit log_softmax).
+Variable nll_loss(const Variable& logp, const Tensor& target);
+
+/// Convenience: log_softmax + nll in one call for raw logits.
+Variable cross_entropy(const Variable& logits, const Tensor& target);
+
+}  // namespace salient::nn

@@ -1,0 +1,81 @@
+#include "nn/module.h"
+
+namespace salient::nn {
+
+std::vector<Variable> Module::parameters() const {
+  std::vector<Variable> out;
+  for (const auto& [name, v] : named_parameters()) out.push_back(v);
+  return out;
+}
+
+std::vector<std::pair<std::string, Variable>> Module::named_parameters()
+    const {
+  std::vector<std::pair<std::string, Variable>> out;
+  collect("", out);
+  return out;
+}
+
+void Module::collect(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Variable>>& out) const {
+  for (const auto& [name, v] : params_) {
+    out.emplace_back(prefix.empty() ? name : prefix + "." + name, v);
+  }
+  for (const auto& [name, child] : children_) {
+    child->collect(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+void Module::zero_grad() {
+  for (auto& v : parameters()) v.zero_grad();
+}
+
+void Module::train(bool mode) {
+  training_ = mode;
+  for (auto& [name, child] : children_) child->train(mode);
+}
+
+void Module::set_seed(std::uint64_t seed) {
+  seed_stream_ = SplitMix64(seed);
+  std::uint64_t child_seed = seed;
+  for (auto& [name, child] : children_) {
+    child_seed = SplitMix64(child_seed ^ 0xabcdef1234567ull).next();
+    child->set_seed(child_seed);
+  }
+}
+
+std::int64_t Module::num_parameters() const {
+  std::int64_t n = 0;
+  for (const auto& v : parameters()) n += v.data().numel();
+  return n;
+}
+
+Variable Module::register_parameter(std::string name, Tensor init) {
+  Variable v(std::move(init), /*requires_grad=*/true);
+  params_.emplace_back(std::move(name), v);
+  return v;
+}
+
+Tensor Module::register_buffer(std::string name, Tensor init) {
+  buffers_.emplace_back(std::move(name), init);
+  return init;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::named_buffers() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  collect_buffers("", out);
+  return out;
+}
+
+void Module::collect_buffers(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Tensor>>& out) const {
+  for (const auto& [name, t] : buffers_) {
+    out.emplace_back(prefix.empty() ? name : prefix + "." + name, t);
+  }
+  for (const auto& [name, child] : children_) {
+    child->collect_buffers(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+}  // namespace salient::nn

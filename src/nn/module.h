@@ -1,0 +1,84 @@
+// Module base class: parameter registration, train/eval mode, RNG state.
+//
+// Mirrors the slice of torch.nn.Module the paper's model code (Appendix A)
+// relies on: registered parameters are discovered recursively for the
+// optimizer and DDP gradient synchronization; `train(bool)` toggles dropout
+// and batch-norm behaviour.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "util/rng.h"
+
+namespace salient::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All parameters of this module and its children, in registration order.
+  /// The returned Variables share state with the module (mutating their
+  /// .data() updates the model).
+  std::vector<Variable> parameters() const;
+
+  /// Named parameters with hierarchical dotted names.
+  std::vector<std::pair<std::string, Variable>> named_parameters() const;
+
+  /// Named non-parameter state (e.g. batch-norm running statistics) with
+  /// hierarchical dotted names; included in checkpoints.
+  std::vector<std::pair<std::string, Tensor>> named_buffers() const;
+
+  /// Drop all accumulated gradients.
+  void zero_grad();
+
+  /// Toggle training mode recursively (affects dropout / batch norm).
+  void train(bool mode = true);
+  bool is_training() const { return training_; }
+
+  /// Seed the module tree's dropout RNG streams deterministically.
+  void set_seed(std::uint64_t seed);
+
+  /// Total scalar parameter count.
+  std::int64_t num_parameters() const;
+
+ protected:
+  Module() = default;
+
+  /// Register a parameter; returns a handle sharing state with the stored one.
+  Variable register_parameter(std::string name, Tensor init);
+
+  /// Register a buffer; the returned tensor shares storage with the stored
+  /// one (in-place updates are visible to both).
+  Tensor register_buffer(std::string name, Tensor init);
+
+  /// Register a child module (held by shared_ptr; returns the same pointer
+  /// for convenient member initialization).
+  template <typename M>
+  std::shared_ptr<M> register_module(std::string name, std::shared_ptr<M> m) {
+    children_.emplace_back(std::move(name), m);
+    return m;
+  }
+
+  /// Next per-call dropout seed from this module's RNG stream.
+  std::uint64_t next_seed() { return seed_stream_.next(); }
+
+  bool training_ = true;
+
+ private:
+  void collect(const std::string& prefix,
+               std::vector<std::pair<std::string, Variable>>& out) const;
+
+  void collect_buffers(const std::string& prefix,
+                       std::vector<std::pair<std::string, Tensor>>& out) const;
+
+  std::vector<std::pair<std::string, Variable>> params_;
+  std::vector<std::pair<std::string, Tensor>> buffers_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+  SplitMix64 seed_stream_{0x5a11e47u};
+};
+
+}  // namespace salient::nn

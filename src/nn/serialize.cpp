@@ -1,0 +1,120 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+namespace salient::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'A', 'L', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_tensor(std::ofstream& os, const std::string& name,
+                  const Tensor& t) {
+  const auto name_len = static_cast<std::uint32_t>(name.size());
+  os.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+  os.write(name.data(), static_cast<std::streamsize>(name.size()));
+  const auto dtype = static_cast<std::uint8_t>(t.dtype());
+  os.write(reinterpret_cast<const char*>(&dtype), 1);
+  const auto rank = static_cast<std::uint32_t>(t.dim());
+  os.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  for (const auto d : t.shape()) {
+    os.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  }
+  os.write(static_cast<const char*>(t.raw()),
+           static_cast<std::streamsize>(t.nbytes()));
+}
+
+/// Read one entry; returns (name, tensor).
+std::pair<std::string, Tensor> read_tensor(std::ifstream& is) {
+  std::uint32_t name_len = 0;
+  is.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+  std::string name(name_len, '\0');
+  is.read(name.data(), name_len);
+  std::uint8_t dtype = 0;
+  is.read(reinterpret_cast<char*>(&dtype), 1);
+  std::uint32_t rank = 0;
+  is.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+  if (rank > 8) throw std::runtime_error("checkpoint: implausible rank");
+  std::vector<std::int64_t> shape(rank);
+  for (auto& d : shape) {
+    is.read(reinterpret_cast<char*>(&d), sizeof(d));
+  }
+  Tensor t(shape, static_cast<DType>(dtype));
+  is.read(static_cast<char*>(t.raw()),
+          static_cast<std::streamsize>(t.nbytes()));
+  if (!is) throw std::runtime_error("checkpoint: truncated file");
+  return {std::move(name), std::move(t)};
+}
+
+}  // namespace
+
+void save_checkpoint(const Module& module, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("save_checkpoint: cannot open " + path);
+  os.write(kMagic, 4);
+  os.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  const auto params = module.named_parameters();
+  const auto buffers = module.named_buffers();
+  const auto count = static_cast<std::uint64_t>(params.size() +
+                                                buffers.size());
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [name, v] : params) {
+    write_tensor(os, "param." + name, v.data());
+  }
+  for (const auto& [name, t] : buffers) {
+    write_tensor(os, "buffer." + name, t);
+  }
+  if (!os) throw std::runtime_error("save_checkpoint: write failed");
+}
+
+void load_checkpoint(Module& module, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_checkpoint: cannot open " + path);
+  char magic[4];
+  is.read(magic, 4);
+  std::uint32_t version = 0;
+  is.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!is || std::memcmp(magic, kMagic, 4) != 0 || version != kVersion) {
+    throw std::runtime_error("load_checkpoint: bad header");
+  }
+  std::uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+
+  std::map<std::string, Tensor> entries;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    auto [name, t] = read_tensor(is);
+    entries.emplace(std::move(name), std::move(t));
+  }
+
+  auto restore = [&entries](const std::string& key, Tensor dst) {
+    auto it = entries.find(key);
+    if (it == entries.end()) {
+      throw std::runtime_error("load_checkpoint: missing entry " + key);
+    }
+    if (it->second.dtype() != dst.dtype() ||
+        it->second.shape() != dst.shape()) {
+      throw std::runtime_error("load_checkpoint: shape/dtype mismatch for " +
+                               key);
+    }
+    std::memcpy(dst.raw(), it->second.raw(), dst.nbytes());
+    entries.erase(it);
+  };
+  auto params = module.named_parameters();
+  for (auto& [name, v] : params) {
+    restore("param." + name, v.data());
+  }
+  auto buffers = module.named_buffers();
+  for (auto& [name, t] : buffers) {
+    restore("buffer." + name, t);
+  }
+  if (!entries.empty()) {
+    throw std::runtime_error("load_checkpoint: unexpected extra entry " +
+                             entries.begin()->first);
+  }
+}
+
+}  // namespace salient::nn

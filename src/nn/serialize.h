@@ -1,0 +1,28 @@
+// Model checkpointing: save/load the named parameters and buffers of a
+// Module tree to a simple self-describing binary format.
+//
+// Format (little-endian):
+//   magic "SALC", version u32
+//   entry count u64
+//   per entry: name_len u32, name bytes, dtype u8, rank u32,
+//              dims i64[rank], raw element bytes
+// Loading matches entries by name and validates dtype/shape; unmatched names
+// on either side are an error (strict round trip), keeping silent
+// architecture mismatches from corrupting a model.
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace salient::nn {
+
+/// Write all parameters and buffers of `module` to `path` (overwrites).
+void save_checkpoint(const Module& module, const std::string& path);
+
+/// Load a checkpoint saved by save_checkpoint into `module` (in place).
+/// Throws std::runtime_error on I/O failure, format error, or any
+/// name/shape/dtype mismatch.
+void load_checkpoint(Module& module, const std::string& path);
+
+}  // namespace salient::nn

@@ -1,0 +1,32 @@
+// Adam (Kingma & Ba, 2015) — the optimizer used by the paper's training
+// loops. Matches torch.optim.Adam defaults, including bias correction.
+#pragma once
+
+#include "optim/optimizer.h"
+
+namespace salient::optim {
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(std::vector<Variable> params, double lr = 1e-3,
+                double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8,
+                double weight_decay = 0.0);
+
+  void step() override;
+
+  double lr() const { return lr_; }
+  void set_lr(double lr) { lr_ = lr; }
+  std::int64_t step_count() const { return t_; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  double weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_;  // first-moment estimates
+  std::vector<Tensor> v_;  // second-moment estimates
+};
+
+}  // namespace salient::optim

@@ -1,0 +1,37 @@
+#include "optim/lr_scheduler.h"
+
+#include "tensor/ops.h"
+
+namespace salient::optim {
+
+double clip_grad_norm(const std::vector<Variable>& params, double max_norm) {
+  double sq = 0;
+  for (const auto& p : params) {
+    if (!p.grad().defined()) continue;
+    const Tensor& g = p.grad();
+    if (g.dtype() == DType::kF32) {
+      for (const float v : g.span<float>()) {
+        sq += double(v) * double(v);
+      }
+    } else {
+      for (const double v : g.span<double>()) {
+        sq += v * v;
+      }
+    }
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0) {
+    const double scale = max_norm / norm;
+    // Variables are value-semantic handles over shared state: mutating a
+    // copy's gradient mutates the parameter's.
+    for (Variable p : params) {
+      if (!p.grad().defined()) continue;
+      Tensor scaled = ops::scale(p.grad(), scale);
+      p.zero_grad();
+      p.accumulate_grad(scaled);
+    }
+  }
+  return norm;
+}
+
+}  // namespace salient::optim

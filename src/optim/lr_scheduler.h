@@ -1,0 +1,76 @@
+// Learning-rate schedules and gradient clipping — standard training
+// utilities for longer runs (the paper trains 25 epochs for Figure 6).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "optim/adam.h"
+
+namespace salient::optim {
+
+/// Base interface: call step() once per epoch after the optimizer steps.
+class LrScheduler {
+ public:
+  explicit LrScheduler(Adam& optimizer)
+      : optimizer_(&optimizer), base_lr_(optimizer.lr()) {}
+  virtual ~LrScheduler() = default;
+
+  /// Advance one epoch and update the optimizer's learning rate.
+  void step() {
+    ++epoch_;
+    optimizer_->set_lr(lr_at(epoch_));
+  }
+
+  int epoch() const { return epoch_; }
+  double base_lr() const { return base_lr_; }
+
+ protected:
+  /// The learning rate for epoch `e` (e starts at 1 after the first step).
+  virtual double lr_at(int e) const = 0;
+
+ private:
+  Adam* optimizer_;
+  double base_lr_;
+  int epoch_ = 0;
+};
+
+/// Multiply the LR by `gamma` every `step_size` epochs (torch StepLR).
+class StepLr final : public LrScheduler {
+ public:
+  StepLr(Adam& optimizer, int step_size, double gamma = 0.1)
+      : LrScheduler(optimizer), step_size_(step_size), gamma_(gamma) {}
+
+ protected:
+  double lr_at(int e) const override {
+    return base_lr() * std::pow(gamma_, e / step_size_);
+  }
+
+ private:
+  int step_size_;
+  double gamma_;
+};
+
+/// Cosine annealing from base_lr to eta_min over t_max epochs.
+class CosineLr final : public LrScheduler {
+ public:
+  CosineLr(Adam& optimizer, int t_max, double eta_min = 0.0)
+      : LrScheduler(optimizer), t_max_(t_max), eta_min_(eta_min) {}
+
+ protected:
+  double lr_at(int e) const override {
+    const double t = std::min(e, t_max_);
+    return eta_min_ + (base_lr() - eta_min_) *
+                          (1 + std::cos(M_PI * t / t_max_)) / 2;
+  }
+
+ private:
+  int t_max_;
+  double eta_min_;
+};
+
+/// Clip the global L2 norm of the parameters' gradients to `max_norm`
+/// (torch.nn.utils.clip_grad_norm_). Returns the pre-clip norm.
+double clip_grad_norm(const std::vector<Variable>& params, double max_norm);
+
+}  // namespace salient::optim

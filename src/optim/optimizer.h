@@ -1,0 +1,31 @@
+// Optimizer base class over Variable parameter lists.
+#pragma once
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace salient::optim {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Apply one update using the parameters' accumulated gradients.
+  /// Parameters with no gradient are skipped.
+  virtual void step() = 0;
+
+  /// Clear all parameter gradients (Listing 1's optimizer.zero_grad()).
+  void zero_grad() {
+    for (auto& p : params_) p.zero_grad();
+  }
+
+  const std::vector<Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<Variable> params_;
+};
+
+}  // namespace salient::optim

@@ -1,0 +1,36 @@
+#include "optim/sgd.h"
+
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace salient::optim {
+
+Sgd::Sgd(std::vector<Variable> params, double lr, double momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ != 0.0) {
+    velocity_.reserve(params_.size());
+    for (const auto& p : params_) {
+      velocity_.push_back(Tensor::zeros(p.data().shape(), p.data().dtype()));
+    }
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    auto& p = params_[k];
+    if (!p.grad().defined()) continue;
+    if (momentum_ == 0.0) {
+      ops::axpy_(p.data(), p.grad(), -lr_);
+    } else {
+      // v = momentum * v + grad; p -= lr * v
+      Tensor& v = velocity_[k];
+      Tensor scaled = ops::scale(v, momentum_);
+      ops::axpy_(scaled, p.grad(), 1.0);
+      v = std::move(scaled);
+      ops::axpy_(p.data(), v, -lr_);
+    }
+  }
+}
+
+}  // namespace salient::optim

@@ -1,0 +1,21 @@
+// Plain SGD with optional momentum, for baseline comparisons and tests.
+#pragma once
+
+#include "optim/optimizer.h"
+
+namespace salient::optim {
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(std::vector<Variable> params, double lr = 1e-2,
+               double momentum = 0.0);
+
+  void step() override;
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace salient::optim

@@ -1,0 +1,113 @@
+#include "prep/baseline_loader.h"
+
+#include <cstring>
+
+#include "prep/slicing.h"
+#include "sampling/baseline_sampler.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace salient {
+
+namespace {
+
+std::uint64_t mix_seed(std::uint64_t seed, std::int64_t index) {
+  SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ull *
+                        static_cast<std::uint64_t>(index + 1)));
+  return sm.next();
+}
+
+}  // namespace
+
+BaselineLoader::BaselineLoader(const Dataset& dataset,
+                               std::span<const NodeId> nodes,
+                               LoaderConfig config,
+                               std::shared_ptr<PinnedPool> pool)
+    : dataset_(dataset),
+      config_(std::move(config)),
+      pool_(pool ? std::move(pool) : std::make_shared<PinnedPool>()),
+      epoch_nodes_(nodes.begin(), nodes.end()) {
+  if (config_.shuffle) {
+    Xoshiro256ss rng(config_.seed);
+    for (std::size_t i = epoch_nodes_.size(); i > 1; --i) {
+      std::swap(epoch_nodes_[i - 1], epoch_nodes_[bounded_rand(rng, i)]);
+    }
+  }
+  const auto n = static_cast<std::int64_t>(epoch_nodes_.size());
+  num_batches_ = (n + config_.batch_size - 1) / config_.batch_size;
+  num_workers_ = std::max(1, config_.num_workers);
+  const int workers = num_workers_;
+  worker_queues_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    // prefetch_factor=2, as in the PyTorch DataLoader default.
+    worker_queues_.push_back(
+        std::make_unique<BlockingQueue<std::vector<std::int64_t>>>(2));
+  }
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+BaselineLoader::~BaselineLoader() {
+  for (auto& q : worker_queues_) q->close();
+  for (auto& t : workers_) t.join();
+}
+
+void BaselineLoader::worker_loop(int worker_id) {
+  BaselineSampler sampler(dataset_.graph, config_.fanouts);
+  const auto n = static_cast<std::int64_t>(epoch_nodes_.size());
+  const auto workers = static_cast<std::int64_t>(num_workers_);
+  // Static round-robin partition of batches across workers.
+  for (std::int64_t b = worker_id; b < num_batches_; b += workers) {
+    const std::int64_t begin = b * config_.batch_size;
+    const std::int64_t end = std::min(n, (b + 1) * config_.batch_size);
+    const std::span<const NodeId> batch_nodes(
+        epoch_nodes_.data() + begin, static_cast<std::size_t>(end - begin));
+    Mfg mfg = sampler.sample(batch_nodes, mix_seed(config_.seed, b));
+    // The IPC write: flatten the MFG into one buffer (worker-side copy).
+    std::vector<std::int64_t> blob = serialize_mfg(mfg);
+    if (!worker_queues_[static_cast<std::size_t>(worker_id)]->push(
+            std::move(blob))) {
+      return;  // loader shut down early
+    }
+  }
+}
+
+std::optional<PreparedBatch> BaselineLoader::next() {
+  if (next_index_ >= num_batches_) return std::nullopt;
+  const std::int64_t b = next_index_++;
+  auto& queue = *worker_queues_[static_cast<std::size_t>(
+      b % static_cast<std::int64_t>(worker_queues_.size()))];
+  auto blob = queue.pop();
+  if (!blob.has_value()) return std::nullopt;
+
+  PreparedBatch batch;
+  batch.index = b;
+  // The IPC read: re-materialize the MFG (consumer-side copy).
+  batch.mfg = deserialize_mfg(*blob);
+
+  // PyTorch-style parallel slicing into pageable memory...
+  Tensor x_pageable({batch.mfg.num_input_nodes(), dataset_.feature_dim},
+                    dataset_.features.dtype());
+  slice_rows_parallel(dataset_.features, batch.mfg.n_ids, x_pageable,
+                      ThreadPool::global());
+  // ...followed by the pin_memory copy into a staging buffer.
+  batch.x = pool_->acquire({batch.mfg.num_input_nodes(), dataset_.feature_dim},
+                           dataset_.features.dtype());
+  std::memcpy(batch.x.raw(), x_pageable.raw(), x_pageable.nbytes());
+
+  batch.y = pool_->acquire({batch.mfg.batch_size}, DType::kI64);
+  slice_labels(dataset_.labels,
+               {batch.mfg.n_ids.data(),
+                static_cast<std::size_t>(batch.mfg.batch_size)},
+               batch.y);
+  return batch;
+}
+
+void BaselineLoader::recycle(PreparedBatch&& batch) {
+  pool_->release(std::move(batch.x));
+  pool_->release(std::move(batch.y));
+}
+
+}  // namespace salient

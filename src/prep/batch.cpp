@@ -1,0 +1,68 @@
+#include "prep/batch.h"
+
+#include <stdexcept>
+
+namespace salient {
+
+std::vector<std::int64_t> serialize_mfg(const Mfg& mfg) {
+  std::vector<std::int64_t> buf;
+  std::size_t total = 3;  // num_levels, batch_size, n_ids size
+  for (const auto& l : mfg.levels) {
+    total += 4 + l.indptr->size() + l.indices->size();
+  }
+  total += mfg.n_ids.size();
+  buf.reserve(total);
+
+  buf.push_back(static_cast<std::int64_t>(mfg.levels.size()));
+  buf.push_back(mfg.batch_size);
+  buf.push_back(static_cast<std::int64_t>(mfg.n_ids.size()));
+  for (const auto& l : mfg.levels) {
+    buf.push_back(l.num_src);
+    buf.push_back(l.num_dst);
+    buf.push_back(static_cast<std::int64_t>(l.indptr->size()));
+    buf.push_back(static_cast<std::int64_t>(l.indices->size()));
+    buf.insert(buf.end(), l.indptr->begin(), l.indptr->end());
+    buf.insert(buf.end(), l.indices->begin(), l.indices->end());
+  }
+  buf.insert(buf.end(), mfg.n_ids.begin(), mfg.n_ids.end());
+  return buf;
+}
+
+Mfg deserialize_mfg(const std::vector<std::int64_t>& buf) {
+  std::size_t pos = 0;
+  auto take = [&](std::size_t n) {
+    if (pos + n > buf.size()) {
+      throw std::runtime_error("deserialize_mfg: truncated buffer");
+    }
+    const std::size_t p = pos;
+    pos += n;
+    return p;
+  };
+  Mfg mfg;
+  const auto num_levels = static_cast<std::size_t>(buf[take(1)]);
+  mfg.batch_size = buf[take(1)];
+  const auto n_ids_size = static_cast<std::size_t>(buf[take(1)]);
+  mfg.levels.reserve(num_levels);
+  for (std::size_t i = 0; i < num_levels; ++i) {
+    MfgLevel l;
+    l.num_src = buf[take(1)];
+    l.num_dst = buf[take(1)];
+    const auto indptr_size = static_cast<std::size_t>(buf[take(1)]);
+    const auto indices_size = static_cast<std::size_t>(buf[take(1)]);
+    const std::size_t p1 = take(indptr_size);
+    l.indptr = std::make_shared<std::vector<std::int64_t>>(
+        buf.begin() + static_cast<std::ptrdiff_t>(p1),
+        buf.begin() + static_cast<std::ptrdiff_t>(p1 + indptr_size));
+    const std::size_t p2 = take(indices_size);
+    l.indices = std::make_shared<std::vector<std::int64_t>>(
+        buf.begin() + static_cast<std::ptrdiff_t>(p2),
+        buf.begin() + static_cast<std::ptrdiff_t>(p2 + indices_size));
+    mfg.levels.push_back(std::move(l));
+  }
+  const std::size_t p3 = take(n_ids_size);
+  mfg.n_ids.assign(buf.begin() + static_cast<std::ptrdiff_t>(p3),
+                   buf.begin() + static_cast<std::ptrdiff_t>(p3 + n_ids_size));
+  return mfg;
+}
+
+}  // namespace salient

@@ -1,0 +1,50 @@
+// A fully prepared mini-batch, plus MFG serialization helpers.
+//
+// PreparedBatch is the hand-off unit between batch preparation and training:
+// the sampled MFG, the sliced (half-precision) feature rows for all input
+// nodes, and the sliced labels for the mini-batch nodes — the tuple
+// `(xs, ys, Gs)` of Listing 1 in the paper.
+//
+// The serialization helpers emulate what PyTorch multiprocessing DataLoader
+// workers do to deliver a sampled subgraph to the main process: the MFG's
+// arrays are flattened into one contiguous buffer (the write into POSIX
+// shared memory) and re-materialized on the consumer side (the read out of
+// it). SALIENT's shared-memory threads skip both copies — that difference is
+// one of the effects §4.2 measures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "prep/feature_cache.h"
+#include "sampling/mfg.h"
+#include "tensor/tensor.h"
+
+namespace salient {
+
+struct PreparedBatch {
+  std::int64_t index = -1;  ///< position of this batch within the epoch
+  Mfg mfg;
+  Tensor x;  ///< [num_input_nodes, F] features (f16), pinned when pooled;
+             ///< with a cache plan, only the plan's missing rows
+  Tensor y;  ///< [batch_size] labels (i64)
+  /// Set when the batch was prepared against a device feature cache:
+  /// x holds only the cache-missing rows and the device assembles the rest
+  /// (paper §8 / GNS-style caching).
+  std::shared_ptr<const CachePlan> cache_plan;
+
+  /// Total bytes this batch moves host->device (adjacency + features +
+  /// labels), the quantity driving the transfer phase.
+  std::size_t transfer_bytes() const {
+    return mfg.adjacency_bytes() + x.nbytes() + y.nbytes();
+  }
+};
+
+/// Flatten an MFG into a single contiguous int64 buffer.
+std::vector<std::int64_t> serialize_mfg(const Mfg& mfg);
+
+/// Inverse of serialize_mfg.
+Mfg deserialize_mfg(const std::vector<std::int64_t>& buffer);
+
+}  // namespace salient

@@ -1,0 +1,68 @@
+#include "prep/feature_cache.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "prep/slicing.h"
+
+namespace salient {
+
+FeatureCache::FeatureCache(const Dataset& dataset, std::int64_t capacity) {
+  const std::int64_t n = dataset.graph.num_nodes();
+  capacity_ = std::clamp<std::int64_t>(capacity, 0, n);
+  slot_.assign(static_cast<std::size_t>(n), -1);
+
+  // Select the capacity highest-degree nodes (partial sort).
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::nth_element(order.begin(),
+                   order.begin() + static_cast<std::ptrdiff_t>(capacity_),
+                   order.end(), [&](NodeId a, NodeId b) {
+                     return dataset.graph.degree(a) > dataset.graph.degree(b);
+                   });
+  order.resize(static_cast<std::size_t>(capacity_));
+
+  // Materialize their features in device precision.
+  Tensor host_rows({capacity_, dataset.feature_dim},
+                   dataset.features.dtype());
+  slice_rows_serial(dataset.features, order, host_rows);
+  features_ = host_rows.to(DType::kF32);
+  for (std::size_t s = 0; s < order.size(); ++s) {
+    slot_[static_cast<std::size_t>(order[s])] = static_cast<std::int64_t>(s);
+  }
+}
+
+CachePlan plan_cached_batch(const Mfg& mfg, const FeatureCache& cache) {
+  CachePlan plan;
+  plan.from_cache.reserve(mfg.n_ids.size());
+  plan.source.reserve(mfg.n_ids.size());
+  for (const NodeId v : mfg.n_ids) {
+    const std::int64_t slot = cache.slot_of(v);
+    if (slot >= 0) {
+      plan.from_cache.push_back(1);
+      plan.source.push_back(slot);
+    } else {
+      plan.from_cache.push_back(0);
+      plan.source.push_back(plan.num_missing++);
+    }
+  }
+  return plan;
+}
+
+void slice_missing_rows(const Dataset& dataset, const Mfg& mfg,
+                        const CachePlan& plan, Tensor& out) {
+  if (out.size(0) != plan.num_missing ||
+      out.size(1) != dataset.feature_dim ||
+      out.dtype() != dataset.features.dtype()) {
+    throw std::invalid_argument("slice_missing_rows: bad output buffer");
+  }
+  std::vector<NodeId> missing;
+  missing.reserve(static_cast<std::size_t>(plan.num_missing));
+  for (std::size_t i = 0; i < mfg.n_ids.size(); ++i) {
+    if (!plan.from_cache[i]) missing.push_back(mfg.n_ids[i]);
+  }
+  slice_rows_serial(dataset.features, missing, out);
+}
+
+}  // namespace salient

@@ -1,0 +1,84 @@
+// Device-resident feature caching (paper §8, future work).
+//
+// "one must avail of additional techniques such as GPU-based slicing (Min
+// et al., 2021) or caching data on the GPU (Dong et al., 2021) to reduce the
+// slicing or data transfer volume."
+//
+// This implements the static degree-ordered cache of GNS (Dong et al.): the
+// features of the `capacity` highest-degree nodes are kept resident on the
+// device in compute precision (f32). Because node-wise sampling visits
+// high-degree nodes far more often than uniformly (every neighbor list they
+// appear in can sample them), the cache hit rate is much higher than
+// capacity/|V| — the effect the ablation bench quantifies.
+//
+// Pipeline integration: the preparation side slices only the *missing* rows
+// into pinned staging (prepare_cached_batch), and the device assembles the
+// full feature matrix from the cache plus the transferred rows on the
+// compute stream (DeviceSim::transfer_batch_cached).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/dataset.h"
+#include "sampling/mfg.h"
+#include "tensor/tensor.h"
+
+namespace salient {
+
+class FeatureCache {
+ public:
+  /// Build a cache of the `capacity` highest-degree nodes' features,
+  /// converted to f32 (the device compute precision). capacity 0 is a valid
+  /// always-miss cache.
+  FeatureCache(const Dataset& dataset, std::int64_t capacity);
+
+  std::int64_t capacity() const { return capacity_; }
+  /// Cached feature matrix [capacity, F] (device-resident f32).
+  const Tensor& features() const { return features_; }
+
+  /// Cache slot of node `v`, or -1 when not cached. O(1).
+  std::int64_t slot_of(NodeId v) const {
+    return v >= 0 && v < static_cast<NodeId>(slot_.size())
+               ? slot_[static_cast<std::size_t>(v)]
+               : -1;
+  }
+
+  /// Bytes of device memory the cache occupies.
+  std::size_t device_bytes() const { return features_.nbytes(); }
+
+ private:
+  std::int64_t capacity_ = 0;
+  Tensor features_;                 // [capacity, F] f32
+  std::vector<std::int64_t> slot_;  // node -> slot or -1
+};
+
+/// A transfer plan for one mini-batch against a cache: row i of the batch's
+/// input set comes either from cache slot `source[i]` (when from_cache[i])
+/// or from transferred-missing-row `source[i]`.
+struct CachePlan {
+  std::vector<std::uint8_t> from_cache;  // per input node
+  std::vector<std::int64_t> source;      // cache slot or missing-row index
+  std::int64_t num_missing = 0;
+
+  double hit_rate() const {
+    return from_cache.empty()
+               ? 0.0
+               : 1.0 - static_cast<double>(num_missing) /
+                           static_cast<double>(from_cache.size());
+  }
+};
+
+/// Classify the MFG's input nodes against the cache and slice only the
+/// missing rows from the host feature store into `x_missing` (preallocated
+/// by the caller as [num_missing, F] in the host feature dtype; call with
+/// undefined tensor first to obtain the plan, then with the buffer).
+CachePlan plan_cached_batch(const Mfg& mfg, const FeatureCache& cache);
+
+/// Slice the plan's missing rows from the host store into `out`
+/// ([plan.num_missing, F], host feature dtype).
+void slice_missing_rows(const Dataset& dataset, const Mfg& mfg,
+                        const CachePlan& plan, Tensor& out);
+
+}  // namespace salient

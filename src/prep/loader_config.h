@@ -1,0 +1,24 @@
+// Shared configuration for the batch-preparation loaders.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace salient {
+
+struct LoaderConfig {
+  std::int64_t batch_size = 1024;
+  std::vector<std::int64_t> fanouts{15, 10, 5};
+  /// Number of preparation workers: multiprocessing DataLoader workers for
+  /// the baseline, shared-memory C++ threads for SALIENT.
+  int num_workers = 1;
+  /// Bound on prepared batches buffered ahead of the consumer.
+  std::size_t queue_capacity = 4;
+  /// Epoch seed: drives shuffling and the per-batch sampling RNG. The
+  /// per-batch RNG is seeded by mix(seed, batch index), so the sampled MFGs
+  /// are identical regardless of worker count and scheduling.
+  std::uint64_t seed = 1;
+  bool shuffle = true;
+};
+
+}  // namespace salient

@@ -1,0 +1,51 @@
+#include "prep/pinned_pool.h"
+
+namespace salient {
+
+namespace {
+
+std::size_t bytes_for(const std::vector<std::int64_t>& shape, DType dtype) {
+  std::size_t n = 1;
+  for (auto d : shape) n *= static_cast<std::size_t>(d);
+  return n * dtype_size(dtype);
+}
+
+/// Buckets are rounded up to 64KiB multiples so that mini-batches of
+/// slightly varying size reuse the same buffers.
+std::size_t bucket_of(std::size_t nbytes) {
+  constexpr std::size_t kBucket = 64 * 1024;
+  return ((nbytes + kBucket - 1) / kBucket) * kBucket;
+}
+
+}  // namespace
+
+Tensor PinnedPool::acquire(std::vector<std::int64_t> shape, DType dtype) {
+  const std::size_t bucket = bucket_of(bytes_for(shape, dtype));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = free_by_size_.find(bucket);
+    if (it != free_by_size_.end() && !it->second.empty()) {
+      StoragePtr storage = std::move(it->second.back());
+      it->second.pop_back();
+      return Tensor::wrap_storage(std::move(storage), std::move(shape), dtype);
+    }
+    ++allocs_;
+  }
+  auto storage = std::make_shared<Storage>(bucket, /*pinned=*/true);
+  return Tensor::wrap_storage(std::move(storage), std::move(shape), dtype);
+}
+
+void PinnedPool::release(Tensor t) {
+  if (!t.defined() || !t.pinned()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  free_by_size_[t.storage()->nbytes()].push_back(t.storage());
+}
+
+std::size_t PinnedPool::idle_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [sz, v] : free_by_size_) n += v.size();
+  return n;
+}
+
+}  // namespace salient

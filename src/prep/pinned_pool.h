@@ -1,0 +1,43 @@
+// Reusable pool of pinned staging buffers.
+//
+// SALIENT's preparation threads write sliced tensors "directly into pinned
+// memory accessible by the main process" (§4.2). Allocating page-locked
+// memory is expensive in the real system, so staging buffers are pooled and
+// recycled across mini-batches. The pool hands out Tensors whose Storage is
+// flagged pinned; returning a buffer of the same byte size makes it available
+// for the next batch.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace salient {
+
+class PinnedPool {
+ public:
+  PinnedPool() = default;
+
+  /// Get a pinned tensor of the given shape/dtype, recycling a previously
+  /// released buffer of the same byte size when available.
+  Tensor acquire(std::vector<std::int64_t> shape, DType dtype);
+
+  /// Return a pinned tensor's storage to the pool. The caller must not touch
+  /// the tensor afterwards.
+  void release(Tensor t);
+
+  /// Number of idle buffers currently pooled.
+  std::size_t idle_count() const;
+  /// Total allocations performed (i.e., pool misses).
+  std::size_t alloc_count() const { return allocs_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::size_t, std::vector<StoragePtr>> free_by_size_;
+  std::size_t allocs_ = 0;
+};
+
+}  // namespace salient

@@ -1,0 +1,114 @@
+#include "prep/salient_loader.h"
+
+#include "prep/slicing.h"
+#include "sampling/fast_sampler.h"
+#include "util/rng.h"
+
+namespace salient {
+
+namespace {
+
+std::uint64_t mix_seed(std::uint64_t seed, std::int64_t index) {
+  SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ull *
+                        static_cast<std::uint64_t>(index + 1)));
+  return sm.next();
+}
+
+}  // namespace
+
+SalientLoader::SalientLoader(const Dataset& dataset,
+                             std::span<const NodeId> nodes,
+                             LoaderConfig config,
+                             std::shared_ptr<PinnedPool> pool,
+                             std::shared_ptr<const FeatureCache> cache)
+    : dataset_(dataset),
+      config_(std::move(config)),
+      pool_(pool ? std::move(pool) : std::make_shared<PinnedPool>()),
+      cache_(std::move(cache)),
+      epoch_nodes_(nodes.begin(), nodes.end()),
+      input_queue_(nodes.empty()
+                       ? 2
+                       : (nodes.size() / static_cast<std::size_t>(
+                                             config_.batch_size) +
+                          2)),
+      output_queue_(config_.queue_capacity) {
+  if (config_.shuffle) {
+    Xoshiro256ss rng(config_.seed);
+    for (std::size_t i = epoch_nodes_.size(); i > 1; --i) {
+      std::swap(epoch_nodes_[i - 1], epoch_nodes_[bounded_rand(rng, i)]);
+    }
+  }
+  const auto n = static_cast<std::int64_t>(epoch_nodes_.size());
+  num_batches_ = (n + config_.batch_size - 1) / config_.batch_size;
+  // Fill the lock-free input queue with every batch descriptor up front;
+  // workers pop dynamically, which load-balances the highly variable
+  // per-batch neighborhood-expansion work.
+  for (std::int64_t b = 0; b < num_batches_; ++b) {
+    const BatchDesc desc{b, b * config_.batch_size,
+                         std::min(n, (b + 1) * config_.batch_size)};
+    const bool pushed = input_queue_.try_push(desc);
+    (void)pushed;  // capacity covers all descriptors by construction
+  }
+  const int workers = std::max(1, config_.num_workers);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SalientLoader::~SalientLoader() {
+  output_queue_.close();  // unblock producers if the consumer bailed early
+  for (auto& t : workers_) t.join();
+}
+
+void SalientLoader::worker_loop() {
+  FastSampler sampler(dataset_.graph, config_.fanouts);
+  BatchDesc desc;
+  while (input_queue_.try_pop(desc)) {
+    // 1. Neighborhood sampling and MFG construction (fused).
+    const std::span<const NodeId> batch_nodes(
+        epoch_nodes_.data() + desc.begin,
+        static_cast<std::size_t>(desc.end - desc.begin));
+    PreparedBatch batch;
+    batch.index = desc.index;
+    batch.mfg = sampler.sample(batch_nodes, mix_seed(config_.seed, desc.index));
+
+    // 2. Serial slicing directly into pinned staging buffers. With a device
+    // feature cache, only the cache-missing rows are sliced/staged.
+    if (cache_) {
+      auto plan = std::make_shared<CachePlan>(
+          plan_cached_batch(batch.mfg, *cache_));
+      batch.x = pool_->acquire({plan->num_missing, dataset_.feature_dim},
+                               dataset_.features.dtype());
+      slice_missing_rows(dataset_, batch.mfg, *plan, batch.x);
+      batch.cache_plan = std::move(plan);
+    } else {
+      batch.x =
+          pool_->acquire({batch.mfg.num_input_nodes(), dataset_.feature_dim},
+                         dataset_.features.dtype());
+      slice_rows_serial(dataset_.features, batch.mfg.n_ids, batch.x);
+    }
+    batch.y = pool_->acquire({batch.mfg.batch_size}, DType::kI64);
+    slice_labels(dataset_.labels,
+                 {batch.mfg.n_ids.data(),
+                  static_cast<std::size_t>(batch.mfg.batch_size)},
+                 batch.y);
+
+    // 3. Zero-copy hand-off to the consumer.
+    if (!output_queue_.push(std::move(batch))) return;  // loader shut down
+  }
+}
+
+std::optional<PreparedBatch> SalientLoader::next() {
+  if (delivered_ >= num_batches_) return std::nullopt;
+  auto batch = output_queue_.pop();
+  if (batch.has_value()) ++delivered_;
+  return batch;
+}
+
+void SalientLoader::recycle(PreparedBatch&& batch) {
+  pool_->release(std::move(batch.x));
+  pool_->release(std::move(batch.y));
+}
+
+}  // namespace salient

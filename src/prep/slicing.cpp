@@ -1,0 +1,68 @@
+#include "prep/slicing.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace salient {
+
+namespace {
+
+void check_slice_args(const Tensor& src, std::span<const NodeId> ids,
+                      const Tensor& out) {
+  if (src.dim() != 2 || out.dim() != 2 || out.dtype() != src.dtype() ||
+      out.size(1) != src.size(1) ||
+      out.size(0) != static_cast<std::int64_t>(ids.size())) {
+    throw std::runtime_error("slice_rows: bad destination shape/dtype");
+  }
+}
+
+void copy_row_range(const Tensor& src, std::span<const NodeId> ids,
+                    Tensor& out, std::int64_t begin, std::int64_t end) {
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(src.size(1)) * dtype_size(src.dtype());
+  const char* ps = static_cast<const char*>(src.raw());
+  char* pd = static_cast<char*>(out.raw());
+  const std::int64_t n = src.size(0);
+  for (std::int64_t k = begin; k < end; ++k) {
+    const NodeId i = ids[static_cast<std::size_t>(k)];
+    if (i < 0 || i >= n) throw std::out_of_range("slice_rows: node id");
+    std::memcpy(pd + static_cast<std::size_t>(k) * row_bytes,
+                ps + static_cast<std::size_t>(i) * row_bytes, row_bytes);
+  }
+}
+
+}  // namespace
+
+void slice_rows_serial(const Tensor& src, std::span<const NodeId> ids,
+                       Tensor& out) {
+  check_slice_args(src, ids, out);
+  copy_row_range(src, ids, out, 0, static_cast<std::int64_t>(ids.size()));
+}
+
+void slice_rows_parallel(const Tensor& src, std::span<const NodeId> ids,
+                         Tensor& out, ThreadPool& pool) {
+  check_slice_args(src, ids, out);
+  pool.parallel_for(0, static_cast<std::int64_t>(ids.size()),
+                    [&](std::int64_t b, std::int64_t e) {
+                      copy_row_range(src, ids, out, b, e);
+                    });
+}
+
+void slice_labels(const Tensor& labels, std::span<const NodeId> ids,
+                  Tensor& out) {
+  if (labels.dim() != 1 || labels.dtype() != DType::kI64 || out.dim() != 1 ||
+      out.dtype() != DType::kI64 ||
+      out.size(0) != static_cast<std::int64_t>(ids.size())) {
+    throw std::runtime_error("slice_labels: bad arguments");
+  }
+  const std::int64_t* ps = labels.data<std::int64_t>();
+  std::int64_t* pd = out.data<std::int64_t>();
+  const std::int64_t n = labels.size(0);
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    const NodeId i = ids[k];
+    if (i < 0 || i >= n) throw std::out_of_range("slice_labels: node id");
+    pd[k] = ps[i];
+  }
+}
+
+}  // namespace salient

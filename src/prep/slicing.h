@@ -1,0 +1,37 @@
+// Feature/label tensor slicing (paper §3.2, §4.2).
+//
+// Slicing extracts the feature rows of every node in the sampled MFG and the
+// label entries of the mini-batch nodes. Two strategies are provided:
+//   * slice_rows_parallel — the PyTorch-style path: one slice parallelized
+//     across OpenMP-like threads (the shared pool). Used by the baseline
+//     loader in the main process.
+//   * slice_rows_serial — SALIENT's path: a serial copy, because each batch
+//     preparation thread slices its own batch end-to-end ("By using a serial
+//     tensor-slicing code ... SALIENT improves cache locality and avoids
+//     contention between threads").
+// Both write into a caller-provided destination so SALIENT can target pinned
+// staging memory directly.
+#pragma once
+
+#include <span>
+
+#include "graph/csr.h"
+#include "tensor/tensor.h"
+#include "util/thread_pool.h"
+
+namespace salient {
+
+/// out[k,:] = src[ids[k],:]. `out` must be preallocated [ids.size(), F] with
+/// src's dtype. Works for any dtype (bytewise row copies).
+void slice_rows_serial(const Tensor& src, std::span<const NodeId> ids,
+                       Tensor& out);
+
+/// Same, parallelized over `pool` (rows split into contiguous chunks).
+void slice_rows_parallel(const Tensor& src, std::span<const NodeId> ids,
+                         Tensor& out, ThreadPool& pool);
+
+/// out[k] = labels[ids[k]] for 1-D i64 labels.
+void slice_labels(const Tensor& labels, std::span<const NodeId> ids,
+                  Tensor& out);
+
+}  // namespace salient

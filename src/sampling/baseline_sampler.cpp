@@ -1,0 +1,24 @@
+#include "sampling/baseline_sampler.h"
+
+#include "sampling/sampler_impl.h"
+
+namespace salient {
+
+BaselineSampler::BaselineSampler(const CsrGraph& graph,
+                                 std::vector<std::int64_t> fanouts,
+                                 std::uint64_t seed)
+    : graph_(graph), fanouts_(std::move(fanouts)), rng_(seed) {}
+
+Mfg BaselineSampler::sample(std::span<const NodeId> batch) {
+  return sample_mfg<StdIdMap, StdSetSampler, /*Fused=*/false,
+                    /*Reserve=*/false>(graph_, batch, fanouts_, rng_);
+}
+
+Mfg BaselineSampler::sample(std::span<const NodeId> batch,
+                            std::uint64_t seed) {
+  StdMt19937 rng(seed);
+  return sample_mfg<StdIdMap, StdSetSampler, /*Fused=*/false,
+                    /*Reserve=*/false>(graph_, batch, fanouts_, rng);
+}
+
+}  // namespace salient

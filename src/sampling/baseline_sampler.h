@@ -1,0 +1,40 @@
+// Baseline neighborhood sampler: a faithful C++ re-implementation of the
+// algorithmic/data-structure choices of PyG's NeighborSampler, used as the
+// comparison point throughout the evaluation ("PyG" rows/curves).
+//
+// Choices: std::unordered_map ID map, std::unordered_set rejection sampling,
+// two-phase (unfused) sample-then-relabel construction, no container
+// pre-sizing, std::mt19937_64 randomness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sampling/mfg.h"
+#include "util/rng.h"
+
+namespace salient {
+
+class BaselineSampler {
+ public:
+  /// The sampler borrows `graph`, which must outlive it.
+  BaselineSampler(const CsrGraph& graph, std::vector<std::int64_t> fanouts,
+                  std::uint64_t seed = 1);
+
+  /// Sample the MFG for one mini-batch of destination nodes.
+  Mfg sample(std::span<const NodeId> batch);
+
+  /// Deterministic variant: sample with a fresh RNG seeded by `seed`.
+  /// Loaders use this so results are independent of worker scheduling.
+  Mfg sample(std::span<const NodeId> batch, std::uint64_t seed);
+
+  const std::vector<std::int64_t>& fanouts() const { return fanouts_; }
+
+ private:
+  const CsrGraph& graph_;
+  std::vector<std::int64_t> fanouts_;
+  StdMt19937 rng_;
+};
+
+}  // namespace salient

@@ -1,0 +1,60 @@
+#include "sampling/distributed.h"
+
+#include <algorithm>
+
+#include "sampling/fast_sampler.h"
+#include "util/rng.h"
+
+namespace salient {
+
+double mfg_cross_partition_fraction(const Mfg& mfg, const GraphPartition& p) {
+  std::int64_t cross = 0, total = 0;
+  for (const auto& level : mfg.levels) {
+    for (std::int64_t d = 0; d < level.num_dst; ++d) {
+      const auto dst_part =
+          p.part_of(mfg.n_ids[static_cast<std::size_t>(d)]);
+      for (std::int64_t e = (*level.indptr)[static_cast<std::size_t>(d)];
+           e < (*level.indptr)[static_cast<std::size_t>(d) + 1]; ++e) {
+        const NodeId src_global = mfg.n_ids[static_cast<std::size_t>(
+            (*level.indices)[static_cast<std::size_t>(e)])];
+        cross += (p.part_of(src_global) != dst_part);
+        ++total;
+      }
+    }
+  }
+  return total > 0 ? static_cast<double>(cross) / static_cast<double>(total)
+                   : 0.0;
+}
+
+double estimate_sampling_comm_fraction(const CsrGraph& graph,
+                                       const GraphPartition& p,
+                                       std::span<const NodeId> nodes,
+                                       std::span<const std::int64_t> fanouts,
+                                       std::int64_t batch_size,
+                                       int num_batches, std::uint64_t seed) {
+  FastSampler sampler(graph,
+                      std::vector<std::int64_t>(fanouts.begin(),
+                                                fanouts.end()));
+  // Sample batches from a shuffled copy of the node list.
+  std::vector<NodeId> pool(nodes.begin(), nodes.end());
+  Xoshiro256ss rng(seed);
+  for (std::size_t i = pool.size(); i > 1; --i) {
+    std::swap(pool[i - 1], pool[bounded_rand(rng, i)]);
+  }
+  double sum = 0;
+  int measured = 0;
+  for (int b = 0; b < num_batches; ++b) {
+    const std::int64_t begin = b * batch_size;
+    if (begin >= static_cast<std::int64_t>(pool.size())) break;
+    const std::int64_t end = std::min<std::int64_t>(
+        begin + batch_size, static_cast<std::int64_t>(pool.size()));
+    Mfg mfg = sampler.sample(
+        {pool.data() + begin, static_cast<std::size_t>(end - begin)},
+        seed + static_cast<unsigned>(b) + 1);
+    sum += mfg_cross_partition_fraction(mfg, p);
+    ++measured;
+  }
+  return measured > 0 ? sum / measured : 0.0;
+}
+
+}  // namespace salient

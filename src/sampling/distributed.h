@@ -1,0 +1,33 @@
+// Distributed-sampling cost analysis (paper §8, future work).
+//
+// In a distributed deployment the graph is partitioned across machines and
+// every sampled edge whose source lives on a different partition than its
+// destination is a remote neighbor fetch. These helpers quantify that cost
+// for sampled MFGs under a given partition — the metric the paper says a
+// sampling-aware partitioning objective should optimize.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/partition.h"
+#include "sampling/mfg.h"
+
+namespace salient {
+
+/// Fraction of an MFG's sampled edges that cross partitions — the remote-
+/// fetch share a distributed neighborhood sampler would pay.
+double mfg_cross_partition_fraction(const Mfg& mfg, const GraphPartition& p);
+
+/// Average cross-partition fraction over sampled mini-batches of `batch`
+/// nodes drawn from `nodes`, using the fast sampler with `fanouts`.
+/// A cheap Monte-Carlo estimate of a partitioning's distributed-sampling
+/// communication cost.
+double estimate_sampling_comm_fraction(const CsrGraph& graph,
+                                       const GraphPartition& p,
+                                       std::span<const NodeId> nodes,
+                                       std::span<const std::int64_t> fanouts,
+                                       std::int64_t batch_size,
+                                       int num_batches, std::uint64_t seed);
+
+}  // namespace salient

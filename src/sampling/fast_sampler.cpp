@@ -1,0 +1,22 @@
+#include "sampling/fast_sampler.h"
+
+#include "sampling/sampler_impl.h"
+
+namespace salient {
+
+FastSampler::FastSampler(const CsrGraph& graph,
+                         std::vector<std::int64_t> fanouts, std::uint64_t seed)
+    : graph_(graph), fanouts_(std::move(fanouts)), rng_(seed) {}
+
+Mfg FastSampler::sample(std::span<const NodeId> batch) {
+  return sample_mfg<FlatIdMap, ArraySetSampler, /*Fused=*/true,
+                    /*Reserve=*/true>(graph_, batch, fanouts_, rng_);
+}
+
+Mfg FastSampler::sample(std::span<const NodeId> batch, std::uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  return sample_mfg<FlatIdMap, ArraySetSampler, /*Fused=*/true,
+                    /*Reserve=*/true>(graph_, batch, fanouts_, rng);
+}
+
+}  // namespace salient

@@ -1,0 +1,40 @@
+// SALIENT's fast neighborhood sampler (paper §4.1).
+//
+// The winning configuration from the design-space exploration of Figure 2:
+// flat ("swiss-table"-style) ID map, array set with linear-scan membership,
+// fused sampling + MFG construction, container pre-sizing from the fanout
+// bound, and a fast non-cryptographic RNG. Per the paper this is ~2.5x the
+// PyG sampler's throughput (Table 2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sampling/mfg.h"
+#include "util/rng.h"
+
+namespace salient {
+
+class FastSampler {
+ public:
+  /// The sampler borrows `graph`, which must outlive it.
+  FastSampler(const CsrGraph& graph, std::vector<std::int64_t> fanouts,
+              std::uint64_t seed = 1);
+
+  /// Sample the MFG for one mini-batch of destination nodes.
+  Mfg sample(std::span<const NodeId> batch);
+
+  /// Deterministic variant: sample with a fresh RNG seeded by `seed`.
+  /// Loaders use this so results are independent of worker scheduling.
+  Mfg sample(std::span<const NodeId> batch, std::uint64_t seed);
+
+  const std::vector<std::int64_t>& fanouts() const { return fanouts_; }
+
+ private:
+  const CsrGraph& graph_;
+  std::vector<std::int64_t> fanouts_;
+  Xoshiro256ss rng_;
+};
+
+}  // namespace salient

@@ -1,0 +1,52 @@
+#include "sampling/mfg.h"
+
+namespace salient {
+
+std::int64_t Mfg::total_edges() const {
+  std::int64_t e = 0;
+  for (const auto& l : levels) e += l.num_edges();
+  return e;
+}
+
+std::size_t Mfg::adjacency_bytes() const {
+  std::size_t b = 0;
+  for (const auto& l : levels) {
+    b += (l.indptr ? l.indptr->size() : 0) * sizeof(std::int64_t);
+    b += (l.indices ? l.indices->size() : 0) * sizeof(std::int64_t);
+  }
+  return b;
+}
+
+bool Mfg::valid() const {
+  if (levels.empty()) return false;
+  // Outermost source set must match n_ids.
+  if (levels.front().num_src != static_cast<std::int64_t>(n_ids.size())) {
+    return false;
+  }
+  if (levels.back().num_dst != batch_size) return false;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const auto& l = levels[i];
+    if (!l.indptr || !l.indices) return false;
+    if (l.num_dst > l.num_src) return false;  // prefix property
+    if (static_cast<std::int64_t>(l.indptr->size()) != l.num_dst + 1) {
+      return false;
+    }
+    if (l.indptr->front() != 0) return false;
+    for (std::size_t k = 1; k < l.indptr->size(); ++k) {
+      if ((*l.indptr)[k] < (*l.indptr)[k - 1]) return false;
+    }
+    if (l.indptr->back() != static_cast<std::int64_t>(l.indices->size())) {
+      return false;
+    }
+    for (const auto s : *l.indices) {
+      if (s < 0 || s >= l.num_src) return false;
+    }
+    // Chaining: this level's destinations are the next level's sources.
+    if (i + 1 < levels.size() && l.num_dst != levels[i + 1].num_src) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace salient

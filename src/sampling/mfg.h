@@ -1,0 +1,61 @@
+// Message-flow graphs (MFGs): the sampled multi-hop neighborhood structure
+// produced by node-wise neighborhood sampling (paper §4.1).
+//
+// An MFG for a mini-batch B with L layers is a sequence of bipartite graphs.
+// Following the PyG convention the paper's models use (Appendix A):
+//   * each level's destination nodes are a prefix of its source nodes
+//     (local IDs coincide: dst i == src i), so the model can compute
+//     `x_target = x[:num_dst]`;
+//   * levels are stored in model-consumption order: levels[0] is the
+//     outermost hop (largest source set, consumed by the first conv layer)
+//     and levels[L-1] has the mini-batch nodes as destinations;
+//   * `n_ids` maps local IDs of the largest source set back to global node
+//     IDs; feature slicing gathers feature rows for exactly these nodes.
+//
+// Per-level adjacency is destination-major CSR with *local* source IDs, the
+// layout the SpMM aggregation kernels consume directly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace salient {
+
+/// One bipartite level of an MFG.
+struct MfgLevel {
+  std::int64_t num_src = 0;
+  std::int64_t num_dst = 0;
+  /// CSR over destinations: size num_dst+1.
+  std::shared_ptr<const std::vector<std::int64_t>> indptr;
+  /// Edge targets: local source IDs, size indptr->back().
+  std::shared_ptr<const std::vector<std::int64_t>> indices;
+
+  std::int64_t num_edges() const {
+    return indptr ? indptr->back() : 0;
+  }
+};
+
+/// A complete sampled message-flow graph for one mini-batch.
+struct Mfg {
+  std::vector<MfgLevel> levels;   ///< model order (outermost first)
+  std::vector<NodeId> n_ids;      ///< global IDs of the largest source set
+  std::int64_t batch_size = 0;    ///< destinations of the final level
+
+  /// Total edges across all levels (the data-volume driver for transfer).
+  std::int64_t total_edges() const;
+  /// Total nodes in the largest source set.
+  std::int64_t num_input_nodes() const {
+    return static_cast<std::int64_t>(n_ids.size());
+  }
+  /// Bytes of adjacency data this MFG transfers to the device.
+  std::size_t adjacency_bytes() const;
+
+  /// Check all structural invariants (prefix property, ID ranges, monotone
+  /// indptr, level chaining num_dst == next num_src).
+  bool valid() const;
+};
+
+}  // namespace salient

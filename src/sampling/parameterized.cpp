@@ -1,0 +1,149 @@
+#include "sampling/parameterized.h"
+
+#include <stdexcept>
+
+#include "sampling/sampler_impl.h"
+
+namespace salient {
+
+namespace {
+
+const char* kMapNames[] = {"std_map", "flat_map"};
+const char* kSetNames[] = {"std_set", "flat_set", "array_set", "fisher_yates"};
+const char* kFusedNames[] = {"unfused", "fused"};
+const char* kReserveNames[] = {"no_reserve", "reserve"};
+const char* kRngNames[] = {"mt19937", "xoshiro", "pcg32"};
+
+/// Nested compile-time dispatch: resolve the runtime variant indices into the
+/// corresponding sample_mfg / sample_one_hop instantiation. The Op functor is
+/// called with five policy tags.
+template <class Op>
+auto dispatch(const SamplerVariant& v, Op&& op) {
+  auto with_rng = [&](auto map_tag, auto set_tag, auto fused_tag,
+                      auto reserve_tag) {
+    switch (v.rng) {
+      case 0:
+        return op(map_tag, set_tag, fused_tag, reserve_tag,
+                  std::type_identity<StdMt19937>{});
+      case 1:
+        return op(map_tag, set_tag, fused_tag, reserve_tag,
+                  std::type_identity<Xoshiro256ss>{});
+      case 2:
+        return op(map_tag, set_tag, fused_tag, reserve_tag,
+                  std::type_identity<Pcg32>{});
+      default:
+        throw std::invalid_argument("SamplerVariant: rng index");
+    }
+  };
+  auto with_reserve = [&](auto map_tag, auto set_tag, auto fused_tag) {
+    switch (v.reserve) {
+      case 0:
+        return with_rng(map_tag, set_tag, fused_tag,
+                        std::bool_constant<false>{});
+      case 1:
+        return with_rng(map_tag, set_tag, fused_tag,
+                        std::bool_constant<true>{});
+      default:
+        throw std::invalid_argument("SamplerVariant: reserve index");
+    }
+  };
+  auto with_fused = [&](auto map_tag, auto set_tag) {
+    switch (v.fused) {
+      case 0:
+        return with_reserve(map_tag, set_tag, std::bool_constant<false>{});
+      case 1:
+        return with_reserve(map_tag, set_tag, std::bool_constant<true>{});
+      default:
+        throw std::invalid_argument("SamplerVariant: fused index");
+    }
+  };
+  auto with_set = [&](auto map_tag) {
+    switch (v.set) {
+      case 0:
+        return with_fused(map_tag, std::type_identity<StdSetSampler>{});
+      case 1:
+        return with_fused(map_tag, std::type_identity<FlatSetSampler>{});
+      case 2:
+        return with_fused(map_tag, std::type_identity<ArraySetSampler>{});
+      case 3:
+        return with_fused(map_tag, std::type_identity<FisherYatesSampler>{});
+      default:
+        throw std::invalid_argument("SamplerVariant: set index");
+    }
+  };
+  switch (v.map) {
+    case 0:
+      return with_set(std::type_identity<StdIdMap>{});
+    case 1:
+      return with_set(std::type_identity<FlatIdMap>{});
+    default:
+      throw std::invalid_argument("SamplerVariant: map index");
+  }
+}
+
+}  // namespace
+
+std::string SamplerVariant::name() const {
+  return std::string(kMapNames[map]) + "/" + kSetNames[set] + "/" +
+         kFusedNames[fused] + "/" + kReserveNames[reserve] + "/" +
+         kRngNames[rng];
+}
+
+bool SamplerVariant::is_baseline() const {
+  return map == 0 && set == 0 && fused == 0 && reserve == 0 && rng == 0;
+}
+
+bool SamplerVariant::is_salient() const {
+  return map == 1 && set == 2 && fused == 1 && reserve == 1 && rng == 1;
+}
+
+std::vector<SamplerVariant> all_sampler_variants() {
+  std::vector<SamplerVariant> out;
+  out.reserve(96);
+  for (int map = 0; map < 2; ++map)
+    for (int set = 0; set < 4; ++set)
+      for (int fused = 0; fused < 2; ++fused)
+        for (int reserve = 0; reserve < 2; ++reserve)
+          for (int rng = 0; rng < 3; ++rng)
+            out.push_back({map, set, fused, reserve, rng});
+  return out;
+}
+
+Mfg sample_with_variant(const SamplerVariant& v, const CsrGraph& g,
+                        std::span<const NodeId> batch,
+                        std::span<const std::int64_t> fanouts,
+                        std::uint64_t seed) {
+  return dispatch(v, [&](auto map_tag, auto set_tag, auto fused_tag,
+                         auto reserve_tag, auto rng_tag) -> Mfg {
+    using Map = typename decltype(map_tag)::type;
+    using Set = typename decltype(set_tag)::type;
+    using Rng = typename decltype(rng_tag)::type;
+    Rng rng(seed);
+    return sample_mfg<Map, Set, decltype(fused_tag)::value,
+                      decltype(reserve_tag)::value>(g, batch, fanouts, rng);
+  });
+}
+
+std::int64_t run_hop_with_variant(const SamplerVariant& v, const CsrGraph& g,
+                                  std::span<const NodeId> frontier,
+                                  std::int64_t fanout, std::uint64_t seed) {
+  return dispatch(v, [&](auto map_tag, auto set_tag, auto fused_tag,
+                         auto reserve_tag, auto rng_tag) -> std::int64_t {
+    using Map = typename decltype(map_tag)::type;
+    using Set = typename decltype(set_tag)::type;
+    using Rng = typename decltype(rng_tag)::type;
+    Rng rng(seed);
+    Map map;
+    std::vector<NodeId> locals;
+    locals.reserve(frontier.size());
+    for (const NodeId n : frontier) map.get_or_insert(n, locals);
+    MfgLevel level =
+        sample_one_hop<Map, Set, decltype(fused_tag)::value,
+                       decltype(reserve_tag)::value>(
+            g, map, locals, static_cast<std::int64_t>(frontier.size()), fanout,
+            rng);
+    return level.num_edges();
+  });
+}
+
+}  // namespace salient

@@ -1,0 +1,55 @@
+// Runtime registry over the sampler design space (paper §4.1, Figure 2).
+//
+// "Overall, the space of possible design choices and optimizations is too
+// large to explore manually. We designed a parameterized implementation of
+// sampled MFG generation to systematically explore this optimization space."
+//
+// The space here is 2 ID maps x 4 without-replacement sets x 2 construction
+// fusions x 2 reserve policies x 3 RNGs = 96 instantiations of
+// sample_mfg<...>, each addressable by index or name, exactly the population
+// benchmarked in Figure 2.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "sampling/mfg.h"
+
+namespace salient {
+
+/// One point in the sampler design space.
+struct SamplerVariant {
+  int map = 0;      ///< 0: std_map, 1: flat_map
+  int set = 0;      ///< 0: std_set, 1: flat_set, 2: array_set, 3: fisher_yates
+  int fused = 0;    ///< 0: unfused (two-phase), 1: fused
+  int reserve = 0;  ///< 0: no pre-sizing, 1: reserve
+  int rng = 0;      ///< 0: mt19937, 1: xoshiro256**, 2: pcg32
+
+  /// Canonical name, e.g. "flat_map/array_set/fused/reserve/xoshiro".
+  std::string name() const;
+  /// True for the configuration matching PyG's NeighborSampler.
+  bool is_baseline() const;
+  /// True for SALIENT's production configuration.
+  bool is_salient() const;
+};
+
+/// All 96 points of the design space, in a fixed deterministic order.
+std::vector<SamplerVariant> all_sampler_variants();
+
+/// Sample a full MFG with the given variant (seeded independently).
+Mfg sample_with_variant(const SamplerVariant& v, const CsrGraph& g,
+                        std::span<const NodeId> batch,
+                        std::span<const std::int64_t> fanouts,
+                        std::uint64_t seed);
+
+/// Run a single hop of sampling+relabeling on a fixed frontier, returning the
+/// number of edges produced. This is the unit the Figure 2 microbenchmark
+/// times ("we benchmark each individual hop of the reference trace").
+std::int64_t run_hop_with_variant(const SamplerVariant& v, const CsrGraph& g,
+                                  std::span<const NodeId> frontier,
+                                  std::int64_t fanout, std::uint64_t seed);
+
+}  // namespace salient

@@ -1,0 +1,27 @@
+#include "sampling/trace.h"
+
+#include "sampling/sampler_impl.h"
+
+namespace salient {
+
+SampleTrace record_trace(const CsrGraph& graph, std::span<const NodeId> batch,
+                         std::span<const std::int64_t> fanouts,
+                         std::uint64_t seed) {
+  SampleTrace trace;
+  Xoshiro256ss rng(seed);
+  FlatIdMap map;
+  std::vector<NodeId> locals;
+  for (const NodeId b : batch) map.get_or_insert(b, locals);
+  for (const std::int64_t d : fanouts) {
+    HopTrace hop;
+    hop.frontier = locals;  // frontier *before* expansion
+    hop.fanout = d;
+    const auto num_dst = static_cast<std::int64_t>(locals.size());
+    (void)sample_one_hop<FlatIdMap, ArraySetSampler, true, true>(
+        graph, map, locals, num_dst, d, rng);
+    trace.hops.push_back(std::move(hop));
+  }
+  return trace;
+}
+
+}  // namespace salient

@@ -1,0 +1,36 @@
+// Reference hop-by-hop sampling traces for the Figure 2 microbenchmark.
+//
+// "This exploration was done using a microbenchmark which executed the
+// parameterized code on a reference hop-by-hop trace of the nodes which made
+// up a sampled MFG for a mini-batch ... To mitigate sampling variability, we
+// benchmark each individual hop of the reference trace instead of an
+// end-to-end execution." (§4.1)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace salient {
+
+/// One hop of a recorded trace: the fixed frontier (destination set) the hop
+/// expands, and the fanout it was expanded with.
+struct HopTrace {
+  std::vector<NodeId> frontier;
+  std::int64_t fanout = 0;
+};
+
+/// A full reference trace for one mini-batch.
+struct SampleTrace {
+  std::vector<HopTrace> hops;
+};
+
+/// Record the frontier at each hop of a reference sampling run (using the
+/// fast sampler's semantics, which all variants share).
+SampleTrace record_trace(const CsrGraph& graph, std::span<const NodeId> batch,
+                         std::span<const std::int64_t> fanouts,
+                         std::uint64_t seed);
+
+}  // namespace salient

@@ -1,0 +1,101 @@
+#include "sim/calibration.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "nn/loss.h"
+#include "nn/models.h"
+#include "prep/batch.h"
+#include "prep/slicing.h"
+#include "sampling/baseline_sampler.h"
+#include "sampling/fast_sampler.h"
+#include "tensor/ops.h"
+#include "util/timer.h"
+
+namespace salient::sim {
+
+WorkloadModel calibrate(const Dataset& dataset, const CalibrationConfig& cfg) {
+  WorkloadModel w;
+  w.dataset = dataset.name;
+  const auto n = static_cast<std::int64_t>(dataset.train_idx.size());
+  w.num_batches = std::max<std::int64_t>(1, n / cfg.batch_size);
+  const int k =
+      std::max(1, std::min<int>(cfg.measure_batches,
+                                static_cast<int>(w.num_batches)));
+
+  BaselineSampler pyg(dataset.graph, cfg.fanouts);
+  FastSampler fast(dataset.graph, cfg.fanouts);
+
+  double t_pyg = 0, t_fast = 0, t_slice = 0, t_pin = 0, t_ipc = 0;
+  double bytes = 0;
+  std::vector<Mfg> mfgs;
+  for (int b = 0; b < k; ++b) {
+    const std::int64_t begin = b * cfg.batch_size;
+    const std::span<const NodeId> nodes(
+        dataset.train_idx.data() + begin,
+        static_cast<std::size_t>(
+            std::min<std::int64_t>(cfg.batch_size, n - begin)));
+    WallTimer t;
+    Mfg m_pyg = pyg.sample(nodes, cfg.seed + static_cast<unsigned>(b));
+    t_pyg += t.seconds();
+    t.reset();
+    Mfg m = fast.sample(nodes, cfg.seed + static_cast<unsigned>(b));
+    t_fast += t.seconds();
+
+    // Slicing (serial, one pass) and the baseline's extra pin-memory copy.
+    Tensor x({m.num_input_nodes(), dataset.feature_dim},
+             dataset.features.dtype());
+    t.reset();
+    slice_rows_serial(dataset.features, m.n_ids, x);
+    t_slice += t.seconds();
+    Tensor pinned(x.shape(), x.dtype(), /*pinned=*/true);
+    t.reset();
+    std::memcpy(pinned.raw(), x.raw(), x.nbytes());
+    t_pin += t.seconds();
+
+    // IPC emulation cost: serialize + deserialize of the MFG blob.
+    t.reset();
+    auto blob = serialize_mfg(m_pyg);
+    Mfg copy = deserialize_mfg(blob);
+    t_ipc += t.seconds();
+
+    bytes += static_cast<double>(m.adjacency_bytes() + x.nbytes() +
+                                 static_cast<std::size_t>(m.batch_size) * 8);
+    mfgs.push_back(std::move(m));
+  }
+  w.sample_pyg_s = t_pyg / k;
+  w.sample_salient_s = t_fast / k;
+  w.slice_s = t_slice / k;
+  w.pin_copy_s = t_pin / k;
+  w.ipc_s = t_ipc / k;
+  w.transfer_mb = bytes / k / 1e6;
+  w.slice_parallel_cap = 6.0;  // memory-bandwidth bound (Table 2 shape)
+
+  if (cfg.measure_train) {
+    nn::ModelConfig mc;
+    mc.in_channels = dataset.feature_dim;
+    mc.hidden_channels = cfg.hidden_channels;
+    mc.out_channels = dataset.num_classes;
+    mc.num_layers = static_cast<int>(cfg.fanouts.size());
+    auto model = nn::make_model(cfg.arch, mc);
+    model->train(true);
+    const Mfg& m = mfgs.front();
+    Tensor x({m.num_input_nodes(), dataset.feature_dim},
+             dataset.features.dtype());
+    slice_rows_serial(dataset.features, m.n_ids, x);
+    Tensor y({m.batch_size}, DType::kI64);
+    slice_labels(dataset.labels,
+                 {m.n_ids.data(), static_cast<std::size_t>(m.batch_size)}, y);
+    Tensor x32 = x.to(DType::kF32);
+    WallTimer t;
+    Variable logp = model->forward(Variable(x32), m);
+    Variable loss = nn::nll_loss(logp, y);
+    model->zero_grad();
+    loss.backward();
+    w.train_gpu_s = t.seconds();
+    w.grad_mb = static_cast<double>(model->num_parameters()) * 4 / 1e6;
+  }
+  return w;
+}
+
+}  // namespace salient::sim

@@ -1,0 +1,34 @@
+// Calibration: measure per-batch component costs from this repository's real
+// implementation, producing a WorkloadModel for the cluster simulator.
+//
+// The SALIENT-vs-PyG *ratios* (sampler speedup, slicing cost, IPC overhead)
+// are measured, not assumed; only hardware-scale constants (core counts,
+// link bandwidths, GPU speed) come from the HwProfile. See DESIGN.md §2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/dataset.h"
+#include "sim/pipeline_model.h"
+
+namespace salient::sim {
+
+struct CalibrationConfig {
+  std::int64_t batch_size = 1024;
+  std::vector<std::int64_t> fanouts{15, 10, 5};
+  /// Mini-batches to sample when measuring (averaged).
+  int measure_batches = 4;
+  std::uint64_t seed = 7;
+  /// Measure the real model's forward+backward as the GPU train cost.
+  bool measure_train = true;
+  std::string arch = "sage";
+  std::int64_t hidden_channels = 64;
+};
+
+/// Measure sampling/slicing/IPC/transfer/train costs per mini-batch on the
+/// given dataset with this machine's implementation.
+WorkloadModel calibrate(const Dataset& dataset, const CalibrationConfig& cfg);
+
+}  // namespace salient::sim

@@ -1,0 +1,325 @@
+#include "sim/pipeline_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/resources.h"
+
+namespace salient::sim {
+
+namespace {
+
+double mb_to_seconds(double mb, double gb_per_s, double efficiency) {
+  return (mb * 1e6) / (gb_per_s * 1e9 * efficiency);
+}
+
+/// Ring all-reduce duration for R participants over the bottleneck link.
+double allreduce_seconds(const HwProfile& hw, double grad_mb, int gpus) {
+  if (gpus <= 1) return 0;
+  const int machines =
+      (gpus + hw.gpus_per_machine - 1) / hw.gpus_per_machine;
+  // Cross-machine rings bottleneck on the NIC; single-machine rings ride
+  // the (much faster) PCIe fabric.
+  const double link = machines > 1 ? hw.nic_gb_per_s : hw.pcie_gb_per_s;
+  const double steps = 2.0 * (gpus - 1);
+  return steps / gpus * mb_to_seconds(grad_mb, link, 1.0) +
+         steps * hw.nic_latency_s;
+}
+
+struct GpuState {
+  // Baseline-structure state.
+  std::vector<double> worker_free;         // per worker
+  std::vector<std::vector<double>> worker_consumed;  // consume time per slot
+  // SALIENT-structure state.
+  std::unique_ptr<PoolResource> pool;
+  std::vector<double> prep_done;
+  std::vector<double> xfer_end;
+  std::vector<double> train_end;
+  std::vector<double> consumed;
+  FifoResource pcie;
+  FifoResource gpu;
+  double main_t = 0;
+  double blocked_prep = 0;
+  double blocked_transfer = 0;
+  double blocked_train = 0;
+  double sampler_busy = 0;
+  double gpu_busy = 0;
+  double pcie_busy = 0;
+};
+
+}  // namespace
+
+EpochSimResult simulate_epoch(const WorkloadModel& w, const HwProfile& hw,
+                              const SystemOptions& opts, int num_workers,
+                              int num_gpus) {
+  if (num_workers < 1 || num_gpus < 1 || w.num_batches < 1) {
+    throw std::invalid_argument("simulate_epoch: bad arguments");
+  }
+  const std::int64_t batches_per_gpu =
+      (w.num_batches + num_gpus - 1) / num_gpus;
+  // Worker-side costs, inflated for parallel-efficiency loss beyond the
+  // memory-bandwidth cap: P workers achieve at most cap x aggregate speedup,
+  // so each worker's effective per-batch latency grows by P/min(P, cap).
+  const double contention_pyg =
+      static_cast<double>(num_workers) /
+      std::min(static_cast<double>(num_workers), w.sample_parallel_cap);
+  const double contention_salient =
+      static_cast<double>(num_workers) /
+      std::min(static_cast<double>(num_workers), w.prep_parallel_cap);
+  const double sample_s =
+      (opts.fast_sampling ? w.sample_salient_s : w.sample_pyg_s) *
+      (opts.shared_memory_prep ? contention_salient : contention_pyg);
+  const double worker_slice_s = w.slice_s * contention_salient;
+  const double train_s = w.train_gpu_s / hw.gpu_relative_speed;
+  const double pcie_eff = opts.pipelined_transfers
+                              ? hw.pcie_efficiency_salient
+                              : hw.pcie_efficiency_baseline;
+  const double xfer_s = mb_to_seconds(w.transfer_mb, hw.pcie_gb_per_s,
+                                      pcie_eff);
+  // Per-step synchronization cost of data parallelism: the ring all-reduce
+  // plus the straggler penalty of advancing in lockstep with the slowest
+  // replica's batch preparation.
+  const double supply_interval =
+      ((opts.shared_memory_prep
+            ? (opts.fast_sampling ? w.sample_salient_s : w.sample_pyg_s) *
+                      contention_salient +
+                  w.slice_s * contention_salient
+            : (opts.fast_sampling ? w.sample_salient_s : w.sample_pyg_s) *
+                  contention_pyg)) /
+      static_cast<double>(num_workers);
+  const double straggler_s =
+      num_gpus > 1 ? hw.straggler_cv *
+                         std::sqrt(2.0 * std::log(static_cast<double>(
+                                             num_gpus))) *
+                         supply_interval
+                   : 0.0;
+  const double ar_s =
+      allreduce_seconds(hw, w.grad_mb, num_gpus) + straggler_s;
+  // Parallel slicing on the baseline's main side: capped by the memory
+  // bandwidth (Table 2's sub-linear slicing scaling). The pin-memory copy
+  // runs in the DataLoader's dedicated pinning thread and overlaps; it is
+  // not charged to the main thread (it contributes bandwidth pressure,
+  // folded into the slice cap).
+  const double slice_main_s =
+      w.slice_s /
+      std::min(static_cast<double>(num_workers), w.slice_parallel_cap);
+  constexpr int kPrefetch = 2;      // DataLoader prefetch_factor
+  constexpr int kQueueCap = 4;      // SALIENT output queue
+  constexpr int kPipelineDepth = 2; // device batches in flight
+
+  EpochSimResult result;
+  std::vector<GpuState> gpus(static_cast<std::size_t>(num_gpus));
+  for (auto& g : gpus) {
+    if (opts.shared_memory_prep) {
+      g.pool = std::make_unique<PoolResource>(num_workers);
+    } else {
+      g.worker_free.assign(static_cast<std::size_t>(num_workers), 0.0);
+      g.worker_consumed.assign(static_cast<std::size_t>(num_workers), {});
+    }
+    g.prep_done.assign(static_cast<std::size_t>(batches_per_gpu), 0.0);
+    g.xfer_end.assign(static_cast<std::size_t>(batches_per_gpu), 0.0);
+    g.train_end.assign(static_cast<std::size_t>(batches_per_gpu), 0.0);
+    g.consumed.assign(static_cast<std::size_t>(batches_per_gpu), 0.0);
+  }
+
+  auto lane = [](const char* base, int g) {
+    return std::string(base) + std::to_string(g);
+  };
+
+  // Process batch index j in lock step across GPUs (the all-reduce couples
+  // them; within one GPU the order is the consumption order anyway).
+  for (std::int64_t j = 0; j < batches_per_gpu; ++j) {
+    double ar_gate = 0;  // max train end across GPUs for this step
+    for (int gi = 0; gi < num_gpus; ++gi) {
+      auto& g = gpus[static_cast<std::size_t>(gi)];
+      const auto ju = static_cast<std::size_t>(j);
+
+      // ---- batch preparation -------------------------------------------
+      if (opts.shared_memory_prep) {
+        // Dynamic worker pool; bounded output queue gates re-use.
+        // A worker holds one batch in flight and the output queue holds
+        // kQueueCap more, so preparation of batch j is gated on the
+        // consumption of batch j - (workers + capacity).
+        const std::int64_t window = kQueueCap + num_workers;
+        const double gate = j >= window ? g.consumed[ju - window] : 0.0;
+        const double prep_cost = sample_s + worker_slice_s;
+        int unit = 0;
+        const double start = g.pool->acquire(gate, prep_cost, &unit);
+        g.prep_done[ju] = start + prep_cost;
+        g.sampler_busy += prep_cost;
+        result.timeline.add(lane("w", gi) + "." + std::to_string(unit),
+                            "sample", j, start, start + sample_s);
+        result.timeline.add(lane("w", gi) + "." + std::to_string(unit),
+                            "Y-slice", j, start + sample_s,
+                            g.prep_done[ju]);
+      } else {
+        // Static round-robin worker, prefetch-capped.
+        const auto wi = static_cast<std::size_t>(j % num_workers);
+        auto& consumed = g.worker_consumed[wi];
+        const double gate = consumed.size() >= kPrefetch
+                                ? consumed[consumed.size() - kPrefetch]
+                                : 0.0;
+        // The worker pays sampling plus the IPC serialization; the consumer
+        // side of PyTorch's shm transport maps tensors without a bulk copy.
+        const double start =
+            std::max(g.worker_free[wi], gate);
+        const double done = start + sample_s + w.ipc_s;
+        g.worker_free[wi] = done;
+        g.prep_done[ju] = done;
+        g.sampler_busy += sample_s;
+        result.timeline.add(
+            lane("w", gi) + "." + std::to_string(wi), "sample", j, start,
+            done);
+      }
+
+      // ---- main-thread consumption -------------------------------------
+      double wait = std::max(0.0, g.prep_done[ju] - g.main_t);
+      g.blocked_prep += wait;
+      g.main_t = std::max(g.main_t, g.prep_done[ju]);
+      if (!opts.shared_memory_prep) {
+        // Parallel slicing blocks the main thread (Listing 1 line 3).
+        const double cons = slice_main_s;
+        result.timeline.add(lane("main", gi), "Y-slice", j, g.main_t,
+                            g.main_t + cons);
+        g.main_t += cons;
+        g.blocked_prep += cons;
+        auto& consumed_vec = g.worker_consumed[
+            static_cast<std::size_t>(j % num_workers)];
+        consumed_vec.push_back(g.main_t);
+      }
+
+      // ---- transfer ------------------------------------------------------
+      if (opts.pipelined_transfers) {
+        // Async: gated by pipeline depth, overlaps GPU compute.
+        const double depth_gate =
+            j >= kPipelineDepth ? g.train_end[ju - kPipelineDepth] : 0.0;
+        const double xstart =
+            g.pcie.acquire(std::max(g.main_t, depth_gate), xfer_s);
+        g.xfer_end[ju] = xstart + xfer_s;
+        result.timeline.add(lane("pcie", gi), "xfer", j, xstart,
+                            g.xfer_end[ju]);
+        g.consumed[ju] = g.xfer_end[ju];  // pinned buffer freed after copy
+        // Main thread only throttles on depth.
+        const double throttle =
+            j >= kPipelineDepth
+                ? std::max(0.0, g.train_end[ju - kPipelineDepth] - g.main_t)
+                : 0.0;
+        g.blocked_train += throttle;
+        g.main_t += throttle;
+      } else {
+        // Blocking `.to(device)`.
+        const double xstart = g.pcie.acquire(g.main_t, xfer_s);
+        g.xfer_end[ju] = xstart + xfer_s;
+        result.timeline.add(lane("pcie", gi), "xfer", j, xstart,
+                            g.xfer_end[ju]);
+        g.blocked_transfer += g.xfer_end[ju] - g.main_t;
+        g.main_t = g.xfer_end[ju];
+        g.consumed[ju] = g.main_t;
+      }
+      g.pcie_busy += xfer_s;
+
+      // ---- GPU training ---------------------------------------------------
+      const double tstart = g.gpu.acquire(g.xfer_end[ju], train_s);
+      g.train_end[ju] = tstart + train_s;
+      g.gpu_busy += train_s;
+      result.timeline.add(lane("gpu", gi), "train", j, tstart,
+                          g.train_end[ju]);
+      if (!opts.pipelined_transfers) {
+        // Blocking execution: main waits for the training step.
+        g.blocked_train += std::max(0.0, g.train_end[ju] - g.main_t);
+        g.main_t = std::max(g.main_t, g.train_end[ju]);
+      }
+      ar_gate = std::max(ar_gate, g.train_end[ju]);
+    }
+
+    // ---- gradient all-reduce (couples all GPUs) --------------------------
+    if (num_gpus > 1) {
+      const double ar_end = ar_gate + ar_s;
+      result.timeline.add("net", "allreduce", j, ar_gate, ar_end);
+      for (auto& g : gpus) {
+        const auto ju = static_cast<std::size_t>(j);
+        g.train_end[ju] = ar_end;  // optimizer steps after the reduce
+        g.gpu.acquire(ar_end, 0.0);
+        if (!opts.pipelined_transfers) {
+          g.blocked_train += std::max(0.0, ar_end - g.main_t);
+          g.main_t = std::max(g.main_t, ar_end);
+        }
+      }
+    }
+  }
+
+  // Drain: every GPU's main thread waits for its last training step.
+  double epoch_end = 0;
+  for (auto& g : gpus) {
+    const double last = g.train_end[static_cast<std::size_t>(
+        batches_per_gpu - 1)];
+    g.blocked_train += std::max(0.0, last - g.main_t);
+    g.main_t = std::max(g.main_t, last);
+    epoch_end = std::max(epoch_end, g.main_t);
+    result.blocked_prep_s = std::max(result.blocked_prep_s, g.blocked_prep);
+    result.blocked_transfer_s =
+        std::max(result.blocked_transfer_s, g.blocked_transfer);
+    result.blocked_train_s =
+        std::max(result.blocked_train_s, g.blocked_train);
+    result.sampler_busy_s += g.sampler_busy;
+    result.gpu_busy_s += g.gpu_busy;
+    result.pcie_busy_s += g.pcie_busy;
+  }
+  result.epoch_seconds = epoch_end;
+  return result;
+}
+
+WorkloadModel paper_workload(const std::string& dataset) {
+  // Distilled from the paper's published measurements. Per-batch costs are
+  // epoch totals divided by the number of mini-batches (train nodes / 1024):
+  //   arxiv: 91K train nodes -> 89 batches;  products: 197K -> 193;
+  //   papers: 1.2M -> 1172.
+  // Table 1 gives PyG blocking prep/transfer/train; Table 2 gives 1-thread
+  // sampling/slicing for products (71.1s / 7.6s PyG, 28.3s / 7.3s SALIENT;
+  // sampling ratio 2.51x, slicing ~1.04x + the pin copy). §3.3: 164 GB per
+  // papers epoch at 9.2 GB/s baseline. Train times are Table 1's GPU column.
+  WorkloadModel w;
+  w.dataset = dataset;
+  const double sampler_ratio = 71.1 / 28.3;  // 2.51x (Table 2)
+  if (dataset == "arxiv") {
+    // Serial sampling back-derived from Table 1's 1.7s epoch (sampling-
+    // bound at 20 workers with the Table 2 scaling cap): ~17s serial.
+    w.num_batches = 89;
+    w.sample_pyg_s = 16.8 / 89;
+    w.slice_s = 0.9 / 89;
+    w.transfer_mb = 0.3 * 12.3 * 0.75 * 1000 / 89;  // from Table 1 transfer
+    w.train_gpu_s = 0.5 / 89;
+    w.grad_mb = 1.2;
+  } else if (dataset == "products") {
+    w.num_batches = 193;
+    w.sample_pyg_s = 71.1 / 193;
+    w.slice_s = 7.6 / 193;
+    w.transfer_mb = 2.2 * 12.3 * 0.75 * 1000 / 193;
+    w.train_gpu_s = 2.4 / 193;
+    w.grad_mb = 1.1;
+    w.sample_parallel_cap = 71.1 / 7.2;   // Table 2, P=20
+    w.prep_parallel_cap = 35.6 / 2.5;     // Table 2 "Both", P=20
+  } else if (dataset == "papers") {
+    // Serial sampling back-derived from Table 1: the 50.4s baseline epoch
+    // with 18.6s of blocked prep implies ~500s serial sampling under the
+    // Table 2 parallel-efficiency cap.
+    w.num_batches = 1172;
+    w.sample_pyg_s = 500.0 / 1172;
+    w.slice_s = 18.2 / 1172;
+    w.transfer_mb = 164.0 * 1000 / 1172;  // §3.3: 164 GB per epoch
+    w.train_gpu_s = 13.9 / 1172;
+    w.grad_mb = 1.2;
+  } else {
+    throw std::invalid_argument("paper_workload: unknown dataset " + dataset);
+  }
+  w.sample_salient_s = w.sample_pyg_s / sampler_ratio;
+  w.pin_copy_s = w.slice_s;      // the extra pass through memory
+  w.ipc_s = w.slice_s * 0.5;     // MFG blob is small next to features
+  w.slice_parallel_cap = 6.0;
+  return w;
+}
+
+}  // namespace salient::sim

@@ -1,0 +1,29 @@
+#include "sim/resources.h"
+
+#include <stdexcept>
+
+namespace salient::sim {
+
+PoolResource::PoolResource(int units) {
+  if (units < 1) throw std::invalid_argument("PoolResource: units < 1");
+  free_.assign(static_cast<std::size_t>(units), 0.0);
+}
+
+double PoolResource::acquire(double ready, double duration, int* unit_out) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < free_.size(); ++i) {
+    if (free_[i] < free_[best]) best = i;
+  }
+  const double start = ready > free_[best] ? ready : free_[best];
+  free_[best] = start + duration;
+  if (unit_out != nullptr) *unit_out = static_cast<int>(best);
+  return start;
+}
+
+double PoolResource::earliest_free() const {
+  double t = free_[0];
+  for (const double f : free_) t = f < t ? f : t;
+  return t;
+}
+
+}  // namespace salient::sim

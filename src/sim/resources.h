@@ -1,0 +1,53 @@
+// Discrete-event scheduling primitives for the cluster simulator.
+//
+// The simulator advances virtual time by resolving, for each task, the
+// earliest start permitted by (a) its data dependencies (ready time) and
+// (b) the availability of the contended resource it runs on. Two resource
+// flavours cover everything in the pipeline models:
+//   * FifoResource  — a single serially-reusable unit (a PCIe link, a GPU,
+//     the Python main thread);
+//   * PoolResource  — k interchangeable units (a pool of CPU cores /
+//     preparation workers), always granting the earliest-available unit.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+namespace salient::sim {
+
+/// One exclusive unit; requests are served in call order.
+class FifoResource {
+ public:
+  /// Reserve the resource for `duration` starting no earlier than `ready`.
+  /// Returns the actual start time.
+  double acquire(double ready, double duration) {
+    const double start = ready > free_ ? ready : free_;
+    free_ = start + duration;
+    return start;
+  }
+
+  /// Next time the resource is idle.
+  double free_time() const { return free_; }
+
+ private:
+  double free_ = 0;
+};
+
+/// k interchangeable units; each acquire takes the earliest-free unit.
+class PoolResource {
+ public:
+  explicit PoolResource(int units);
+
+  /// Reserve one unit for `duration` starting no earlier than `ready`.
+  /// Returns the start time; `unit_out` (optional) receives the unit index.
+  double acquire(double ready, double duration, int* unit_out = nullptr);
+
+  int units() const { return static_cast<int>(free_.size()); }
+  /// Earliest time any unit becomes idle.
+  double earliest_free() const;
+
+ private:
+  std::vector<double> free_;  // free time per unit (small k: linear scan)
+};
+
+}  // namespace salient::sim

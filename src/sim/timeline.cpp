@@ -1,0 +1,64 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace salient::sim {
+
+void Timeline::add(std::string lane, std::string label, std::int64_t batch,
+                   double start, double end) {
+  spans_.push_back(
+      {std::move(lane), std::move(label), batch, start, std::max(start, end)});
+}
+
+double Timeline::end_time() const {
+  double t = 0;
+  for (const auto& s : spans_) t = std::max(t, s.end);
+  return t;
+}
+
+std::string Timeline::render_ascii(int columns) const {
+  const double total = end_time();
+  if (total <= 0 || spans_.empty()) return "(empty timeline)\n";
+  // Stable lane order: first appearance.
+  std::vector<std::string> lane_order;
+  std::map<std::string, std::string> rows;
+  std::size_t width = 0;
+  for (const auto& s : spans_) {
+    if (rows.find(s.lane) == rows.end()) {
+      lane_order.push_back(s.lane);
+      rows[s.lane] = std::string(static_cast<std::size_t>(columns), '.');
+      width = std::max(width, s.lane.size());
+    }
+  }
+  for (const auto& s : spans_) {
+    auto& row = rows[s.lane];
+    const int b = std::clamp(
+        static_cast<int>(s.start / total * columns), 0, columns - 1);
+    const int e = std::clamp(static_cast<int>(s.end / total * columns), b,
+                             columns - 1);
+    const char c = s.label.empty() ? '?' : s.label[0];
+    for (int i = b; i <= e; ++i) {
+      auto& cell = row[static_cast<std::size_t>(i)];
+      cell = (cell == '.' || cell == c) ? c : '#';
+    }
+  }
+  std::ostringstream os;
+  for (const auto& lane : lane_order) {
+    os << lane << std::string(width - lane.size() + 1, ' ') << '|'
+       << rows[lane] << "|\n";
+  }
+  os << "(total " << total << "s; key: first letter of phase, '#' overlap)\n";
+  return os.str();
+}
+
+void Timeline::write_csv(std::ostream& os) const {
+  os << "lane,label,batch,start,end\n";
+  for (const auto& s : spans_) {
+    os << s.lane << ',' << s.label << ',' << s.batch << ',' << s.start << ','
+       << s.end << '\n';
+  }
+}
+
+}  // namespace salient::sim

@@ -1,0 +1,45 @@
+// Timeline traces for the cluster simulator.
+//
+// Every simulated activity (sampling, slicing, transfer, training, ...)
+// records a span on a named lane. Rendering the lanes as ASCII regenerates
+// Figure 1 of the paper — the visual comparison of the standard PyTorch
+// workflow against SALIENT's overlapped pipeline.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace salient::sim {
+
+struct TimelineSpan {
+  std::string lane;   ///< e.g. "worker0", "main", "gpu0", "pcie0"
+  std::string label;  ///< e.g. "sample", "slice", "xfer", "train"
+  std::int64_t batch = -1;
+  double start = 0;
+  double end = 0;
+};
+
+class Timeline {
+ public:
+  void add(std::string lane, std::string label, std::int64_t batch,
+           double start, double end);
+
+  const std::vector<TimelineSpan>& spans() const { return spans_; }
+  /// Latest span end (the simulated makespan).
+  double end_time() const;
+
+  /// Render as fixed-width ASCII art, one row per lane (Figure 1 style).
+  /// `columns` characters represent [0, end_time()]. Spans are drawn with
+  /// the first letter of their label; overlaps on one lane show '#'.
+  std::string render_ascii(int columns = 100) const;
+
+  /// CSV dump: lane,label,batch,start,end.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<TimelineSpan> spans_;
+};
+
+}  // namespace salient::sim

@@ -1,0 +1,33 @@
+#include "tensor/dtype.h"
+
+namespace salient {
+
+std::size_t dtype_size(DType dt) {
+  switch (dt) {
+    case DType::kF16:
+      return 2;
+    case DType::kF32:
+      return 4;
+    case DType::kF64:
+      return 8;
+    case DType::kI64:
+      return 8;
+  }
+  return 0;
+}
+
+const char* dtype_name(DType dt) {
+  switch (dt) {
+    case DType::kF16:
+      return "f16";
+    case DType::kF32:
+      return "f32";
+    case DType::kF64:
+      return "f64";
+    case DType::kI64:
+      return "i64";
+  }
+  return "?";
+}
+
+}  // namespace salient

@@ -1,0 +1,48 @@
+// Element types supported by the tensor library.
+//
+// F16 is a storage-only type (the host-side feature store keeps features in
+// half precision, as in the paper); compute happens in F32 (the "GPU" compute
+// precision) or F64 (used by gradient checking). I64 is the index/label type.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/half.h"
+
+namespace salient {
+
+enum class DType : std::uint8_t {
+  kF16 = 0,
+  kF32 = 1,
+  kF64 = 2,
+  kI64 = 3,
+};
+
+/// Size in bytes of one element of `dt`.
+std::size_t dtype_size(DType dt);
+
+/// Human-readable name: "f16", "f32", "f64", "i64".
+const char* dtype_name(DType dt);
+
+/// Maps a C++ scalar type to its DType tag.
+template <typename T>
+struct DTypeOf;
+template <>
+struct DTypeOf<Half> {
+  static constexpr DType value = DType::kF16;
+};
+template <>
+struct DTypeOf<float> {
+  static constexpr DType value = DType::kF32;
+};
+template <>
+struct DTypeOf<double> {
+  static constexpr DType value = DType::kF64;
+};
+template <>
+struct DTypeOf<std::int64_t> {
+  static constexpr DType value = DType::kI64;
+};
+
+}  // namespace salient

@@ -1,0 +1,651 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <type_traits>
+
+#include "util/rng.h"
+
+namespace salient::ops {
+
+namespace {
+
+void check_float(const Tensor& t, const char* op) {
+  if (t.dtype() != DType::kF32 && t.dtype() != DType::kF64) {
+    throw std::runtime_error(std::string(op) + ": float tensor required");
+  }
+}
+
+void check_same(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.dtype() != b.dtype() || a.shape() != b.shape()) {
+    throw std::runtime_error(std::string(op) +
+                             ": shape/dtype mismatch: " + a.str() + " vs " +
+                             b.str());
+  }
+}
+
+/// Apply f elementwise over two same-shaped tensors into a new tensor.
+template <typename F>
+Tensor binary_op(const Tensor& a, const Tensor& b, const char* name, F f) {
+  check_float(a, name);
+  check_same(a, b, name);
+  Tensor out(a.shape(), a.dtype());
+  const std::int64_t n = a.numel();
+  if (a.dtype() == DType::kF32) {
+    const float* pa = a.data<float>();
+    const float* pb = b.data<float>();
+    float* po = out.data<float>();
+    for (std::int64_t i = 0; i < n; ++i) po[i] = static_cast<float>(f(pa[i], pb[i]));
+  } else {
+    const double* pa = a.data<double>();
+    const double* pb = b.data<double>();
+    double* po = out.data<double>();
+    for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  }
+  return out;
+}
+
+template <typename F>
+Tensor unary_op(const Tensor& x, const char* name, F f) {
+  check_float(x, name);
+  Tensor out(x.shape(), x.dtype());
+  const std::int64_t n = x.numel();
+  if (x.dtype() == DType::kF32) {
+    const float* px = x.data<float>();
+    float* po = out.data<float>();
+    for (std::int64_t i = 0; i < n; ++i) po[i] = static_cast<float>(f(px[i]));
+  } else {
+    const double* px = x.data<double>();
+    double* po = out.data<double>();
+    for (std::int64_t i = 0; i < n; ++i) po[i] = f(px[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, "add", [](double x, double y) { return x + y; });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, "sub", [](double x, double y) { return x - y; });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, "mul", [](double x, double y) { return x * y; });
+}
+
+Tensor scale(const Tensor& a, double alpha) {
+  return unary_op(a, "scale", [alpha](double x) { return alpha * x; });
+}
+
+Tensor add_scaled(const Tensor& a, const Tensor& b, double alpha) {
+  return binary_op(a, b, "add_scaled",
+                   [alpha](double x, double y) { return x + alpha * y; });
+}
+
+void axpy_(Tensor& a, const Tensor& b, double alpha) {
+  check_float(a, "axpy_");
+  check_same(a, b, "axpy_");
+  const std::int64_t n = a.numel();
+  if (a.dtype() == DType::kF32) {
+    float* pa = a.data<float>();
+    const float* pb = b.data<float>();
+    const auto al = static_cast<float>(alpha);
+    for (std::int64_t i = 0; i < n; ++i) pa[i] += al * pb[i];
+  } else {
+    double* pa = a.data<double>();
+    const double* pb = b.data<double>();
+    for (std::int64_t i = 0; i < n; ++i) pa[i] += alpha * pb[i];
+  }
+}
+
+Tensor relu(const Tensor& x) {
+  return unary_op(x, "relu", [](double v) { return v > 0 ? v : 0.0; });
+}
+
+Tensor relu_mask(const Tensor& x) {
+  return unary_op(x, "relu_mask", [](double v) { return v > 0 ? 1.0 : 0.0; });
+}
+
+Tensor leaky_relu(const Tensor& x, double slope) {
+  return unary_op(x, "leaky_relu",
+                  [slope](double v) { return v > 0 ? v : slope * v; });
+}
+
+Tensor leaky_relu_mask(const Tensor& x, double slope) {
+  return unary_op(x, "leaky_relu_mask",
+                  [slope](double v) { return v > 0 ? 1.0 : slope; });
+}
+
+Tensor exp(const Tensor& x) {
+  return unary_op(x, "exp", [](double v) { return std::exp(v); });
+}
+
+Tensor log(const Tensor& x) {
+  return unary_op(x, "log", [](double v) { return std::log(v); });
+}
+
+Tensor sqrt(const Tensor& x) {
+  return unary_op(x, "sqrt", [](double v) { return std::sqrt(v); });
+}
+
+Tensor add_row_broadcast(const Tensor& x, const Tensor& b) {
+  check_float(x, "add_row_broadcast");
+  if (x.dim() != 2 || b.dim() != 1 || b.size(0) != x.size(1) ||
+      b.dtype() != x.dtype()) {
+    throw std::runtime_error("add_row_broadcast: need [M,N] + [N]");
+  }
+  Tensor out(x.shape(), x.dtype());
+  const std::int64_t m = x.size(0), n = x.size(1);
+  if (x.dtype() == DType::kF32) {
+    const float* px = x.data<float>();
+    const float* pb = b.data<float>();
+    float* po = out.data<float>();
+    for (std::int64_t i = 0; i < m; ++i)
+      for (std::int64_t j = 0; j < n; ++j)
+        po[i * n + j] = px[i * n + j] + pb[j];
+  } else {
+    const double* px = x.data<double>();
+    const double* pb = b.data<double>();
+    double* po = out.data<double>();
+    for (std::int64_t i = 0; i < m; ++i)
+      for (std::int64_t j = 0; j < n; ++j)
+        po[i * n + j] = px[i * n + j] + pb[j];
+  }
+  return out;
+}
+
+Tensor sum_rows(const Tensor& x) {
+  check_float(x, "sum_rows");
+  if (x.dim() != 2) throw std::runtime_error("sum_rows: need [M,N]");
+  const std::int64_t m = x.size(0), n = x.size(1);
+  Tensor out({n}, x.dtype());
+  if (x.dtype() == DType::kF32) {
+    const float* px = x.data<float>();
+    float* po = out.data<float>();
+    for (std::int64_t i = 0; i < m; ++i)
+      for (std::int64_t j = 0; j < n; ++j) po[j] += px[i * n + j];
+  } else {
+    const double* px = x.data<double>();
+    double* po = out.data<double>();
+    for (std::int64_t i = 0; i < m; ++i)
+      for (std::int64_t j = 0; j < n; ++j) po[j] += px[i * n + j];
+  }
+  return out;
+}
+
+double sum_all(const Tensor& x) {
+  check_float(x, "sum_all");
+  double s = 0;
+  const std::int64_t n = x.numel();
+  if (x.dtype() == DType::kF32) {
+    const float* p = x.data<float>();
+    for (std::int64_t i = 0; i < n; ++i) s += p[i];
+  } else {
+    const double* p = x.data<double>();
+    for (std::int64_t i = 0; i < n; ++i) s += p[i];
+  }
+  return s;
+}
+
+double mean_all(const Tensor& x) {
+  const std::int64_t n = x.numel();
+  return n ? sum_all(x) / static_cast<double>(n) : 0.0;
+}
+
+Tensor gather_rows(const Tensor& x, const Tensor& idx) {
+  if (x.dim() != 2 || idx.dim() != 1 || idx.dtype() != DType::kI64) {
+    throw std::runtime_error("gather_rows: need x [M,N], idx [K] i64");
+  }
+  const std::int64_t m = x.size(0), n = x.size(1), k = idx.size(0);
+  Tensor out({k, n}, x.dtype());
+  const std::int64_t* pi = idx.data<std::int64_t>();
+  const std::size_t row_bytes = static_cast<std::size_t>(n) * dtype_size(x.dtype());
+  const char* src = static_cast<const char*>(x.raw());
+  char* dst = static_cast<char*>(out.raw());
+  for (std::int64_t r = 0; r < k; ++r) {
+    const std::int64_t i = pi[r];
+    if (i < 0 || i >= m) throw std::out_of_range("gather_rows: index");
+    std::memcpy(dst + static_cast<std::size_t>(r) * row_bytes,
+                src + static_cast<std::size_t>(i) * row_bytes, row_bytes);
+  }
+  return out;
+}
+
+void scatter_add_rows_(Tensor& dst, const Tensor& idx, const Tensor& src) {
+  check_float(dst, "scatter_add_rows_");
+  if (dst.dim() != 2 || src.dim() != 2 || idx.dim() != 1 ||
+      idx.dtype() != DType::kI64 || src.dtype() != dst.dtype() ||
+      src.size(1) != dst.size(1) || idx.size(0) != src.size(0)) {
+    throw std::runtime_error("scatter_add_rows_: shape mismatch");
+  }
+  const std::int64_t k = src.size(0), n = src.size(1), m = dst.size(0);
+  const std::int64_t* pi = idx.data<std::int64_t>();
+  if (dst.dtype() == DType::kF32) {
+    float* pd = dst.data<float>();
+    const float* ps = src.data<float>();
+    for (std::int64_t r = 0; r < k; ++r) {
+      const std::int64_t i = pi[r];
+      if (i < 0 || i >= m) throw std::out_of_range("scatter_add_rows_: index");
+      for (std::int64_t j = 0; j < n; ++j) pd[i * n + j] += ps[r * n + j];
+    }
+  } else {
+    double* pd = dst.data<double>();
+    const double* ps = src.data<double>();
+    for (std::int64_t r = 0; r < k; ++r) {
+      const std::int64_t i = pi[r];
+      if (i < 0 || i >= m) throw std::out_of_range("scatter_add_rows_: index");
+      for (std::int64_t j = 0; j < n; ++j) pd[i * n + j] += ps[r * n + j];
+    }
+  }
+}
+
+Tensor concat_cols(const std::vector<Tensor>& xs) {
+  if (xs.empty()) throw std::runtime_error("concat_cols: empty input");
+  const std::int64_t m = xs[0].size(0);
+  const DType dt = xs[0].dtype();
+  std::int64_t total = 0;
+  for (const auto& x : xs) {
+    if (x.dim() != 2 || x.size(0) != m || x.dtype() != dt) {
+      throw std::runtime_error("concat_cols: mismatched inputs");
+    }
+    total += x.size(1);
+  }
+  Tensor out({m, total}, dt);
+  const std::size_t esz = dtype_size(dt);
+  char* pd = static_cast<char*>(out.raw());
+  std::int64_t col = 0;
+  for (const auto& x : xs) {
+    const std::int64_t n = x.size(1);
+    const char* ps = static_cast<const char*>(x.raw());
+    for (std::int64_t i = 0; i < m; ++i) {
+      std::memcpy(pd + (static_cast<std::size_t>(i) * total + col) * esz,
+                  ps + static_cast<std::size_t>(i) * n * esz,
+                  static_cast<std::size_t>(n) * esz);
+    }
+    col += n;
+  }
+  return out;
+}
+
+Tensor log_softmax_rows(const Tensor& x) {
+  check_float(x, "log_softmax_rows");
+  if (x.dim() != 2) throw std::runtime_error("log_softmax_rows: need [M,N]");
+  const std::int64_t m = x.size(0), n = x.size(1);
+  Tensor out(x.shape(), x.dtype());
+  auto run = [m, n](const auto* px, auto* po) {
+    using T = std::remove_cv_t<std::remove_reference_t<decltype(px[0])>>;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const auto* row = px + i * n;
+      auto* orow = po + i * n;
+      T mx = row[0];
+      for (std::int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+      double s = 0;
+      for (std::int64_t j = 0; j < n; ++j) s += std::exp(double(row[j] - mx));
+      const double lse = std::log(s) + double(mx);
+      for (std::int64_t j = 0; j < n; ++j)
+        orow[j] = static_cast<T>(double(row[j]) - lse);
+    }
+  };
+  if (x.dtype() == DType::kF32) {
+    run(x.data<float>(), out.data<float>());
+  } else {
+    run(x.data<double>(), out.data<double>());
+  }
+  return out;
+}
+
+double nll_loss_mean(const Tensor& logp, const Tensor& target) {
+  check_float(logp, "nll_loss_mean");
+  if (logp.dim() != 2 || target.dim() != 1 ||
+      target.dtype() != DType::kI64 || target.size(0) != logp.size(0)) {
+    throw std::runtime_error("nll_loss_mean: need logp [M,C], target [M]");
+  }
+  const std::int64_t m = logp.size(0), c = logp.size(1);
+  const std::int64_t* pt = target.data<std::int64_t>();
+  double s = 0;
+  if (logp.dtype() == DType::kF32) {
+    const float* p = logp.data<float>();
+    for (std::int64_t i = 0; i < m; ++i) {
+      if (pt[i] < 0 || pt[i] >= c) throw std::out_of_range("nll: label");
+      s -= p[i * c + pt[i]];
+    }
+  } else {
+    const double* p = logp.data<double>();
+    for (std::int64_t i = 0; i < m; ++i) {
+      if (pt[i] < 0 || pt[i] >= c) throw std::out_of_range("nll: label");
+      s -= p[i * c + pt[i]];
+    }
+  }
+  return m ? s / static_cast<double>(m) : 0.0;
+}
+
+Tensor nll_loss_mean_backward(const Tensor& logp, const Tensor& target) {
+  const std::int64_t m = logp.size(0), c = logp.size(1);
+  Tensor g(logp.shape(), logp.dtype());
+  const std::int64_t* pt = target.data<std::int64_t>();
+  const double inv = m ? -1.0 / static_cast<double>(m) : 0.0;
+  if (logp.dtype() == DType::kF32) {
+    float* pg = g.data<float>();
+    for (std::int64_t i = 0; i < m; ++i)
+      pg[i * c + pt[i]] = static_cast<float>(inv);
+  } else {
+    double* pg = g.data<double>();
+    for (std::int64_t i = 0; i < m; ++i) pg[i * c + pt[i]] = inv;
+  }
+  return g;
+}
+
+Tensor argmax_rows(const Tensor& x) {
+  check_float(x, "argmax_rows");
+  if (x.dim() != 2) throw std::runtime_error("argmax_rows: need [M,N]");
+  const std::int64_t m = x.size(0), n = x.size(1);
+  Tensor out({m}, DType::kI64);
+  std::int64_t* po = out.data<std::int64_t>();
+  auto run = [m, n, po](const auto* px) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      const auto* row = px + i * n;
+      std::int64_t best = 0;
+      for (std::int64_t j = 1; j < n; ++j)
+        if (row[j] > row[best]) best = j;
+      po[i] = best;
+    }
+  };
+  if (x.dtype() == DType::kF32) {
+    run(x.data<float>());
+  } else {
+    run(x.data<double>());
+  }
+  return out;
+}
+
+double accuracy(const Tensor& logits, const Tensor& target) {
+  const Tensor pred = argmax_rows(logits);
+  const std::int64_t m = pred.size(0);
+  if (m == 0) return 0.0;
+  const std::int64_t* pp = pred.data<std::int64_t>();
+  const std::int64_t* pt = target.data<std::int64_t>();
+  std::int64_t hit = 0;
+  for (std::int64_t i = 0; i < m; ++i) hit += (pp[i] == pt[i]);
+  return static_cast<double>(hit) / static_cast<double>(m);
+}
+
+Tensor dropout_mask(const std::vector<std::int64_t>& shape, double p,
+                    std::uint64_t seed, DType dtype) {
+  if (p < 0 || p >= 1) throw std::invalid_argument("dropout_mask: bad p");
+  Tensor mask(shape, dtype);
+  Xoshiro256ss rng(seed);
+  const double keep = 1.0 - p;
+  const double inv_keep = 1.0 / keep;
+  const std::int64_t n = mask.numel();
+  // Threshold in the generator's output range for the keep probability.
+  const auto threshold = static_cast<std::uint64_t>(
+      keep * static_cast<double>(Xoshiro256ss::max()));
+  if (dtype == DType::kF32) {
+    float* pm = mask.data<float>();
+    for (std::int64_t i = 0; i < n; ++i)
+      pm[i] = rng() <= threshold ? static_cast<float>(inv_keep) : 0.0f;
+  } else if (dtype == DType::kF64) {
+    double* pm = mask.data<double>();
+    for (std::int64_t i = 0; i < n; ++i)
+      pm[i] = rng() <= threshold ? inv_keep : 0.0;
+  } else {
+    throw std::runtime_error("dropout_mask: dtype must be f32/f64");
+  }
+  return mask;
+}
+
+namespace {
+
+template <bool Mean>
+Tensor spmm_impl(const std::vector<std::int64_t>& indptr,
+                 const std::vector<std::int64_t>& indices, const Tensor& x,
+                 std::int64_t num_dst, const char* name) {
+  check_float(x, name);
+  if (x.dim() != 2) throw std::runtime_error(std::string(name) + ": x rank");
+  if (static_cast<std::int64_t>(indptr.size()) != num_dst + 1) {
+    throw std::runtime_error(std::string(name) + ": indptr size");
+  }
+  const std::int64_t s = x.size(0), f = x.size(1);
+  Tensor out({num_dst, f}, x.dtype());
+  auto run = [&](const auto* px, auto* po) {
+    using T = std::remove_cv_t<std::remove_reference_t<decltype(px[0])>>;
+    for (std::int64_t d = 0; d < num_dst; ++d) {
+      const std::int64_t b = indptr[d], e = indptr[d + 1];
+      auto* orow = po + d * f;
+      for (std::int64_t k = b; k < e; ++k) {
+        const std::int64_t src = indices[static_cast<std::size_t>(k)];
+        if (src < 0 || src >= s) {
+          throw std::out_of_range(std::string(name) + ": source index");
+        }
+        const auto* row = px + src * f;
+        for (std::int64_t j = 0; j < f; ++j) orow[j] += row[j];
+      }
+      if (Mean && e > b) {
+        const T inv = static_cast<T>(1.0 / static_cast<double>(e - b));
+        for (std::int64_t j = 0; j < f; ++j) orow[j] *= inv;
+      }
+    }
+  };
+  if (x.dtype() == DType::kF32) {
+    run(x.data<float>(), out.data<float>());
+  } else {
+    run(x.data<double>(), out.data<double>());
+  }
+  return out;
+}
+
+template <bool Mean>
+Tensor spmm_backward_impl(const std::vector<std::int64_t>& indptr,
+                          const std::vector<std::int64_t>& indices,
+                          const Tensor& grad_out, std::int64_t num_src,
+                          const char* name) {
+  check_float(grad_out, name);
+  const std::int64_t d_count = grad_out.size(0), f = grad_out.size(1);
+  if (static_cast<std::int64_t>(indptr.size()) != d_count + 1) {
+    throw std::runtime_error(std::string(name) + ": indptr size");
+  }
+  Tensor gx({num_src, f}, grad_out.dtype());
+  auto run = [&](const auto* pg, auto* px) {
+    using T = std::remove_cv_t<std::remove_reference_t<decltype(pg[0])>>;
+    for (std::int64_t d = 0; d < d_count; ++d) {
+      const std::int64_t b = indptr[d], e = indptr[d + 1];
+      if (e == b) continue;
+      const T w =
+          Mean ? static_cast<T>(1.0 / static_cast<double>(e - b)) : T(1);
+      const auto* grow = pg + d * f;
+      for (std::int64_t k = b; k < e; ++k) {
+        const std::int64_t src = indices[static_cast<std::size_t>(k)];
+        if (src < 0 || src >= num_src) {
+          throw std::out_of_range(std::string(name) + ": source index");
+        }
+        auto* xrow = px + src * f;
+        for (std::int64_t j = 0; j < f; ++j) xrow[j] += w * grow[j];
+      }
+    }
+  };
+  if (grad_out.dtype() == DType::kF32) {
+    run(grad_out.data<float>(), gx.data<float>());
+  } else {
+    run(grad_out.data<double>(), gx.data<double>());
+  }
+  return gx;
+}
+
+}  // namespace
+
+Tensor spmm_mean(const std::vector<std::int64_t>& indptr,
+                 const std::vector<std::int64_t>& indices, const Tensor& x,
+                 std::int64_t num_dst) {
+  return spmm_impl<true>(indptr, indices, x, num_dst, "spmm_mean");
+}
+
+Tensor spmm_sum(const std::vector<std::int64_t>& indptr,
+                const std::vector<std::int64_t>& indices, const Tensor& x,
+                std::int64_t num_dst) {
+  return spmm_impl<false>(indptr, indices, x, num_dst, "spmm_sum");
+}
+
+Tensor spmm_mean_backward(const std::vector<std::int64_t>& indptr,
+                          const std::vector<std::int64_t>& indices,
+                          const Tensor& grad_out, std::int64_t num_src) {
+  return spmm_backward_impl<true>(indptr, indices, grad_out, num_src,
+                                  "spmm_mean_backward");
+}
+
+Tensor spmm_sum_backward(const std::vector<std::int64_t>& indptr,
+                         const std::vector<std::int64_t>& indices,
+                         const Tensor& grad_out, std::int64_t num_src) {
+  return spmm_backward_impl<false>(indptr, indices, grad_out, num_src,
+                                   "spmm_sum_backward");
+}
+
+Tensor spmm_weighted(const std::vector<std::int64_t>& indptr,
+                     const std::vector<std::int64_t>& indices,
+                     const std::vector<double>& weights, const Tensor& x,
+                     std::int64_t num_dst) {
+  check_float(x, "spmm_weighted");
+  if (weights.size() != indices.size()) {
+    throw std::invalid_argument("spmm_weighted: weights size");
+  }
+  if (static_cast<std::int64_t>(indptr.size()) != num_dst + 1) {
+    throw std::invalid_argument("spmm_weighted: indptr size");
+  }
+  const std::int64_t s = x.size(0), f = x.size(1);
+  Tensor out({num_dst, f}, x.dtype());
+  auto run = [&](const auto* px, auto* po) {
+    using T = std::remove_cv_t<std::remove_reference_t<decltype(px[0])>>;
+    for (std::int64_t d = 0; d < num_dst; ++d) {
+      auto* orow = po + d * f;
+      for (std::int64_t e = indptr[static_cast<std::size_t>(d)];
+           e < indptr[static_cast<std::size_t>(d) + 1]; ++e) {
+        const std::int64_t src = indices[static_cast<std::size_t>(e)];
+        if (src < 0 || src >= s) {
+          throw std::out_of_range("spmm_weighted: source index");
+        }
+        const T w = static_cast<T>(weights[static_cast<std::size_t>(e)]);
+        const auto* row = px + src * f;
+        for (std::int64_t j = 0; j < f; ++j) orow[j] += w * row[j];
+      }
+    }
+  };
+  if (x.dtype() == DType::kF32) {
+    run(x.data<float>(), out.data<float>());
+  } else {
+    run(x.data<double>(), out.data<double>());
+  }
+  return out;
+}
+
+Tensor spmm_weighted_backward(const std::vector<std::int64_t>& indptr,
+                              const std::vector<std::int64_t>& indices,
+                              const std::vector<double>& weights,
+                              const Tensor& grad_out, std::int64_t num_src) {
+  check_float(grad_out, "spmm_weighted_backward");
+  const std::int64_t d_count = grad_out.size(0), f = grad_out.size(1);
+  Tensor gx({num_src, f}, grad_out.dtype());
+  auto run = [&](const auto* pg, auto* px) {
+    using T = std::remove_cv_t<std::remove_reference_t<decltype(pg[0])>>;
+    for (std::int64_t d = 0; d < d_count; ++d) {
+      const auto* grow = pg + d * f;
+      for (std::int64_t e = indptr[static_cast<std::size_t>(d)];
+           e < indptr[static_cast<std::size_t>(d) + 1]; ++e) {
+        const std::int64_t src = indices[static_cast<std::size_t>(e)];
+        if (src < 0 || src >= num_src) {
+          throw std::out_of_range("spmm_weighted_backward: source index");
+        }
+        const T w = static_cast<T>(weights[static_cast<std::size_t>(e)]);
+        auto* xrow = px + src * f;
+        for (std::int64_t j = 0; j < f; ++j) xrow[j] += w * grow[j];
+      }
+    }
+  };
+  if (grad_out.dtype() == DType::kF32) {
+    run(grad_out.data<float>(), gx.data<float>());
+  } else {
+    run(grad_out.data<double>(), gx.data<double>());
+  }
+  return gx;
+}
+
+Tensor spmm_max(const std::vector<std::int64_t>& indptr,
+                const std::vector<std::int64_t>& indices, const Tensor& x,
+                std::int64_t num_dst, std::vector<std::int64_t>* argmax_out) {
+  check_float(x, "spmm_max");
+  if (static_cast<std::int64_t>(indptr.size()) != num_dst + 1) {
+    throw std::invalid_argument("spmm_max: indptr size");
+  }
+  const std::int64_t s = x.size(0), f = x.size(1);
+  Tensor out({num_dst, f}, x.dtype());
+  if (argmax_out != nullptr) {
+    argmax_out->assign(static_cast<std::size_t>(num_dst * f), -1);
+  }
+  auto run = [&](const auto* px, auto* po) {
+    for (std::int64_t d = 0; d < num_dst; ++d) {
+      const std::int64_t b = indptr[static_cast<std::size_t>(d)];
+      const std::int64_t e = indptr[static_cast<std::size_t>(d) + 1];
+      if (b == e) continue;  // empty row stays zero
+      auto* orow = po + d * f;
+      for (std::int64_t j = 0; j < f; ++j) {
+        double best = -1e300;
+        std::int64_t arg = -1;
+        for (std::int64_t k = b; k < e; ++k) {
+          const std::int64_t src = indices[static_cast<std::size_t>(k)];
+          if (src < 0 || src >= s) {
+            throw std::out_of_range("spmm_max: source index");
+          }
+          const double v = double(px[src * f + j]);
+          if (v > best) {
+            best = v;
+            arg = src;
+          }
+        }
+        orow[j] = static_cast<std::remove_reference_t<decltype(orow[0])>>(
+            best);
+        if (argmax_out != nullptr) {
+          (*argmax_out)[static_cast<std::size_t>(d * f + j)] = arg;
+        }
+      }
+    }
+  };
+  if (x.dtype() == DType::kF32) {
+    run(x.data<float>(), out.data<float>());
+  } else {
+    run(x.data<double>(), out.data<double>());
+  }
+  return out;
+}
+
+Tensor spmm_max_backward(const std::vector<std::int64_t>& argmax,
+                         const Tensor& grad_out, std::int64_t num_src) {
+  check_float(grad_out, "spmm_max_backward");
+  const std::int64_t d_count = grad_out.size(0), f = grad_out.size(1);
+  if (static_cast<std::int64_t>(argmax.size()) != d_count * f) {
+    throw std::invalid_argument("spmm_max_backward: argmax size");
+  }
+  Tensor gx({num_src, f}, grad_out.dtype());
+  auto run = [&](const auto* pg, auto* px) {
+    for (std::int64_t d = 0; d < d_count; ++d) {
+      for (std::int64_t j = 0; j < f; ++j) {
+        const std::int64_t src = argmax[static_cast<std::size_t>(d * f + j)];
+        if (src < 0) continue;
+        if (src >= num_src) {
+          throw std::out_of_range("spmm_max_backward: source index");
+        }
+        px[src * f + j] += pg[d * f + j];
+      }
+    }
+  };
+  if (grad_out.dtype() == DType::kF32) {
+    run(grad_out.data<float>(), gx.data<float>());
+  } else {
+    run(grad_out.data<double>(), gx.data<double>());
+  }
+  return gx;
+}
+
+}  // namespace salient::ops

@@ -1,0 +1,144 @@
+// Dense tensor operations (forward kernels).
+//
+// All ops allocate and return fresh tensors unless suffixed with `_` (in
+// place) or documented otherwise. Float ops support f32 and f64 so the same
+// kernels serve both training (f32, the simulated-GPU precision) and gradient
+// checking (f64). Shapes are validated and mismatches throw.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace salient::ops {
+
+// --- elementwise -----------------------------------------------------------
+
+/// c = a + b (same shape, same float dtype).
+Tensor add(const Tensor& a, const Tensor& b);
+/// c = a - b.
+Tensor sub(const Tensor& a, const Tensor& b);
+/// c = a * b (Hadamard).
+Tensor mul(const Tensor& a, const Tensor& b);
+/// c = alpha * a.
+Tensor scale(const Tensor& a, double alpha);
+/// c = a + alpha * b.
+Tensor add_scaled(const Tensor& a, const Tensor& b, double alpha);
+/// a += alpha * b, in place.
+void axpy_(Tensor& a, const Tensor& b, double alpha);
+
+// --- unary -----------------------------------------------------------------
+
+/// max(x, 0).
+Tensor relu(const Tensor& x);
+/// x > 0 ? 1 : 0, as the same float dtype (used by relu backward).
+Tensor relu_mask(const Tensor& x);
+/// x > 0 ? x : slope * x.
+Tensor leaky_relu(const Tensor& x, double slope);
+/// d/dx leaky_relu: x > 0 ? 1 : slope.
+Tensor leaky_relu_mask(const Tensor& x, double slope);
+/// elementwise exp.
+Tensor exp(const Tensor& x);
+/// elementwise natural log.
+Tensor log(const Tensor& x);
+/// elementwise square root.
+Tensor sqrt(const Tensor& x);
+
+// --- broadcast / reductions -------------------------------------------------
+
+/// y[i,j] = x[i,j] + b[j]; x is [M,N], b is [N].
+Tensor add_row_broadcast(const Tensor& x, const Tensor& b);
+/// column sums of a [M,N] tensor -> [N].
+Tensor sum_rows(const Tensor& x);
+/// sum of all elements (returned as double).
+double sum_all(const Tensor& x);
+/// mean of all elements.
+double mean_all(const Tensor& x);
+
+// --- row indexing -----------------------------------------------------------
+
+/// out[k,:] = x[idx[k],:]; idx is i64, x is [M,N] (any dtype incl. f16).
+Tensor gather_rows(const Tensor& x, const Tensor& idx);
+/// dst[idx[k],:] += src[k,:] (float dtypes). Rows may repeat in idx.
+void scatter_add_rows_(Tensor& dst, const Tensor& idx, const Tensor& src);
+/// Horizontal concatenation of [M,Ni] tensors -> [M, sum Ni].
+Tensor concat_cols(const std::vector<Tensor>& xs);
+
+// --- softmax / classification ------------------------------------------------
+
+/// Row-wise log-softmax of a [M,N] tensor (numerically stabilized).
+Tensor log_softmax_rows(const Tensor& x);
+/// Mean negative log-likelihood: logp is [M,C] log-probabilities, target is
+/// [M] i64 class indices. Returns a scalar.
+double nll_loss_mean(const Tensor& logp, const Tensor& target);
+/// Gradient of nll_loss_mean w.r.t. logp: -1/M at (i, target[i]).
+Tensor nll_loss_mean_backward(const Tensor& logp, const Tensor& target);
+/// Row-wise argmax of a [M,N] float tensor -> [M] i64.
+Tensor argmax_rows(const Tensor& x);
+/// Fraction of rows where argmax(logits[i]) == target[i].
+double accuracy(const Tensor& logits, const Tensor& target);
+
+// --- dropout ------------------------------------------------------------------
+
+/// Inverted-dropout mask: entries are 0 with probability p, else 1/(1-p).
+Tensor dropout_mask(const std::vector<std::int64_t>& shape, double p,
+                    std::uint64_t seed, DType dtype = DType::kF32);
+
+// --- sparse (CSR) neighborhood aggregation -----------------------------------
+//
+// These implement the AGG step of message passing over one MFG level: the
+// bipartite graph is stored destination-major as CSR (indptr has D+1 entries,
+// indices[e] is the *local* source row of edge e). They are the C++ analogue
+// of PyG's SpMM on the sampled adjacency.
+
+/// out[d,:] = mean over e in [indptr[d], indptr[d+1]) of x[indices[e],:].
+/// Rows with no incoming edges yield zeros. x is [S,F]; result is [D,F].
+Tensor spmm_mean(const std::vector<std::int64_t>& indptr,
+                 const std::vector<std::int64_t>& indices, const Tensor& x,
+                 std::int64_t num_dst);
+/// Same with sum instead of mean.
+Tensor spmm_sum(const std::vector<std::int64_t>& indptr,
+                const std::vector<std::int64_t>& indices, const Tensor& x,
+                std::int64_t num_dst);
+/// Backward of spmm_mean w.r.t. x: scatter grad_out[d]/deg(d) to sources.
+Tensor spmm_mean_backward(const std::vector<std::int64_t>& indptr,
+                          const std::vector<std::int64_t>& indices,
+                          const Tensor& grad_out, std::int64_t num_src);
+/// Backward of spmm_sum w.r.t. x.
+Tensor spmm_sum_backward(const std::vector<std::int64_t>& indptr,
+                         const std::vector<std::int64_t>& indices,
+                         const Tensor& grad_out, std::int64_t num_src);
+
+/// Edge-weighted aggregation: out[d,:] = sum_e w[e] * x[indices[e],:]
+/// (the SpMM of a weighted adjacency, e.g. GCN's normalized matrix).
+/// `weights` has one entry per edge.
+Tensor spmm_weighted(const std::vector<std::int64_t>& indptr,
+                     const std::vector<std::int64_t>& indices,
+                     const std::vector<double>& weights, const Tensor& x,
+                     std::int64_t num_dst);
+/// Backward of spmm_weighted w.r.t. x (weights are constants).
+Tensor spmm_weighted_backward(const std::vector<std::int64_t>& indptr,
+                              const std::vector<std::int64_t>& indices,
+                              const std::vector<double>& weights,
+                              const Tensor& grad_out, std::int64_t num_src);
+
+/// Elementwise-max aggregation: out[d,:] = max over edges of x[src,:]
+/// (zeros for empty rows — GraphSAGE's "pooling" aggregator core, §2.1).
+/// `argmax_out` (size num_dst * F) records the winning source row per
+/// output element (-1 for empty rows), for the backward pass.
+Tensor spmm_max(const std::vector<std::int64_t>& indptr,
+                const std::vector<std::int64_t>& indices, const Tensor& x,
+                std::int64_t num_dst, std::vector<std::int64_t>* argmax_out);
+/// Backward of spmm_max: route each output gradient to its argmax source.
+Tensor spmm_max_backward(const std::vector<std::int64_t>& argmax,
+                         const Tensor& grad_out, std::int64_t num_src);
+
+// --- matmul (see matmul.cpp) ---------------------------------------------------
+
+/// C = op(A) * op(B), where op transposes when the flag is set.
+/// A is [M,K] (or [K,M] when trans_a), B is [K,N] (or [N,K] when trans_b).
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,
+              bool trans_b = false);
+
+}  // namespace salient::ops

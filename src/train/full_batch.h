@@ -1,0 +1,74 @@
+// Full-batch GCN training — the batching scheme of the Table 7 systems
+// NeuGraph, Roc and DeepGalois, implemented as a comparison baseline to
+// SALIENT's mini-batch training ("these two batching schemes have drastically
+// different computation patterns and may suffer different bottlenecks", §7).
+//
+// One epoch = one forward/backward over the ENTIRE graph: no sampling, no
+// batch preparation, no transfer pipeline — but the whole feature matrix and
+// every layer's activations must be materialized at once (the scalability
+// wall that motivates mini-batch training on large graphs).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/dataset.h"
+#include "nn/activations.h"
+#include "nn/gcn_conv.h"
+#include "optim/adam.h"
+#include "train/metrics.h"
+
+namespace salient {
+
+/// An L-layer GCN applied to the full graph.
+class FullBatchGcn : public nn::Module {
+ public:
+  FullBatchGcn(std::int64_t in_channels, std::int64_t hidden_channels,
+               std::int64_t out_channels, int num_layers, double dropout,
+               std::uint64_t seed);
+
+  /// Full-graph forward: x [N, in] -> log-probabilities [N, out].
+  Variable forward(const Variable& x, const nn::NormalizedAdjacency& adj);
+
+ private:
+  std::vector<std::shared_ptr<nn::GcnConv>> convs_;
+  std::shared_ptr<nn::Dropout> dropout_;
+};
+
+struct FullBatchConfig {
+  int num_layers = 2;
+  std::int64_t hidden_channels = 64;
+  double lr = 1e-2;
+  double dropout = 0.5;
+  std::uint64_t seed = 7;
+};
+
+class FullBatchGcnTrainer {
+ public:
+  FullBatchGcnTrainer(const Dataset& dataset, FullBatchConfig config);
+
+  /// One full-graph gradient step (the "epoch" of full-batch systems).
+  /// Loss/accuracy are over the training split.
+  EpochStats train_epoch(int epoch);
+
+  /// Full-graph inference accuracy over `nodes`.
+  double accuracy(std::span<const NodeId> nodes);
+
+  const std::shared_ptr<FullBatchGcn>& model() const { return model_; }
+
+  /// Bytes of layer activations one epoch materializes simultaneously
+  /// (the memory argument against full-batch at papers100M scale).
+  std::size_t activation_bytes() const;
+
+ private:
+  const Dataset& dataset_;
+  FullBatchConfig config_;
+  nn::NormalizedAdjacency adj_;
+  Tensor features_f32_;  // [N, in] full feature matrix in compute precision
+  Tensor train_idx_;     // i64 tensor of training nodes
+  Tensor train_labels_;  // i64 labels of training nodes
+  std::shared_ptr<FullBatchGcn> model_;
+  std::unique_ptr<optim::Adam> optimizer_;
+};
+
+}  // namespace salient

@@ -1,0 +1,20 @@
+#include "train/metrics.h"
+
+#include <sstream>
+
+namespace salient {
+
+std::string EpochStats::summary() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << "epoch " << epoch << ": " << epoch_seconds << "s"
+     << " [prep=" << blocking.total(Phase::kSample) + blocking.total(Phase::kSlice)
+     << "s transfer=" << blocking.total(Phase::kTransfer)
+     << "s train=" << blocking.total(Phase::kTrain) << "s]"
+     << " loss=" << mean_loss << " acc=" << train_accuracy << " batches="
+     << num_batches << " bytes=" << static_cast<double>(transfer_bytes) / 1e6
+     << "MB";
+  return os.str();
+}
+
+}  // namespace salient

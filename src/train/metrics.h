@@ -1,0 +1,25 @@
+// Per-epoch statistics: the blocking per-phase breakdown of Table 1 plus
+// learning metrics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/timer.h"
+
+namespace salient {
+
+struct EpochStats {
+  int epoch = 0;
+  double epoch_seconds = 0;   ///< wall time of the epoch
+  PhaseTimer blocking;        ///< main-thread blocking time per phase
+  std::int64_t num_batches = 0;
+  std::size_t transfer_bytes = 0;
+  double mean_loss = 0;
+  double train_accuracy = 0;  ///< accuracy over the epoch's training batches
+
+  /// One-line summary for logs.
+  std::string summary() const;
+};
+
+}  // namespace salient

@@ -1,0 +1,65 @@
+// A bounded blocking queue (mutex + condition variables) used for the
+// prepared-batch *output* side of the loaders, where the consumer (the main
+// training thread) wants to block until a batch is ready. The *input* side of
+// SALIENT's loader uses the lock-free MpmcQueue, as in the paper.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace salient {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  explicit BlockingQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Block until space is available, then enqueue. Returns false if the
+  /// queue was closed.
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_not_full_.wait(lock,
+                      [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    cv_not_empty_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available; returns nullopt once the queue is
+  /// closed *and* drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    cv_not_full_.notify_one();
+    return value;
+  }
+
+  /// Close the queue: producers fail, consumers drain then get nullopt.
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    cv_not_empty_.notify_all();
+    cv_not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_not_full_;
+  std::condition_variable cv_not_empty_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace salient

@@ -1,0 +1,80 @@
+#include "util/half.h"
+
+#include <bit>
+#include <cstring>
+
+namespace salient {
+
+namespace {
+
+inline std::uint32_t as_bits(float f) { return std::bit_cast<std::uint32_t>(f); }
+inline float from_bits32(std::uint32_t u) { return std::bit_cast<float>(u); }
+
+}  // namespace
+
+Half float_to_half(float f) {
+  const std::uint32_t x = as_bits(f);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  std::uint32_t abs = x & 0x7fffffffu;
+
+  if (abs >= 0x7f800000u) {
+    // Inf or NaN. Preserve NaN-ness; quiet the payload.
+    const std::uint16_t mant = (abs > 0x7f800000u) ? 0x0200u : 0x0000u;
+    return Half::from_bits(static_cast<std::uint16_t>(sign | 0x7c00u | mant));
+  }
+  if (abs >= 0x477ff000u) {
+    // Rounds to a magnitude >= 65520 -> overflow to infinity.
+    return Half::from_bits(static_cast<std::uint16_t>(sign | 0x7c00u));
+  }
+  if (abs < 0x38800000u) {
+    // Subnormal half (or zero). Shift the implicit bit into the mantissa and
+    // round to nearest even at the appropriate bit position.
+    if (abs < 0x33000001u) {
+      // Too small: rounds to (signed) zero.
+      return Half::from_bits(static_cast<std::uint16_t>(sign));
+    }
+    const int exp = static_cast<int>(abs >> 23);
+    const std::uint32_t mant = (abs & 0x7fffffu) | 0x800000u;
+    // Subnormal half = q * 2^-24 with q = round(mant / 2^shift).
+    const int shift = 126 - exp;  // in [14, 24]
+    const std::uint32_t q = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1);
+    const std::uint32_t half_ulp = 1u << (shift - 1);
+    std::uint32_t out = q;
+    if (rem > half_ulp || (rem == half_ulp && (q & 1u))) ++out;
+    return Half::from_bits(static_cast<std::uint16_t>(sign | out));
+  }
+  // Normal half. Round the 23-bit mantissa to 10 bits, to nearest even.
+  std::uint32_t out = (abs + 0xfffu + ((abs >> 13) & 1u)) >> 13;
+  out -= (112u << 10);  // rebias exponent 127 -> 15
+  return Half::from_bits(static_cast<std::uint16_t>(sign | out));
+}
+
+float half_to_float(Half h) {
+  const std::uint32_t x = h.bits;
+  const std::uint32_t sign = (x & 0x8000u) << 16;
+  const std::uint32_t exp = (x >> 10) & 0x1fu;
+  const std::uint32_t mant = x & 0x3ffu;
+
+  if (exp == 0x1fu) {
+    // Inf / NaN.
+    return from_bits32(sign | 0x7f800000u | (mant << 13));
+  }
+  if (exp == 0) {
+    if (mant == 0) return from_bits32(sign);  // +/- 0
+    // Subnormal: scale by 2^-24 via float arithmetic (exact).
+    const float mag = static_cast<float>(mant) * 5.9604644775390625e-8f;
+    return (sign != 0) ? -mag : mag;
+  }
+  return from_bits32(sign | ((exp + 112u) << 23) | (mant << 13));
+}
+
+void float_to_half_n(const float* src, Half* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = float_to_half(src[i]);
+}
+
+void half_to_float_n(const Half* src, float* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = half_to_float(src[i]);
+}
+
+}  // namespace salient

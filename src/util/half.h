@@ -1,0 +1,49 @@
+// Software IEEE-754 binary16 ("half") conversion.
+//
+// The SALIENT paper stores node features in host memory as half-precision
+// floats to reduce memory-bandwidth pressure during slicing and CPU-to-GPU
+// transfer, while GPU compute remains single precision (paper §3, conventional
+// optimization (iii)). This header provides the float<->half conversions used
+// by the feature store and the slicing kernels.
+//
+// The conversion implements round-to-nearest-even, handles subnormals,
+// infinities and NaN, and round-trips every finite half value exactly.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace salient {
+
+/// Opaque 16-bit storage type for IEEE binary16 values.
+/// Not an arithmetic type on purpose: all math happens in float.
+struct Half {
+  std::uint16_t bits = 0;
+
+  Half() = default;
+  /// Construct from the raw bit pattern.
+  static Half from_bits(std::uint16_t b) {
+    Half h;
+    h.bits = b;
+    return h;
+  }
+
+  friend bool operator==(Half a, Half b) { return a.bits == b.bits; }
+};
+
+static_assert(sizeof(Half) == 2, "Half must be exactly 16 bits");
+
+/// Convert a single-precision float to binary16 with round-to-nearest-even.
+/// Values above the half range become +/-infinity; NaN is preserved (quieted).
+Half float_to_half(float f);
+
+/// Convert a binary16 value to single precision. Exact for all inputs.
+float half_to_float(Half h);
+
+/// Bulk conversion: dst[i] = half(src[i]) for i in [0, n).
+void float_to_half_n(const float* src, Half* dst, std::size_t n);
+
+/// Bulk conversion: dst[i] = float(src[i]) for i in [0, n).
+void half_to_float_n(const Half* src, float* dst, std::size_t n);
+
+}  // namespace salient

@@ -1,0 +1,113 @@
+// Bounded lock-free multi-producer/multi-consumer queue (Dmitry Vyukov's
+// classic bounded MPMC ring).
+//
+// SALIENT's batch-preparation threads "balance load dynamically via a
+// lock-free input queue that contains the destination nodes for each
+// mini-batch" (paper §4.2). This queue is that structure: the trainer pushes
+// mini-batch node ranges, the C++ preparation workers pop them.
+//
+// Properties: FIFO per producer, lock-free (no mutex on the fast path),
+// bounded capacity (power of two), each slot carries a sequence number that
+// arbitrates producers and consumers.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace salient {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 2).
+  explicit MpmcQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+    head_.store(0, std::memory_order_relaxed);
+    tail_.store(0, std::memory_order_relaxed);
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Attempt to enqueue; returns false when the queue is full.
+  bool try_push(T value) {
+    Slot* slot;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      slot = &slots_[pos & mask_];
+      const std::size_t seq = slot->seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::ptrdiff_t>(seq) -
+                        static_cast<std::ptrdiff_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    slot->value = std::move(value);
+    slot->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Attempt to dequeue; returns false when the queue is empty.
+  bool try_pop(T& out) {
+    Slot* slot;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      slot = &slots_[pos & mask_];
+      const std::size_t seq = slot->seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::ptrdiff_t>(seq) -
+                        static_cast<std::ptrdiff_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(slot->value);
+    slot->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate number of enqueued items (racy; for monitoring only).
+  std::size_t approx_size() const {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    return t >= h ? t - h : 0;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::size_t> seq;
+    T value;
+  };
+
+  // Separate cache lines for head and tail to avoid false sharing.
+  alignas(64) std::atomic<std::size_t> head_;
+  alignas(64) std::atomic<std::size_t> tail_;
+  alignas(64) std::unique_ptr<Slot[]> slots_;
+  std::size_t mask_;
+};
+
+}  // namespace salient

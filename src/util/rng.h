@@ -1,0 +1,150 @@
+// Fast pseudo-random number generators used by the neighborhood samplers.
+//
+// The sampler design space explored in the paper (Figure 2) includes the
+// choice of RNG among its implementation parameters. We provide three
+// generators with the UniformRandomBitGenerator interface:
+//   * StdMt19937   — std::mt19937_64, the "library default" choice;
+//   * Xoshiro256ss — xoshiro256**, a small fast general-purpose generator;
+//   * Pcg32        — PCG-XSH-RR 64/32.
+// plus an unbiased bounded-integer helper (Lemire's method) that avoids the
+// modulo bias and the division cost of std::uniform_int_distribution.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <random>
+
+namespace salient {
+
+/// SplitMix64: used for seeding the other generators from a single seed.
+struct SplitMix64 {
+  std::uint64_t state;
+
+  explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+};
+
+/// xoshiro256** by Blackman & Vigna. All-purpose, very fast, 256-bit state.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256ss(std::uint64_t seed = 0x853c49e6748fea9bull) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+/// PCG-XSH-RR 64/32 by O'Neill: 64-bit state, 32-bit output.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Pcg32(std::uint64_t seed = 0xda3e39cb94b95bdbull,
+                 std::uint64_t stream = 0xcafef00dd15ea5e5ull)
+      : state_(0), inc_((stream << 1) | 1u) {
+    operator()();
+    state_ += seed;
+    operator()();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ull + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+    const auto rot = static_cast<std::uint32_t>(old >> 59);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// Wrapper giving std::mt19937_64 the same construction interface as the
+/// fast generators above (single 64-bit seed).
+class StdMt19937 {
+ public:
+  using result_type = std::mt19937_64::result_type;
+
+  explicit StdMt19937(std::uint64_t seed = 5489ull) : eng_(seed) {}
+
+  static constexpr result_type min() { return std::mt19937_64::min(); }
+  static constexpr result_type max() { return std::mt19937_64::max(); }
+
+  result_type operator()() { return eng_(); }
+
+ private:
+  std::mt19937_64 eng_;
+};
+
+/// Unbiased uniform integer in [0, bound) using Lemire's multiply-shift
+/// rejection method. `bound` must be > 0.
+template <class Rng>
+inline std::uint64_t bounded_rand(Rng& rng, std::uint64_t bound) {
+  // Widen 32-bit generators to 64 bits of entropy only when necessary; for
+  // sampling neighbor indices (bound << 2^32) one draw suffices.
+  if constexpr (sizeof(typename Rng::result_type) >= 8) {
+    __uint128_t m = static_cast<__uint128_t>(rng()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (-bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(rng()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  } else {
+    std::uint64_t m =
+        static_cast<std::uint64_t>(rng()) * static_cast<std::uint64_t>(bound);
+    auto lo = static_cast<std::uint32_t>(m);
+    if (lo < bound) {
+      const auto b32 = static_cast<std::uint32_t>(bound);
+      const std::uint32_t threshold = (-b32) % b32;
+      while (lo < threshold) {
+        m = static_cast<std::uint64_t>(rng()) *
+            static_cast<std::uint64_t>(bound);
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return m >> 32;
+  }
+}
+
+}  // namespace salient

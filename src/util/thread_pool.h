@@ -1,0 +1,56 @@
+// A fixed-size thread pool with a parallel_for helper.
+//
+// Used for (a) the baseline "PyTorch OpenMP-style" parallel slicing path,
+// (b) intra-device parallelism of the simulated-GPU compute kernels, and
+// (c) miscellaneous data generation. SALIENT's own batch-preparation workers
+// are *not* built on this pool — they are dedicated end-to-end threads fed by
+// a lock-free queue (see prep/salient_loader.h), mirroring the paper's design.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace salient {
+
+class ThreadPool {
+ public:
+  /// Create a pool with `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue an arbitrary task; the returned future resolves when it ran.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Run fn(begin..end) split into roughly `size()` contiguous chunks and
+  /// block until all chunks completed. fn receives (chunk_begin, chunk_end).
+  /// The calling thread participates in the work.
+  void parallel_for(std::int64_t begin, std::int64_t end,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  /// A process-wide pool sized to the hardware concurrency; lazily created.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace salient

@@ -1,0 +1,34 @@
+#include "util/timer.h"
+
+#include <sstream>
+
+namespace salient {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kSample:
+      return "sample";
+    case Phase::kSlice:
+      return "slice";
+    case Phase::kTransfer:
+      return "transfer";
+    case Phase::kTrain:
+      return "train";
+    case Phase::kOther:
+      return "other";
+    default:
+      return "?";
+  }
+}
+
+std::string PhaseTimer::summary() const {
+  std::ostringstream os;
+  for (int i = 0; i < static_cast<int>(Phase::kNumPhases); ++i) {
+    if (i) os << ' ';
+    os << phase_name(static_cast<Phase>(i)) << '='
+       << total(static_cast<Phase>(i)) << 's';
+  }
+  return os.str();
+}
+
+}  // namespace salient

@@ -1,0 +1,96 @@
+// Wall-clock timing utilities and a per-phase time accumulator.
+//
+// The paper's evaluation reports per-operation *blocking* time (Table 1):
+// the time the main thread spends waiting on each of batch preparation,
+// transfer, and GPU training. PhaseTimer accumulates exactly that view.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace salient {
+
+/// Monotonic wall-clock stopwatch with nanosecond resolution.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Reset the epoch to now.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Nanoseconds elapsed since construction / last reset.
+  std::int64_t nanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// The pipeline phases measured throughout the benchmarks. Matches the
+/// operation categories of Listing 1 / Table 1 in the paper.
+enum class Phase : int {
+  kSample = 0,   // neighborhood sampling + MFG construction
+  kSlice,        // feature/label tensor slicing
+  kTransfer,     // host -> device copy
+  kTrain,        // forward + backward + optimizer step on device
+  kOther,        // everything else (epoch setup, bookkeeping)
+  kNumPhases
+};
+
+/// Human-readable phase name ("sample", "slice", ...).
+const char* phase_name(Phase p);
+
+/// Accumulates blocking wall time per phase.
+class PhaseTimer {
+ public:
+  /// Add `seconds` of blocking time to phase `p`.
+  void add(Phase p, double seconds) {
+    totals_[static_cast<int>(p)] += seconds;
+  }
+
+  /// Time a callable and charge it to phase `p`; returns the callable result.
+  template <class F>
+  auto time(Phase p, F&& f) -> decltype(f()) {
+    WallTimer t;
+    if constexpr (std::is_void_v<decltype(f())>) {
+      f();
+      add(p, t.seconds());
+    } else {
+      auto r = f();
+      add(p, t.seconds());
+      return r;
+    }
+  }
+
+  /// Accumulated seconds for phase `p`.
+  double total(Phase p) const { return totals_[static_cast<int>(p)]; }
+
+  /// Sum over all phases.
+  double grand_total() const {
+    double s = 0;
+    for (double v : totals_) s += v;
+    return s;
+  }
+
+  /// Zero all accumulators.
+  void reset() { totals_.fill(0.0); }
+
+  /// One-line summary, e.g. "sample=1.2s slice=0.3s ...".
+  std::string summary() const;
+
+ private:
+  std::array<double, static_cast<int>(Phase::kNumPhases)> totals_{};
+};
+
+}  // namespace salient

@@ -1,0 +1,101 @@
+// System-facade tests: configuration propagation, error paths, and the
+// cross-cutting integrations (feature cache through SystemConfig, MFG/model
+// depth contracts, device assertion mode by pipeline choice).
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "sampling/fast_sampler.h"
+
+namespace salient {
+namespace {
+
+SystemConfig small_cfg() {
+  SystemConfig cfg;
+  cfg.dataset = "arxiv-sim";
+  cfg.dataset_scale = 0.02;
+  cfg.hidden_channels = 16;
+  cfg.num_layers = 2;
+  cfg.train_fanouts = {6, 4};
+  cfg.infer_fanouts = {8, 8};
+  cfg.batch_size = 256;
+  cfg.num_workers = 1;
+  return cfg;
+}
+
+TEST(SystemConfig, BaselineModeEnablesTransferValidation) {
+  // The PyG baseline keeps the blocking sparse-tensor assertions (4.3);
+  // SALIENT skips them. The System wires this from the execution mode.
+  SystemConfig cfg = small_cfg();
+  cfg.execution = ExecutionMode::kBlocking;
+  cfg.loader_kind = LoaderKind::kBaseline;
+  System baseline(cfg);
+  EXPECT_TRUE(baseline.device().config().validate_sparse_after_transfer);
+
+  cfg = small_cfg();
+  System pipelined(cfg);
+  EXPECT_FALSE(pipelined.device().config().validate_sparse_after_transfer);
+}
+
+TEST(SystemConfig, FeatureCachePropagatesToTrainer) {
+  SystemConfig cfg = small_cfg();
+  cfg.feature_cache_nodes = 100;
+  System sys(cfg);
+  ASSERT_NE(sys.trainer().feature_cache(), nullptr);
+  EXPECT_EQ(sys.trainer().feature_cache()->capacity(), 100);
+  sys.train_epoch();  // cached path end to end
+  SystemConfig no_cache = small_cfg();
+  System plain(no_cache);
+  EXPECT_EQ(plain.trainer().feature_cache(), nullptr);
+}
+
+TEST(SystemConfig, RejectsUnknownDatasetAndArch) {
+  SystemConfig cfg = small_cfg();
+  cfg.dataset = "reddit";
+  EXPECT_THROW(System{cfg}, std::invalid_argument);
+  cfg = small_cfg();
+  cfg.arch = "transformer";
+  EXPECT_THROW(System{cfg}, std::invalid_argument);
+}
+
+TEST(System, ModelDepthMustMatchFanoutDepth) {
+  // A 2-layer model fed a 3-level MFG must fail loudly, not silently.
+  SystemConfig cfg = small_cfg();
+  System sys(cfg);
+  FastSampler sampler(sys.dataset().graph, {3, 3, 3});
+  std::vector<NodeId> batch{0, 1, 2};
+  Mfg mfg = sampler.sample(batch, 1);
+  Tensor x = Tensor::uniform({mfg.num_input_nodes(),
+                              sys.dataset().feature_dim},
+                             1, -1, 1);
+  EXPECT_THROW(sys.model()->forward(Variable(x), mfg),
+               std::invalid_argument);
+}
+
+TEST(System, EpochSeedsAdvance) {
+  // Two epochs must not replay identical batches (epoch seed advances):
+  // compare per-epoch mean loss trajectories under frozen LR 0 — identical
+  // sampling would give identical loss.
+  SystemConfig cfg = small_cfg();
+  cfg.lr = 0.0;  // no parameter movement: loss differences come from batches
+  System sys(cfg);
+  const double l0 = sys.train_epoch().mean_loss;
+  const double l1 = sys.train_epoch().mean_loss;
+  EXPECT_NE(l0, l1);
+}
+
+TEST(System, StatsAreInternallyConsistent) {
+  SystemConfig cfg = small_cfg();
+  System sys(cfg);
+  const EpochStats s = sys.train_epoch();
+  EXPECT_GT(s.epoch_seconds, 0.0);
+  EXPECT_GE(s.epoch_seconds + 1e-6, s.blocking.grand_total() * 0.5);
+  EXPECT_EQ(s.num_batches,
+            static_cast<std::int64_t>(
+                (sys.dataset().train_idx.size() + 255) / 256));
+  EXPECT_GT(s.transfer_bytes,
+            static_cast<std::size_t>(s.num_batches));  // nonzero per batch
+  EXPECT_NE(s.summary().find("epoch 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace salient

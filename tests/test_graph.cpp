@@ -1,0 +1,229 @@
+// Graph substrate tests: CSR invariants, COO->CSR building (symmetrize /
+// dedup), generators (degree distribution, connectivity of SBM structure),
+// and dataset presets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+
+#include "graph/builder.h"
+#include "graph/csr.h"
+#include "graph/dataset.h"
+#include "graph/generator.h"
+
+namespace salient {
+namespace {
+
+TEST(Csr, ValidatesInvariants) {
+  CsrGraph g(3, {0, 1, 2, 3}, {1, 2, 0});
+  EXPECT_TRUE(g.valid());
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.neighbors(1)[0], 2);
+  EXPECT_DOUBLE_EQ(g.avg_degree(), 1.0);
+  // broken: non-monotone indptr
+  EXPECT_THROW(CsrGraph(2, {0, 2, 1}, {0, 1}), std::invalid_argument);
+  // broken: out-of-range index
+  EXPECT_THROW(CsrGraph(2, {0, 1, 2}, {0, 5}), std::invalid_argument);
+}
+
+TEST(Builder, SymmetrizeAndDedup) {
+  EdgeList e;
+  e.push(0, 1);
+  e.push(0, 1);  // duplicate
+  e.push(1, 2);
+  e.push(2, 2);  // self loop
+  CsrGraph g = build_csr(3, e, /*symmetrize=*/true, /*dedup=*/true);
+  EXPECT_TRUE(g.valid());
+  // After symmetrize+dedup: 0-1, 1-2 (self loop dropped)
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(2), 1);
+  // rows sorted
+  const auto nb = g.neighbors(1);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+}
+
+TEST(Builder, DirectedNoDedupKeepsAll) {
+  EdgeList e;
+  e.push(0, 1);
+  e.push(0, 1);
+  CsrGraph g = build_csr(2, e, /*symmetrize=*/false, /*dedup=*/false);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.degree(1), 0);
+}
+
+TEST(Builder, RejectsOutOfRangeNodes) {
+  EdgeList e;
+  e.push(0, 9);
+  EXPECT_THROW(build_csr(3, e), std::out_of_range);
+}
+
+TEST(Builder, SymmetryProperty) {
+  EdgeList e;
+  Xoshiro256ss rng(5);
+  for (int i = 0; i < 500; ++i) {
+    e.push(static_cast<NodeId>(bounded_rand(rng, 100)),
+           static_cast<NodeId>(bounded_rand(rng, 100)));
+  }
+  CsrGraph g = build_csr(100, e, true, true);
+  // every edge must appear in both directions
+  for (NodeId v = 0; v < 100; ++v) {
+    for (const NodeId u : g.neighbors(v)) {
+      const auto nb = g.neighbors(u);
+      EXPECT_TRUE(std::binary_search(nb.begin(), nb.end(), v))
+          << u << "->" << v;
+    }
+  }
+}
+
+TEST(Generator, ErdosRenyiSizeAndValidity) {
+  CsrGraph g = erdos_renyi(1000, 8.0, 3);
+  EXPECT_TRUE(g.valid());
+  EXPECT_NEAR(g.avg_degree(), 8.0, 1.5);
+}
+
+TEST(Generator, PowerlawHasHeavyTail) {
+  CsrGraph g = powerlaw_configuration(20000, 10.0, 2.3, 2000, 7);
+  EXPECT_TRUE(g.valid());
+  EXPECT_NEAR(g.avg_degree(), 10.0, 2.5);
+  std::int64_t max_deg = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_deg = std::max(max_deg, g.degree(v));
+  }
+  // heavy tail: some hub far above the mean
+  EXPECT_GT(max_deg, 100);
+}
+
+TEST(Generator, PowerlawDeterministicInSeed) {
+  CsrGraph a = powerlaw_configuration(2000, 6.0, 2.5, 500, 11);
+  CsrGraph b = powerlaw_configuration(2000, 6.0, 2.5, 500, 11);
+  EXPECT_EQ(a.indptr(), b.indptr());
+  EXPECT_EQ(a.indices(), b.indices());
+  CsrGraph c = powerlaw_configuration(2000, 6.0, 2.5, 500, 12);
+  EXPECT_NE(a.indices(), c.indices());
+}
+
+TEST(Generator, SbmHomophily) {
+  SbmParams p;
+  p.num_nodes = 20000;
+  p.num_blocks = 8;
+  p.avg_degree = 12;
+  p.p_in = 0.8;
+  p.seed = 9;
+  SbmGraph sg = sbm_powerlaw(p);
+  EXPECT_TRUE(sg.graph.valid());
+  ASSERT_EQ(sg.block.size(), 20000u);
+  // Majority of edges must be intra-community (homophily drives the GNN's
+  // ability to denoise by aggregation).
+  std::int64_t intra = 0, total = 0;
+  for (NodeId v = 0; v < sg.graph.num_nodes(); ++v) {
+    for (const NodeId u : sg.graph.neighbors(v)) {
+      intra += (sg.block[static_cast<std::size_t>(u)] ==
+                sg.block[static_cast<std::size_t>(v)]);
+      ++total;
+    }
+  }
+  const double frac = static_cast<double>(intra) / static_cast<double>(total);
+  EXPECT_GT(frac, 0.6);
+  EXPECT_LT(frac, 0.95);
+}
+
+TEST(Dataset, GenerateProducesConsistentPieces) {
+  DatasetConfig c;
+  c.num_nodes = 5000;
+  c.num_classes = 7;
+  c.feature_dim = 16;
+  c.avg_degree = 8;
+  c.seed = 21;
+  Dataset ds = generate_dataset(c);
+  EXPECT_EQ(ds.graph.num_nodes(), 5000);
+  EXPECT_EQ(ds.features.size(0), 5000);
+  EXPECT_EQ(ds.features.size(1), 16);
+  EXPECT_EQ(ds.features.dtype(), DType::kF16);
+  EXPECT_EQ(ds.labels.size(0), 5000);
+  for (std::int64_t v = 0; v < 5000; ++v) {
+    const auto y = ds.labels.at<std::int64_t>(v);
+    ASSERT_GE(y, 0);
+    ASSERT_LT(y, 7);
+  }
+  // splits are disjoint and within range
+  std::set<NodeId> seen;
+  for (const auto* split : {&ds.train_idx, &ds.val_idx, &ds.test_idx}) {
+    for (const NodeId v : *split) {
+      ASSERT_GE(v, 0);
+      ASSERT_LT(v, 5000);
+      ASSERT_TRUE(seen.insert(v).second) << "node in two splits";
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(ds.train_idx.size()), 0.5 * 5000, 2);
+}
+
+TEST(Dataset, FeaturesCorrelateWithLabels) {
+  DatasetConfig c;
+  c.num_nodes = 4000;
+  c.num_classes = 4;
+  c.feature_dim = 32;
+  c.label_noise = 0.0;
+  c.feature_signal = 0.5;
+  c.feature_noise = 0.5;
+  c.seed = 33;
+  Dataset ds = generate_dataset(c);
+  // Nearest-centroid on the raw features should beat chance comfortably:
+  // estimate class centroids from half the nodes, classify the rest.
+  std::vector<std::vector<double>> centroid(
+      4, std::vector<double>(32, 0.0));
+  std::vector<int> count(4, 0);
+  Tensor f32 = ds.features.to(DType::kF32);
+  for (std::int64_t v = 0; v < 2000; ++v) {
+    const auto y = static_cast<std::size_t>(ds.labels.at<std::int64_t>(v));
+    for (int j = 0; j < 32; ++j) centroid[y][j] += f32.at<float>(v, j);
+    ++count[y];
+  }
+  for (std::size_t k = 0; k < 4; ++k) {
+    for (auto& x : centroid[k]) x /= std::max(1, count[k]);
+  }
+  int hit = 0;
+  for (std::int64_t v = 2000; v < 4000; ++v) {
+    double best = 1e300;
+    std::size_t arg = 0;
+    for (std::size_t k = 0; k < 4; ++k) {
+      double d = 0;
+      for (int j = 0; j < 32; ++j) {
+        const double diff = f32.at<float>(v, j) - centroid[k][j];
+        d += diff * diff;
+      }
+      if (d < best) {
+        best = d;
+        arg = k;
+      }
+    }
+    hit += (static_cast<std::int64_t>(arg) == ds.labels.at<std::int64_t>(v));
+  }
+  EXPECT_GT(hit / 2000.0, 0.5);  // chance is 0.25
+}
+
+TEST(Dataset, PresetsMatchPaperShape) {
+  const DatasetConfig arxiv = arxiv_sim_config(0.1);
+  EXPECT_EQ(arxiv.feature_dim, 128);
+  EXPECT_EQ(arxiv.num_classes, 40);
+  EXPECT_EQ(arxiv.num_nodes, 16900);
+  const DatasetConfig products = products_sim_config(1.0);
+  EXPECT_EQ(products.feature_dim, 100);
+  EXPECT_EQ(products.num_classes, 47);
+  EXPECT_LT(products.train_frac, 0.1);  // products: tiny train, huge test
+  EXPECT_GT(products.test_frac, 0.8);
+  const DatasetConfig papers = papers_sim_config(1.0);
+  EXPECT_EQ(papers.num_classes, 172);
+  EXPECT_LT(papers.train_frac, 0.02);
+  EXPECT_EQ(preset_config("arxiv-sim").name, "arxiv-sim");
+  EXPECT_THROW(preset_config("imagenet"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace salient

@@ -1,0 +1,138 @@
+// Tests for dataset serialization (graph/io) and the training utilities
+// (LR schedulers, gradient clipping).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "graph/io.h"
+#include "sampling/fast_sampler.h"
+#include "optim/lr_scheduler.h"
+#include "tensor/ops.h"
+
+namespace salient {
+namespace {
+
+Dataset make_ds() {
+  DatasetConfig c;
+  c.name = "io-test";
+  c.num_nodes = 1200;
+  c.feature_dim = 10;
+  c.num_classes = 4;
+  c.avg_degree = 6;
+  c.seed = 19;
+  return generate_dataset(c);
+}
+
+TEST(DatasetIo, RoundTripsEverythingExactly) {
+  Dataset ds = make_ds();
+  const char* path = "/tmp/salient_ds.bin";
+  save_dataset(ds, path);
+  Dataset back = load_dataset(path);
+  EXPECT_EQ(back.name, ds.name);
+  EXPECT_EQ(back.graph.num_nodes(), ds.graph.num_nodes());
+  EXPECT_EQ(back.graph.indptr(), ds.graph.indptr());
+  EXPECT_EQ(back.graph.indices(), ds.graph.indices());
+  EXPECT_EQ(back.num_classes, ds.num_classes);
+  EXPECT_EQ(back.feature_dim, ds.feature_dim);
+  EXPECT_TRUE(allclose(back.features, ds.features, 0.0, 0.0));
+  EXPECT_TRUE(allclose(back.labels, ds.labels));
+  EXPECT_EQ(back.train_idx, ds.train_idx);
+  EXPECT_EQ(back.val_idx, ds.val_idx);
+  EXPECT_EQ(back.test_idx, ds.test_idx);
+  std::remove(path);
+}
+
+TEST(DatasetIo, LoadedDatasetTrains) {
+  Dataset ds = make_ds();
+  const char* path = "/tmp/salient_ds2.bin";
+  save_dataset(ds, path);
+  Dataset back = load_dataset(path);
+  // the loaded dataset drives the sampler/loader stack unchanged
+  FastSampler sampler(back.graph, {5, 3});
+  std::vector<NodeId> batch(back.train_idx.begin(),
+                            back.train_idx.begin() + 32);
+  Mfg mfg = sampler.sample(batch, 3);
+  EXPECT_TRUE(mfg.valid());
+  std::remove(path);
+}
+
+TEST(DatasetIo, RejectsCorruption) {
+  Dataset ds = make_ds();
+  const char* path = "/tmp/salient_ds3.bin";
+  save_dataset(ds, path);
+  // truncate
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 3));
+  }
+  EXPECT_THROW(load_dataset(path), std::runtime_error);
+  // bad magic
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write("NOPE", 4);
+    const std::uint32_t v = 1;
+    out.write(reinterpret_cast<const char*>(&v), 4);
+  }
+  EXPECT_THROW(load_dataset(path), std::runtime_error);
+  EXPECT_THROW(load_dataset("/tmp/salient_does_not_exist.bin"),
+               std::runtime_error);
+  std::remove(path);
+}
+
+TEST(LrScheduler, StepLrDecaysGeometrically) {
+  Variable p(Tensor::ones({1}), true);
+  optim::Adam adam({p}, 0.1);
+  optim::StepLr sched(adam, /*step_size=*/2, /*gamma=*/0.5);
+  EXPECT_DOUBLE_EQ(adam.lr(), 0.1);
+  sched.step();  // epoch 1
+  EXPECT_DOUBLE_EQ(adam.lr(), 0.1);
+  sched.step();  // epoch 2 -> one decay
+  EXPECT_DOUBLE_EQ(adam.lr(), 0.05);
+  sched.step();
+  sched.step();  // epoch 4 -> two decays
+  EXPECT_DOUBLE_EQ(adam.lr(), 0.025);
+}
+
+TEST(LrScheduler, CosineAnnealsToEtaMin) {
+  Variable p(Tensor::ones({1}), true);
+  optim::Adam adam({p}, 0.2);
+  optim::CosineLr sched(adam, /*t_max=*/10, /*eta_min=*/0.02);
+  double prev = adam.lr();
+  for (int e = 0; e < 10; ++e) {
+    sched.step();
+    EXPECT_LE(adam.lr(), prev + 1e-12);  // monotone decreasing
+    prev = adam.lr();
+  }
+  EXPECT_NEAR(adam.lr(), 0.02, 1e-9);
+  sched.step();  // past t_max: clamped
+  EXPECT_NEAR(adam.lr(), 0.02, 1e-9);
+}
+
+TEST(ClipGradNorm, ScalesOnlyWhenAboveThreshold) {
+  Variable a(Tensor::zeros({2}), true);
+  Variable b(Tensor::zeros({2}), true);
+  a.accumulate_grad(Tensor::from_vector<float>({3, 0}, {2}));
+  b.accumulate_grad(Tensor::from_vector<float>({0, 4}, {2}));
+  // global norm = 5
+  const double norm = optim::clip_grad_norm({a, b}, 2.5);
+  EXPECT_NEAR(norm, 5.0, 1e-6);
+  EXPECT_NEAR(a.grad().at<float>(0), 1.5, 1e-5);
+  EXPECT_NEAR(b.grad().at<float>(1), 2.0, 1e-5);
+  // below threshold: untouched
+  const double norm2 = optim::clip_grad_norm({a, b}, 100.0);
+  EXPECT_NEAR(norm2, 2.5, 1e-5);
+  EXPECT_NEAR(a.grad().at<float>(0), 1.5, 1e-5);
+}
+
+TEST(ClipGradNorm, SkipsUndefinedGrads) {
+  Variable a(Tensor::zeros({2}), true);
+  EXPECT_DOUBLE_EQ(optim::clip_grad_norm({a}, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace salient

@@ -1,0 +1,246 @@
+// Batch-preparation tests: slicing kernels (serial == parallel == reference,
+// f16 paths), pinned pool recycling, MFG serialization round trip, and both
+// loaders delivering exactly the right batches with correct contents.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "graph/dataset.h"
+#include "prep/baseline_loader.h"
+#include "prep/batch.h"
+#include "prep/pinned_pool.h"
+#include "prep/salient_loader.h"
+#include "prep/slicing.h"
+#include "sampling/fast_sampler.h"
+
+namespace salient {
+namespace {
+
+Dataset& small_dataset() {
+  static Dataset ds = [] {
+    DatasetConfig c;
+    c.name = "prep-test";
+    c.num_nodes = 4000;
+    c.feature_dim = 24;
+    c.num_classes = 6;
+    c.avg_degree = 8;
+    c.seed = 77;
+    return generate_dataset(c);
+  }();
+  return ds;
+}
+
+TEST(Slicing, SerialEqualsParallelEqualsReference) {
+  const Dataset& ds = small_dataset();
+  std::vector<NodeId> ids{5, 100, 7, 3999, 0, 100};  // repeats allowed
+  Tensor serial({static_cast<std::int64_t>(ids.size()), ds.feature_dim},
+                DType::kF16);
+  Tensor parallel(serial.shape(), DType::kF16);
+  slice_rows_serial(ds.features, ids, serial);
+  ThreadPool pool(3);
+  slice_rows_parallel(ds.features, ids, parallel, pool);
+  EXPECT_TRUE(allclose(serial, parallel));
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    for (std::int64_t j = 0; j < ds.feature_dim; ++j) {
+      ASSERT_EQ(serial.at<Half>(static_cast<std::int64_t>(k), j).bits,
+                ds.features.at<Half>(ids[k], j).bits);
+    }
+  }
+}
+
+TEST(Slicing, ValidatesShapes) {
+  const Dataset& ds = small_dataset();
+  std::vector<NodeId> ids{1, 2};
+  Tensor wrong({2, 3}, DType::kF16);
+  EXPECT_THROW(slice_rows_serial(ds.features, ids, wrong),
+               std::runtime_error);
+  std::vector<NodeId> bad{999999};
+  Tensor out({1, ds.feature_dim}, DType::kF16);
+  EXPECT_THROW(slice_rows_serial(ds.features, bad, out), std::out_of_range);
+}
+
+TEST(Slicing, LabelsMatch) {
+  const Dataset& ds = small_dataset();
+  std::vector<NodeId> ids{10, 20, 30};
+  Tensor out({3}, DType::kI64);
+  slice_labels(ds.labels, ids, out);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(out.at<std::int64_t>(k), ds.labels.at<std::int64_t>(ids[k]));
+  }
+}
+
+TEST(PinnedPool, RecyclesBuffers) {
+  PinnedPool pool;
+  Tensor a = pool.acquire({100, 8}, DType::kF32);
+  EXPECT_TRUE(a.pinned());
+  EXPECT_EQ(pool.alloc_count(), 1u);
+  const void* ptr = a.raw();
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.idle_count(), 1u);
+  Tensor b = pool.acquire({99, 8}, DType::kF32);  // same 64KiB bucket
+  EXPECT_EQ(b.raw(), ptr);  // recycled
+  EXPECT_EQ(pool.alloc_count(), 1u);
+  Tensor c = pool.acquire({100, 8}, DType::kF32);  // pool empty -> new alloc
+  EXPECT_EQ(pool.alloc_count(), 2u);
+  (void)c;
+}
+
+TEST(PinnedPool, IgnoresUnpinnedRelease) {
+  PinnedPool pool;
+  pool.release(Tensor({4}, DType::kF32, /*pinned=*/false));
+  EXPECT_EQ(pool.idle_count(), 0u);
+}
+
+TEST(MfgSerialization, RoundTripsExactly) {
+  const Dataset& ds = small_dataset();
+  FastSampler sampler(ds.graph, {5, 3});
+  std::vector<NodeId> batch{1, 2, 3, 4, 5, 6, 7, 8};
+  Mfg mfg = sampler.sample(batch, 9);
+  auto blob = serialize_mfg(mfg);
+  Mfg copy = deserialize_mfg(blob);
+  EXPECT_TRUE(copy.valid());
+  EXPECT_EQ(copy.batch_size, mfg.batch_size);
+  EXPECT_EQ(copy.n_ids, mfg.n_ids);
+  ASSERT_EQ(copy.levels.size(), mfg.levels.size());
+  for (std::size_t i = 0; i < mfg.levels.size(); ++i) {
+    EXPECT_EQ(copy.levels[i].num_src, mfg.levels[i].num_src);
+    EXPECT_EQ(copy.levels[i].num_dst, mfg.levels[i].num_dst);
+    EXPECT_EQ(*copy.levels[i].indptr, *mfg.levels[i].indptr);
+    EXPECT_EQ(*copy.levels[i].indices, *mfg.levels[i].indices);
+  }
+  // truncation is detected
+  blob.resize(blob.size() / 2);
+  EXPECT_THROW(deserialize_mfg(blob), std::runtime_error);
+}
+
+/// Shared loader validation: all batches delivered exactly once, contents
+/// (MFG, features, labels) match an independent re-computation.
+template <class Loader>
+void check_loader(int num_workers, bool expect_ordered) {
+  const Dataset& ds = small_dataset();
+  LoaderConfig cfg;
+  cfg.batch_size = 128;
+  cfg.fanouts = {4, 3};
+  cfg.num_workers = num_workers;
+  cfg.seed = 99;
+  cfg.shuffle = true;
+  Loader loader(ds, ds.train_idx, cfg);
+
+  const auto expected_batches = static_cast<std::int64_t>(
+      (ds.train_idx.size() + 127) / 128);
+  EXPECT_EQ(loader.num_batches(), expected_batches);
+
+  std::set<std::int64_t> seen;
+  std::int64_t last = -1;
+  std::int64_t total_nodes = 0;
+  while (auto batch = loader.next()) {
+    ASSERT_TRUE(batch->mfg.valid());
+    ASSERT_TRUE(seen.insert(batch->index).second) << "duplicate batch";
+    if (expect_ordered) {
+      ASSERT_EQ(batch->index, last + 1);
+      last = batch->index;
+    }
+    // features were sliced from the right rows
+    ASSERT_EQ(batch->x.size(0), batch->mfg.num_input_nodes());
+    ASSERT_EQ(batch->x.size(1), ds.feature_dim);
+    for (std::int64_t k = 0; k < std::min<std::int64_t>(5, batch->x.size(0));
+         ++k) {
+      const NodeId src = batch->mfg.n_ids[static_cast<std::size_t>(k)];
+      for (std::int64_t j = 0; j < ds.feature_dim; ++j) {
+        ASSERT_EQ(batch->x.template at<Half>(k, j).bits,
+                  ds.features.at<Half>(src, j).bits);
+      }
+    }
+    // labels match the batch nodes
+    ASSERT_EQ(batch->y.size(0), batch->mfg.batch_size);
+    for (std::int64_t k = 0; k < batch->y.size(0); ++k) {
+      const NodeId v = batch->mfg.n_ids[static_cast<std::size_t>(k)];
+      ASSERT_EQ(batch->y.template at<std::int64_t>(k), ds.labels.at<std::int64_t>(v));
+    }
+    total_nodes += batch->mfg.batch_size;
+    loader.recycle(std::move(*batch));
+  }
+  EXPECT_EQ(static_cast<std::size_t>(total_nodes), ds.train_idx.size());
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(expected_batches));
+}
+
+TEST(SalientLoader, DeliversAllBatchesOneWorker) {
+  check_loader<SalientLoader>(1, /*expect_ordered=*/true);
+}
+
+TEST(SalientLoader, DeliversAllBatchesManyWorkers) {
+  check_loader<SalientLoader>(4, /*expect_ordered=*/false);
+}
+
+TEST(BaselineLoader, DeliversAllBatchesInOrder) {
+  check_loader<BaselineLoader>(1, /*expect_ordered=*/true);
+  check_loader<BaselineLoader>(3, /*expect_ordered=*/true);
+}
+
+TEST(Loaders, SameSeedSameBatchesAcrossImplementations) {
+  // With per-batch seeding, the set of batch node lists must be identical
+  // across loaders and worker counts (sampling differs: different sampler
+  // RNG types — but node partitioning must match exactly).
+  const Dataset& ds = small_dataset();
+  LoaderConfig cfg;
+  cfg.batch_size = 256;
+  cfg.fanouts = {3};
+  cfg.seed = 123;
+  cfg.num_workers = 2;
+
+  auto collect = [&](auto& loader) {
+    std::map<std::int64_t, std::vector<NodeId>> by_index;
+    while (auto b = loader.next()) {
+      std::vector<NodeId> nodes(
+          b->mfg.n_ids.begin(),
+          b->mfg.n_ids.begin() + b->mfg.batch_size);
+      by_index[b->index] = std::move(nodes);
+      loader.recycle(std::move(*b));
+    }
+    return by_index;
+  };
+  SalientLoader s1(ds, ds.train_idx, cfg);
+  auto a = collect(s1);
+  BaselineLoader b1(ds, ds.train_idx, cfg);
+  auto b = collect(b1);
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [idx, nodes] : a) {
+    ASSERT_EQ(nodes, b.at(idx)) << "batch " << idx;
+  }
+}
+
+TEST(SalientLoader, EarlyDestructionDoesNotDeadlock) {
+  const Dataset& ds = small_dataset();
+  LoaderConfig cfg;
+  cfg.batch_size = 64;
+  cfg.fanouts = {4, 4};
+  cfg.num_workers = 2;
+  cfg.queue_capacity = 2;
+  {
+    SalientLoader loader(ds, ds.train_idx, cfg);
+    auto b = loader.next();  // consume one, then abandon the epoch
+    ASSERT_TRUE(b.has_value());
+  }  // destructor must join workers without hanging
+  SUCCEED();
+}
+
+TEST(SalientLoader, SharedPoolIsReusedAcrossEpochs) {
+  const Dataset& ds = small_dataset();
+  auto pool = std::make_shared<PinnedPool>();
+  LoaderConfig cfg;
+  cfg.batch_size = 512;
+  cfg.fanouts = {4};
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    cfg.seed = 100 + static_cast<unsigned>(epoch);
+    SalientLoader loader(ds, ds.train_idx, cfg, pool);
+    while (auto b = loader.next()) loader.recycle(std::move(*b));
+  }
+  // second and third epochs should have mostly recycled buffers
+  EXPECT_LT(pool->alloc_count(), 3u * 4u);
+  EXPECT_GT(pool->idle_count(), 0u);
+}
+
+}  // namespace
+}  // namespace salient

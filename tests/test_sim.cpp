@@ -1,0 +1,244 @@
+// Cluster-simulator tests: scheduling primitives, timeline rendering, and —
+// most importantly — that the pipeline models reproduce the paper's
+// qualitative results: ablation ordering (Table 3), prep/transfer dominance
+// for the baseline (Table 1), near-GPU-bound SALIENT epochs (§4.4, Fig. 4),
+// multi-GPU scaling shape (Figure 5), and calibration sanity.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/dataset.h"
+#include "sim/calibration.h"
+#include "sim/pipeline_model.h"
+#include "sim/resources.h"
+#include "sim/timeline.h"
+
+namespace salient::sim {
+namespace {
+
+TEST(FifoResource, SerializesRequests) {
+  FifoResource r;
+  EXPECT_DOUBLE_EQ(r.acquire(0.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(r.acquire(1.0, 2.0), 2.0);  // busy until 2
+  EXPECT_DOUBLE_EQ(r.acquire(10.0, 1.0), 10.0);  // idle gap honours ready
+  EXPECT_DOUBLE_EQ(r.free_time(), 11.0);
+}
+
+TEST(PoolResource, PicksEarliestFreeUnit) {
+  PoolResource p(2);
+  EXPECT_DOUBLE_EQ(p.acquire(0, 5), 0.0);  // unit 0 busy till 5
+  EXPECT_DOUBLE_EQ(p.acquire(0, 3), 0.0);  // unit 1 busy till 3
+  int unit = -1;
+  EXPECT_DOUBLE_EQ(p.acquire(0, 1, &unit), 3.0);  // unit 1 again
+  EXPECT_EQ(unit, 1);
+  EXPECT_DOUBLE_EQ(p.earliest_free(), 4.0);
+  EXPECT_THROW(PoolResource(0), std::invalid_argument);
+}
+
+TEST(Timeline, TracksSpansAndRenders) {
+  Timeline t;
+  t.add("gpu0", "train", 0, 0.0, 1.0);
+  t.add("pcie0", "xfer", 1, 0.5, 1.5);
+  EXPECT_DOUBLE_EQ(t.end_time(), 1.5);
+  const std::string art = t.render_ascii(30);
+  EXPECT_NE(art.find("gpu0"), std::string::npos);
+  EXPECT_NE(art.find("pcie0"), std::string::npos);
+  EXPECT_NE(art.find('t'), std::string::npos);
+  EXPECT_NE(art.find('x'), std::string::npos);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("gpu0,train,0,0,1"), std::string::npos);
+}
+
+WorkloadModel test_workload() {
+  // Shaped like ogbn-products: sampling-bound baseline (even at 20 workers),
+  // non-trivial transfer volume, GPU compute a minority share.
+  WorkloadModel w;
+  w.dataset = "unit";
+  w.num_batches = 200;
+  w.sample_pyg_s = 0.80;
+  w.sample_salient_s = 0.32;  // 2.5x (Table 2 ratio)
+  w.slice_s = 0.04;
+  w.pin_copy_s = 0.04;
+  w.ipc_s = 0.02;
+  w.transfer_mb = 250;
+  w.train_gpu_s = 0.012;
+  w.grad_mb = 1.2;
+  return w;
+}
+
+WorkloadModel gpu_bound_workload() {
+  // Same preparation profile but heavier GPU compute, so the fully
+  // optimized pipeline becomes GPU-bound (the §4.4 regime).
+  WorkloadModel w = test_workload();
+  w.train_gpu_s = 0.030;
+  return w;
+}
+
+TEST(PipelineModel, AblationImprovesMonotonically) {
+  // Table 3: each added optimization reduces per-epoch time.
+  const WorkloadModel w = test_workload();
+  const HwProfile hw;
+  const double none =
+      simulate_epoch(w, hw, SystemOptions::pyg(), 20, 1).epoch_seconds;
+  const double fast =
+      simulate_epoch(w, hw, {true, false, false}, 20, 1).epoch_seconds;
+  const double shared =
+      simulate_epoch(w, hw, {true, true, false}, 20, 1).epoch_seconds;
+  const double full =
+      simulate_epoch(w, hw, SystemOptions::salient(), 20, 1).epoch_seconds;
+  EXPECT_LT(fast, none);
+  EXPECT_LT(shared, fast);
+  EXPECT_LT(full, shared);
+  // headline: ~3x end-to-end (Figure 4 reports 3x-3.4x)
+  EXPECT_GT(none / full, 2.0);
+  EXPECT_LT(none / full, 6.0);
+}
+
+TEST(PipelineModel, SalientEpochApproachesGpuBound) {
+  // §4.4: with SALIENT "the end-to-end training time per epoch is nearly
+  // equal to the time for the slowest component in isolation" — here the
+  // GPU compute.
+  const WorkloadModel w = gpu_bound_workload();
+  const HwProfile hw;
+  const auto r = simulate_epoch(w, hw, SystemOptions::salient(), 20, 1);
+  const double gpu_total =
+      static_cast<double>(w.num_batches) * w.train_gpu_s;
+  EXPECT_LT(r.epoch_seconds, gpu_total * 1.35);
+  EXPECT_GE(r.epoch_seconds, gpu_total * 0.99);
+}
+
+TEST(PipelineModel, BaselineIsPrepAndTransferDominated) {
+  // Table 1: for the PyG baseline only ~28% of blocking time is GPU train.
+  const WorkloadModel w = test_workload();
+  const auto r = simulate_epoch(w, HwProfile{}, SystemOptions::pyg(), 20, 1);
+  const double total =
+      r.blocked_prep_s + r.blocked_transfer_s + r.blocked_train_s;
+  EXPECT_GT((r.blocked_prep_s + r.blocked_transfer_s) / total, 0.5);
+  EXPECT_LT(r.blocked_train_s / total, 0.5);
+}
+
+TEST(PipelineModel, MoreWorkersHelpBaselineUntilSaturation) {
+  const WorkloadModel w = test_workload();
+  const HwProfile hw;
+  const double w1 =
+      simulate_epoch(w, hw, SystemOptions::pyg(), 1, 1).epoch_seconds;
+  const double w10 =
+      simulate_epoch(w, hw, SystemOptions::pyg(), 10, 1).epoch_seconds;
+  const double w20 =
+      simulate_epoch(w, hw, SystemOptions::pyg(), 20, 1).epoch_seconds;
+  EXPECT_GT(w1 / w10, 3.0);   // strong scaling while sampling-bound
+  EXPECT_GE(w10, w20 * 0.95); // saturated (higher startup latency at P=20)
+}
+
+TEST(PipelineModel, MultiGpuScalingShape) {
+  // Figure 5's shape: speedup grows with GPU count but sublinearly, and a
+  // larger workload (more batches) scales better than a small one.
+  WorkloadModel big = test_workload();
+  big.num_batches = 1172;  // papers-scale batch count
+  WorkloadModel small = test_workload();
+  small.num_batches = 88;  // arxiv-scale
+  const HwProfile hw;
+  auto speedup = [&](const WorkloadModel& w, int gpus) {
+    const double t1 =
+        simulate_epoch(w, hw, SystemOptions::salient(), 20, 1).epoch_seconds;
+    const double tg =
+        simulate_epoch(w, hw, SystemOptions::salient(), 20, gpus)
+            .epoch_seconds;
+    return t1 / tg;
+  };
+  const double big16 = speedup(big, 16);
+  const double small16 = speedup(small, 16);
+  EXPECT_GT(big16, 4.0);
+  EXPECT_LT(big16, 16.0);      // sublinear
+  EXPECT_GT(big16, small16);   // big graphs scale better (paper §6)
+  const double big2 = speedup(big, 2);
+  const double big8 = speedup(big, 8);
+  EXPECT_GT(big8, big2);       // monotone in GPU count
+}
+
+TEST(PipelineModel, TimelineShowsOverlapOnlyWhenPipelined) {
+  const WorkloadModel w = test_workload();
+  const HwProfile hw;
+  auto overlap_fraction = [](const EpochSimResult& r) {
+    // fraction of GPU busy time overlapped with PCIe busy time
+    double gpu_busy = 0, overlap = 0;
+    std::vector<std::pair<double, double>> xfers;
+    for (const auto& s : r.timeline.spans()) {
+      if (s.lane.rfind("pcie", 0) == 0) xfers.emplace_back(s.start, s.end);
+    }
+    for (const auto& s : r.timeline.spans()) {
+      if (s.lane.rfind("gpu", 0) != 0) continue;
+      gpu_busy += s.end - s.start;
+      for (const auto& [b, e] : xfers) {
+        const double lo = std::max(s.start, b), hi = std::min(s.end, e);
+        if (hi > lo) overlap += hi - lo;
+      }
+    }
+    return gpu_busy > 0 ? overlap / gpu_busy : 0.0;
+  };
+  const auto blocking =
+      simulate_epoch(w, hw, {true, true, false}, 20, 1);
+  const auto pipelined =
+      simulate_epoch(w, hw, SystemOptions::salient(), 20, 1);
+  EXPECT_LT(overlap_fraction(blocking), 0.05);
+  EXPECT_GT(overlap_fraction(pipelined), 0.5);
+}
+
+TEST(PipelineModel, RejectsBadArguments) {
+  EXPECT_THROW(simulate_epoch(WorkloadModel{}, HwProfile{},
+                              SystemOptions::pyg(), 1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_epoch(test_workload(), HwProfile{},
+                              SystemOptions::pyg(), 0, 1),
+               std::invalid_argument);
+}
+
+TEST(PaperWorkload, MatchesPublishedEpochShape) {
+  // Validate the simulator against Table 1's blocking breakdown for the
+  // baseline on ogbn-products: epoch ~8.6s, prep ~46%, transfer ~26%,
+  // train ~28% (generous bands — this is a model, not a replay).
+  const WorkloadModel w = paper_workload("products");
+  const auto r = simulate_epoch(w, HwProfile{}, SystemOptions::pyg(), 20, 1);
+  EXPECT_GT(r.epoch_seconds, 4.0);
+  EXPECT_LT(r.epoch_seconds, 16.0);
+  const double total =
+      r.blocked_prep_s + r.blocked_transfer_s + r.blocked_train_s;
+  EXPECT_GT(r.blocked_prep_s / total, 0.25);
+  EXPECT_GT(r.blocked_train_s / total, 0.10);
+  // SALIENT on the same workload: ~3x faster (Table 3: 8.6 -> 2.8).
+  const auto s =
+      simulate_epoch(w, HwProfile{}, SystemOptions::salient(), 20, 1);
+  EXPECT_GT(r.epoch_seconds / s.epoch_seconds, 2.0);
+  EXPECT_THROW(paper_workload("mnist"), std::invalid_argument);
+}
+
+TEST(Calibration, MeasuresSaneCosts) {
+  DatasetConfig c;
+  c.name = "calib-test";
+  c.num_nodes = 3000;
+  c.feature_dim = 16;
+  c.num_classes = 4;
+  c.avg_degree = 8;
+  c.seed = 3;
+  Dataset ds = generate_dataset(c);
+  CalibrationConfig cc;
+  cc.batch_size = 256;
+  cc.fanouts = {5, 5};
+  cc.measure_batches = 2;
+  cc.hidden_channels = 16;
+  const WorkloadModel w = calibrate(ds, cc);
+  EXPECT_GT(w.sample_pyg_s, 0.0);
+  EXPECT_GT(w.sample_salient_s, 0.0);
+  // the fast sampler must actually be faster on this machine
+  EXPECT_LT(w.sample_salient_s, w.sample_pyg_s);
+  EXPECT_GT(w.slice_s, 0.0);
+  EXPECT_GT(w.transfer_mb, 0.0);
+  EXPECT_GT(w.train_gpu_s, 0.0);
+  EXPECT_GT(w.grad_mb, 0.0);
+  EXPECT_EQ(w.num_batches,
+            static_cast<std::int64_t>(ds.train_idx.size()) / 256);
+}
+
+}  // namespace
+}  // namespace salient::sim

@@ -1,0 +1,257 @@
+// Tests for the util substrate: half conversion, RNGs, thread pool,
+// lock-free MPMC queue, blocking queue, timers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/blocking_queue.h"
+#include "util/half.h"
+#include "util/mpmc_queue.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace salient {
+namespace {
+
+// --- half precision -----------------------------------------------------------
+
+TEST(Half, RoundTripsExactHalfValues) {
+  // Every finite half value must round-trip float->half->float exactly.
+  int checked = 0;
+  for (std::uint32_t bits = 0; bits < 0x10000; ++bits) {
+    const Half h = Half::from_bits(static_cast<std::uint16_t>(bits));
+    const float f = half_to_float(h);
+    if (std::isnan(f)) continue;  // NaN payloads are canonicalized
+    const Half back = float_to_half(f);
+    ASSERT_EQ(back.bits, h.bits) << "bits=" << bits << " f=" << f;
+    ++checked;
+  }
+  EXPECT_GT(checked, 63000);
+}
+
+TEST(Half, KnownValues) {
+  EXPECT_EQ(float_to_half(0.0f).bits, 0x0000);
+  EXPECT_EQ(float_to_half(-0.0f).bits, 0x8000);
+  EXPECT_EQ(float_to_half(1.0f).bits, 0x3c00);
+  EXPECT_EQ(float_to_half(-2.0f).bits, 0xc000);
+  EXPECT_EQ(float_to_half(65504.0f).bits, 0x7bff);  // max finite half
+  EXPECT_EQ(float_to_half(65536.0f).bits, 0x7c00);  // overflow -> inf
+  EXPECT_EQ(float_to_half(1e-8f).bits & 0x7fff, 0x0000);  // underflow -> 0
+  EXPECT_FLOAT_EQ(half_to_float(Half::from_bits(0x3555)), 0.33325195f);
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly between 1.0 and the next half (1 + 2^-10):
+  // round-to-even picks 1.0 (even mantissa).
+  EXPECT_EQ(float_to_half(1.0f + 0x1p-11f).bits, 0x3c00);
+  // 1 + 3*2^-11 is between 1+2^-10 and 1+2^-9: even is 1+2^-9.
+  EXPECT_EQ(float_to_half(1.0f + 3 * 0x1p-11f).bits, 0x3c02);
+}
+
+TEST(Half, SubnormalsAndInfinity) {
+  const float smallest_subnormal = 0x1p-24f;
+  EXPECT_EQ(float_to_half(smallest_subnormal).bits, 0x0001);
+  EXPECT_FLOAT_EQ(half_to_float(Half::from_bits(0x0001)), 0x1p-24f);
+  EXPECT_TRUE(std::isinf(half_to_float(Half::from_bits(0x7c00))));
+  EXPECT_TRUE(std::isnan(half_to_float(Half::from_bits(0x7e00))));
+  EXPECT_TRUE(std::isnan(half_to_float(float_to_half(NAN))));
+}
+
+TEST(Half, BulkConversion) {
+  std::vector<float> src = {0.5f, -1.25f, 3.0f, 100.0f};
+  std::vector<Half> mid(src.size());
+  std::vector<float> dst(src.size());
+  float_to_half_n(src.data(), mid.data(), src.size());
+  half_to_float_n(mid.data(), dst.data(), src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_FLOAT_EQ(dst[i], src[i]);  // all chosen values are half-exact
+  }
+}
+
+// --- RNGs --------------------------------------------------------------------
+
+TEST(Rng, BoundedRandInRangeAndCoversValues) {
+  Xoshiro256ss rng(42);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = bounded_rand(rng, 7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, Pcg32BoundedIsUnbiasedEnough) {
+  Pcg32 rng(1);
+  std::vector<int> counts(5, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[bounded_rand(rng, 5)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 5, n / 5 * 0.05);
+  }
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256ss a(7), b(7), c(8);
+  EXPECT_EQ(a(), b());
+  Xoshiro256ss a2(7);
+  (void)c();
+  EXPECT_EQ(a2(), Xoshiro256ss(7)());
+}
+
+TEST(Rng, SplitMix64KnownSequenceDiffers) {
+  SplitMix64 s(0);
+  const auto v1 = s.next();
+  const auto v2 = s.next();
+  EXPECT_NE(v1, v2);
+}
+
+// --- thread pool ----------------------------------------------------------------
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyAndSingle) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 1, [&](std::int64_t b, std::int64_t e) {
+    total += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(total.load(), 1);
+}
+
+TEST(ThreadPool, SubmitRunsTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 50; ++i) {
+    futs.push_back(pool.submit([&count] { ++count; }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 50);
+}
+
+// --- MPMC queue -------------------------------------------------------------------
+
+TEST(MpmcQueue, FifoSingleThread) {
+  MpmcQueue<int> q(8);
+  EXPECT_EQ(q.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));  // full
+  int v;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.try_pop(v));  // empty
+}
+
+TEST(MpmcQueue, CapacityRoundsUpToPowerOfTwo) {
+  MpmcQueue<int> q(5);
+  EXPECT_EQ(q.capacity(), 8u);
+}
+
+TEST(MpmcQueue, ConcurrentProducersConsumersDeliverAllItems) {
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 5000;
+  MpmcQueue<int> q(256);
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int v = p * kPerProducer + i;
+        while (!q.try_push(v)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      int v;
+      while (popped.load() < kProducers * kPerProducer) {
+        if (q.try_pop(v)) {
+          sum += v;
+          ++popped;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const long long n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+// --- blocking queue ----------------------------------------------------------------
+
+TEST(BlockingQueue, PushPopAcrossThreads) {
+  BlockingQueue<int> q(2);
+  std::thread producer([&q] {
+    for (int i = 0; i < 100; ++i) ASSERT_TRUE(q.push(i));
+    q.close();
+  });
+  int expected = 0;
+  while (auto v = q.pop()) {
+    EXPECT_EQ(*v, expected++);
+  }
+  EXPECT_EQ(expected, 100);
+  producer.join();
+}
+
+TEST(BlockingQueue, CloseUnblocksProducer) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::thread producer([&q] { EXPECT_FALSE(q.push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  producer.join();
+}
+
+// --- timers ------------------------------------------------------------------------
+
+TEST(PhaseTimer, AccumulatesPerPhase) {
+  PhaseTimer t;
+  t.add(Phase::kSample, 1.5);
+  t.add(Phase::kSample, 0.5);
+  t.add(Phase::kTrain, 2.0);
+  EXPECT_DOUBLE_EQ(t.total(Phase::kSample), 2.0);
+  EXPECT_DOUBLE_EQ(t.total(Phase::kTrain), 2.0);
+  EXPECT_DOUBLE_EQ(t.grand_total(), 4.0);
+  EXPECT_NE(t.summary().find("sample=2"), std::string::npos);
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.grand_total(), 0.0);
+}
+
+TEST(PhaseTimer, TimeChargesElapsed) {
+  PhaseTimer t;
+  const int v = t.time(Phase::kSlice, [] { return 42; });
+  EXPECT_EQ(v, 42);
+  EXPECT_GE(t.total(Phase::kSlice), 0.0);
+}
+
+TEST(WallTimer, MeasuresMonotonically) {
+  WallTimer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(t.nanos(), 0);
+}
+
+}  // namespace
+}  // namespace salient
