@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_batchprep.dir/bench_table2_batchprep.cpp.o"
+  "CMakeFiles/bench_table2_batchprep.dir/bench_table2_batchprep.cpp.o.d"
+  "bench_table2_batchprep"
+  "bench_table2_batchprep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_batchprep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

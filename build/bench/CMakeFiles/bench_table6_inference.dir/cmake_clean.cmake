@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_inference.dir/bench_table6_inference.cpp.o"
+  "CMakeFiles/bench_table6_inference.dir/bench_table6_inference.cpp.o.d"
+  "bench_table6_inference"
+  "bench_table6_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_fanout_study.dir/inference_fanout_study.cpp.o"
+  "CMakeFiles/inference_fanout_study.dir/inference_fanout_study.cpp.o.d"
+  "inference_fanout_study"
+  "inference_fanout_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_fanout_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

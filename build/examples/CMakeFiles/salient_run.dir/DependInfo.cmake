@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/salient_run.cpp" "examples/CMakeFiles/salient_run.dir/salient_run.cpp.o" "gcc" "examples/CMakeFiles/salient_run.dir/salient_run.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/salient_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_prep.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salient_run.dir/salient_run.cpp.o"
+  "CMakeFiles/salient_run.dir/salient_run.cpp.o.d"
+  "salient_run"
+  "salient_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salient_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

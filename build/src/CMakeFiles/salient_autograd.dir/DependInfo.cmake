@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/engine.cpp" "src/CMakeFiles/salient_autograd.dir/autograd/engine.cpp.o" "gcc" "src/CMakeFiles/salient_autograd.dir/autograd/engine.cpp.o.d"
+  "/root/repo/src/autograd/functions.cpp" "src/CMakeFiles/salient_autograd.dir/autograd/functions.cpp.o" "gcc" "src/CMakeFiles/salient_autograd.dir/autograd/functions.cpp.o.d"
+  "/root/repo/src/autograd/gradcheck.cpp" "src/CMakeFiles/salient_autograd.dir/autograd/gradcheck.cpp.o" "gcc" "src/CMakeFiles/salient_autograd.dir/autograd/gradcheck.cpp.o.d"
+  "/root/repo/src/autograd/variable.cpp" "src/CMakeFiles/salient_autograd.dir/autograd/variable.cpp.o" "gcc" "src/CMakeFiles/salient_autograd.dir/autograd/variable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/salient_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

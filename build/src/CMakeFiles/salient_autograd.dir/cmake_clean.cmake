@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salient_autograd.dir/autograd/engine.cpp.o"
+  "CMakeFiles/salient_autograd.dir/autograd/engine.cpp.o.d"
+  "CMakeFiles/salient_autograd.dir/autograd/functions.cpp.o"
+  "CMakeFiles/salient_autograd.dir/autograd/functions.cpp.o.d"
+  "CMakeFiles/salient_autograd.dir/autograd/gradcheck.cpp.o"
+  "CMakeFiles/salient_autograd.dir/autograd/gradcheck.cpp.o.d"
+  "CMakeFiles/salient_autograd.dir/autograd/variable.cpp.o"
+  "CMakeFiles/salient_autograd.dir/autograd/variable.cpp.o.d"
+  "libsalient_autograd.a"
+  "libsalient_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salient_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

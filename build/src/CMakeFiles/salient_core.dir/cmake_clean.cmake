@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salient_core.dir/core/config.cpp.o"
+  "CMakeFiles/salient_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/salient_core.dir/core/system.cpp.o"
+  "CMakeFiles/salient_core.dir/core/system.cpp.o.d"
+  "libsalient_core.a"
+  "libsalient_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salient_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salient_device.dir/device/device_sim.cpp.o"
+  "CMakeFiles/salient_device.dir/device/device_sim.cpp.o.d"
+  "CMakeFiles/salient_device.dir/device/dma.cpp.o"
+  "CMakeFiles/salient_device.dir/device/dma.cpp.o.d"
+  "CMakeFiles/salient_device.dir/device/stream.cpp.o"
+  "CMakeFiles/salient_device.dir/device/stream.cpp.o.d"
+  "libsalient_device.a"
+  "libsalient_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salient_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

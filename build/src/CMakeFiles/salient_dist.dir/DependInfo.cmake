@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/allreduce.cpp" "src/CMakeFiles/salient_dist.dir/dist/allreduce.cpp.o" "gcc" "src/CMakeFiles/salient_dist.dir/dist/allreduce.cpp.o.d"
+  "/root/repo/src/dist/ddp.cpp" "src/CMakeFiles/salient_dist.dir/dist/ddp.cpp.o" "gcc" "src/CMakeFiles/salient_dist.dir/dist/ddp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/salient_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_prep.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salient_dist.dir/dist/allreduce.cpp.o"
+  "CMakeFiles/salient_dist.dir/dist/allreduce.cpp.o.d"
+  "CMakeFiles/salient_dist.dir/dist/ddp.cpp.o"
+  "CMakeFiles/salient_dist.dir/dist/ddp.cpp.o.d"
+  "libsalient_dist.a"
+  "libsalient_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salient_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cpp" "src/CMakeFiles/salient_graph.dir/graph/builder.cpp.o" "gcc" "src/CMakeFiles/salient_graph.dir/graph/builder.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/CMakeFiles/salient_graph.dir/graph/csr.cpp.o" "gcc" "src/CMakeFiles/salient_graph.dir/graph/csr.cpp.o.d"
+  "/root/repo/src/graph/dataset.cpp" "src/CMakeFiles/salient_graph.dir/graph/dataset.cpp.o" "gcc" "src/CMakeFiles/salient_graph.dir/graph/dataset.cpp.o.d"
+  "/root/repo/src/graph/generator.cpp" "src/CMakeFiles/salient_graph.dir/graph/generator.cpp.o" "gcc" "src/CMakeFiles/salient_graph.dir/graph/generator.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/salient_graph.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/salient_graph.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/partition.cpp" "src/CMakeFiles/salient_graph.dir/graph/partition.cpp.o" "gcc" "src/CMakeFiles/salient_graph.dir/graph/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/salient_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

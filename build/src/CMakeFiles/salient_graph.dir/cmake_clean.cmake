@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salient_graph.dir/graph/builder.cpp.o"
+  "CMakeFiles/salient_graph.dir/graph/builder.cpp.o.d"
+  "CMakeFiles/salient_graph.dir/graph/csr.cpp.o"
+  "CMakeFiles/salient_graph.dir/graph/csr.cpp.o.d"
+  "CMakeFiles/salient_graph.dir/graph/dataset.cpp.o"
+  "CMakeFiles/salient_graph.dir/graph/dataset.cpp.o.d"
+  "CMakeFiles/salient_graph.dir/graph/generator.cpp.o"
+  "CMakeFiles/salient_graph.dir/graph/generator.cpp.o.d"
+  "CMakeFiles/salient_graph.dir/graph/io.cpp.o"
+  "CMakeFiles/salient_graph.dir/graph/io.cpp.o.d"
+  "CMakeFiles/salient_graph.dir/graph/partition.cpp.o"
+  "CMakeFiles/salient_graph.dir/graph/partition.cpp.o.d"
+  "libsalient_graph.a"
+  "libsalient_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salient_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

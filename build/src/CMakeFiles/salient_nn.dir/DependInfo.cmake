@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/CMakeFiles/salient_nn.dir/nn/activations.cpp.o" "gcc" "src/CMakeFiles/salient_nn.dir/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/CMakeFiles/salient_nn.dir/nn/batchnorm.cpp.o" "gcc" "src/CMakeFiles/salient_nn.dir/nn/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/gat_conv.cpp" "src/CMakeFiles/salient_nn.dir/nn/gat_conv.cpp.o" "gcc" "src/CMakeFiles/salient_nn.dir/nn/gat_conv.cpp.o.d"
+  "/root/repo/src/nn/gcn_conv.cpp" "src/CMakeFiles/salient_nn.dir/nn/gcn_conv.cpp.o" "gcc" "src/CMakeFiles/salient_nn.dir/nn/gcn_conv.cpp.o.d"
+  "/root/repo/src/nn/gin_conv.cpp" "src/CMakeFiles/salient_nn.dir/nn/gin_conv.cpp.o" "gcc" "src/CMakeFiles/salient_nn.dir/nn/gin_conv.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/salient_nn.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/salient_nn.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/salient_nn.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/salient_nn.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "src/CMakeFiles/salient_nn.dir/nn/models.cpp.o" "gcc" "src/CMakeFiles/salient_nn.dir/nn/models.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/CMakeFiles/salient_nn.dir/nn/module.cpp.o" "gcc" "src/CMakeFiles/salient_nn.dir/nn/module.cpp.o.d"
+  "/root/repo/src/nn/sage_conv.cpp" "src/CMakeFiles/salient_nn.dir/nn/sage_conv.cpp.o" "gcc" "src/CMakeFiles/salient_nn.dir/nn/sage_conv.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/salient_nn.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/salient_nn.dir/nn/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/salient_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

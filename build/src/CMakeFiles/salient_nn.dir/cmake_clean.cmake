@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salient_nn.dir/nn/activations.cpp.o"
+  "CMakeFiles/salient_nn.dir/nn/activations.cpp.o.d"
+  "CMakeFiles/salient_nn.dir/nn/batchnorm.cpp.o"
+  "CMakeFiles/salient_nn.dir/nn/batchnorm.cpp.o.d"
+  "CMakeFiles/salient_nn.dir/nn/gat_conv.cpp.o"
+  "CMakeFiles/salient_nn.dir/nn/gat_conv.cpp.o.d"
+  "CMakeFiles/salient_nn.dir/nn/gcn_conv.cpp.o"
+  "CMakeFiles/salient_nn.dir/nn/gcn_conv.cpp.o.d"
+  "CMakeFiles/salient_nn.dir/nn/gin_conv.cpp.o"
+  "CMakeFiles/salient_nn.dir/nn/gin_conv.cpp.o.d"
+  "CMakeFiles/salient_nn.dir/nn/linear.cpp.o"
+  "CMakeFiles/salient_nn.dir/nn/linear.cpp.o.d"
+  "CMakeFiles/salient_nn.dir/nn/loss.cpp.o"
+  "CMakeFiles/salient_nn.dir/nn/loss.cpp.o.d"
+  "CMakeFiles/salient_nn.dir/nn/models.cpp.o"
+  "CMakeFiles/salient_nn.dir/nn/models.cpp.o.d"
+  "CMakeFiles/salient_nn.dir/nn/module.cpp.o"
+  "CMakeFiles/salient_nn.dir/nn/module.cpp.o.d"
+  "CMakeFiles/salient_nn.dir/nn/sage_conv.cpp.o"
+  "CMakeFiles/salient_nn.dir/nn/sage_conv.cpp.o.d"
+  "CMakeFiles/salient_nn.dir/nn/serialize.cpp.o"
+  "CMakeFiles/salient_nn.dir/nn/serialize.cpp.o.d"
+  "libsalient_nn.a"
+  "libsalient_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salient_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

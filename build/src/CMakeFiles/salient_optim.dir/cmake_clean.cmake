@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salient_optim.dir/optim/adam.cpp.o"
+  "CMakeFiles/salient_optim.dir/optim/adam.cpp.o.d"
+  "CMakeFiles/salient_optim.dir/optim/lr_scheduler.cpp.o"
+  "CMakeFiles/salient_optim.dir/optim/lr_scheduler.cpp.o.d"
+  "CMakeFiles/salient_optim.dir/optim/sgd.cpp.o"
+  "CMakeFiles/salient_optim.dir/optim/sgd.cpp.o.d"
+  "libsalient_optim.a"
+  "libsalient_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salient_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsalient_optim.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prep/baseline_loader.cpp" "src/CMakeFiles/salient_prep.dir/prep/baseline_loader.cpp.o" "gcc" "src/CMakeFiles/salient_prep.dir/prep/baseline_loader.cpp.o.d"
+  "/root/repo/src/prep/batch.cpp" "src/CMakeFiles/salient_prep.dir/prep/batch.cpp.o" "gcc" "src/CMakeFiles/salient_prep.dir/prep/batch.cpp.o.d"
+  "/root/repo/src/prep/feature_cache.cpp" "src/CMakeFiles/salient_prep.dir/prep/feature_cache.cpp.o" "gcc" "src/CMakeFiles/salient_prep.dir/prep/feature_cache.cpp.o.d"
+  "/root/repo/src/prep/pinned_pool.cpp" "src/CMakeFiles/salient_prep.dir/prep/pinned_pool.cpp.o" "gcc" "src/CMakeFiles/salient_prep.dir/prep/pinned_pool.cpp.o.d"
+  "/root/repo/src/prep/salient_loader.cpp" "src/CMakeFiles/salient_prep.dir/prep/salient_loader.cpp.o" "gcc" "src/CMakeFiles/salient_prep.dir/prep/salient_loader.cpp.o.d"
+  "/root/repo/src/prep/slicing.cpp" "src/CMakeFiles/salient_prep.dir/prep/slicing.cpp.o" "gcc" "src/CMakeFiles/salient_prep.dir/prep/slicing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/salient_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

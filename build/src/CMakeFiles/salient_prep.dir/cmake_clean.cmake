@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salient_prep.dir/prep/baseline_loader.cpp.o"
+  "CMakeFiles/salient_prep.dir/prep/baseline_loader.cpp.o.d"
+  "CMakeFiles/salient_prep.dir/prep/batch.cpp.o"
+  "CMakeFiles/salient_prep.dir/prep/batch.cpp.o.d"
+  "CMakeFiles/salient_prep.dir/prep/feature_cache.cpp.o"
+  "CMakeFiles/salient_prep.dir/prep/feature_cache.cpp.o.d"
+  "CMakeFiles/salient_prep.dir/prep/pinned_pool.cpp.o"
+  "CMakeFiles/salient_prep.dir/prep/pinned_pool.cpp.o.d"
+  "CMakeFiles/salient_prep.dir/prep/salient_loader.cpp.o"
+  "CMakeFiles/salient_prep.dir/prep/salient_loader.cpp.o.d"
+  "CMakeFiles/salient_prep.dir/prep/slicing.cpp.o"
+  "CMakeFiles/salient_prep.dir/prep/slicing.cpp.o.d"
+  "libsalient_prep.a"
+  "libsalient_prep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salient_prep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/baseline_sampler.cpp" "src/CMakeFiles/salient_sampling.dir/sampling/baseline_sampler.cpp.o" "gcc" "src/CMakeFiles/salient_sampling.dir/sampling/baseline_sampler.cpp.o.d"
+  "/root/repo/src/sampling/distributed.cpp" "src/CMakeFiles/salient_sampling.dir/sampling/distributed.cpp.o" "gcc" "src/CMakeFiles/salient_sampling.dir/sampling/distributed.cpp.o.d"
+  "/root/repo/src/sampling/fast_sampler.cpp" "src/CMakeFiles/salient_sampling.dir/sampling/fast_sampler.cpp.o" "gcc" "src/CMakeFiles/salient_sampling.dir/sampling/fast_sampler.cpp.o.d"
+  "/root/repo/src/sampling/mfg.cpp" "src/CMakeFiles/salient_sampling.dir/sampling/mfg.cpp.o" "gcc" "src/CMakeFiles/salient_sampling.dir/sampling/mfg.cpp.o.d"
+  "/root/repo/src/sampling/parameterized.cpp" "src/CMakeFiles/salient_sampling.dir/sampling/parameterized.cpp.o" "gcc" "src/CMakeFiles/salient_sampling.dir/sampling/parameterized.cpp.o.d"
+  "/root/repo/src/sampling/trace.cpp" "src/CMakeFiles/salient_sampling.dir/sampling/trace.cpp.o" "gcc" "src/CMakeFiles/salient_sampling.dir/sampling/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/salient_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

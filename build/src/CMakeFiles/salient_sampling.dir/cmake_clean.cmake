@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salient_sampling.dir/sampling/baseline_sampler.cpp.o"
+  "CMakeFiles/salient_sampling.dir/sampling/baseline_sampler.cpp.o.d"
+  "CMakeFiles/salient_sampling.dir/sampling/distributed.cpp.o"
+  "CMakeFiles/salient_sampling.dir/sampling/distributed.cpp.o.d"
+  "CMakeFiles/salient_sampling.dir/sampling/fast_sampler.cpp.o"
+  "CMakeFiles/salient_sampling.dir/sampling/fast_sampler.cpp.o.d"
+  "CMakeFiles/salient_sampling.dir/sampling/mfg.cpp.o"
+  "CMakeFiles/salient_sampling.dir/sampling/mfg.cpp.o.d"
+  "CMakeFiles/salient_sampling.dir/sampling/parameterized.cpp.o"
+  "CMakeFiles/salient_sampling.dir/sampling/parameterized.cpp.o.d"
+  "CMakeFiles/salient_sampling.dir/sampling/trace.cpp.o"
+  "CMakeFiles/salient_sampling.dir/sampling/trace.cpp.o.d"
+  "libsalient_sampling.a"
+  "libsalient_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salient_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

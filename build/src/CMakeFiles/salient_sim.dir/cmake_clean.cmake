@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salient_sim.dir/sim/calibration.cpp.o"
+  "CMakeFiles/salient_sim.dir/sim/calibration.cpp.o.d"
+  "CMakeFiles/salient_sim.dir/sim/pipeline_model.cpp.o"
+  "CMakeFiles/salient_sim.dir/sim/pipeline_model.cpp.o.d"
+  "CMakeFiles/salient_sim.dir/sim/resources.cpp.o"
+  "CMakeFiles/salient_sim.dir/sim/resources.cpp.o.d"
+  "CMakeFiles/salient_sim.dir/sim/timeline.cpp.o"
+  "CMakeFiles/salient_sim.dir/sim/timeline.cpp.o.d"
+  "libsalient_sim.a"
+  "libsalient_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salient_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

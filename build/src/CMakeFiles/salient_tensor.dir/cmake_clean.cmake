@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salient_tensor.dir/tensor/dtype.cpp.o"
+  "CMakeFiles/salient_tensor.dir/tensor/dtype.cpp.o.d"
+  "CMakeFiles/salient_tensor.dir/tensor/matmul.cpp.o"
+  "CMakeFiles/salient_tensor.dir/tensor/matmul.cpp.o.d"
+  "CMakeFiles/salient_tensor.dir/tensor/ops.cpp.o"
+  "CMakeFiles/salient_tensor.dir/tensor/ops.cpp.o.d"
+  "CMakeFiles/salient_tensor.dir/tensor/storage.cpp.o"
+  "CMakeFiles/salient_tensor.dir/tensor/storage.cpp.o.d"
+  "CMakeFiles/salient_tensor.dir/tensor/tensor.cpp.o"
+  "CMakeFiles/salient_tensor.dir/tensor/tensor.cpp.o.d"
+  "libsalient_tensor.a"
+  "libsalient_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salient_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

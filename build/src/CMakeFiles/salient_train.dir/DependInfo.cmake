@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/full_batch.cpp" "src/CMakeFiles/salient_train.dir/train/full_batch.cpp.o" "gcc" "src/CMakeFiles/salient_train.dir/train/full_batch.cpp.o.d"
+  "/root/repo/src/train/inference.cpp" "src/CMakeFiles/salient_train.dir/train/inference.cpp.o" "gcc" "src/CMakeFiles/salient_train.dir/train/inference.cpp.o.d"
+  "/root/repo/src/train/metrics.cpp" "src/CMakeFiles/salient_train.dir/train/metrics.cpp.o" "gcc" "src/CMakeFiles/salient_train.dir/train/metrics.cpp.o.d"
+  "/root/repo/src/train/trainer.cpp" "src/CMakeFiles/salient_train.dir/train/trainer.cpp.o" "gcc" "src/CMakeFiles/salient_train.dir/train/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/salient_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_prep.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salient_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

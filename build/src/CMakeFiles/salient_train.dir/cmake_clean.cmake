@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salient_train.dir/train/full_batch.cpp.o"
+  "CMakeFiles/salient_train.dir/train/full_batch.cpp.o.d"
+  "CMakeFiles/salient_train.dir/train/inference.cpp.o"
+  "CMakeFiles/salient_train.dir/train/inference.cpp.o.d"
+  "CMakeFiles/salient_train.dir/train/metrics.cpp.o"
+  "CMakeFiles/salient_train.dir/train/metrics.cpp.o.d"
+  "CMakeFiles/salient_train.dir/train/trainer.cpp.o"
+  "CMakeFiles/salient_train.dir/train/trainer.cpp.o.d"
+  "libsalient_train.a"
+  "libsalient_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salient_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

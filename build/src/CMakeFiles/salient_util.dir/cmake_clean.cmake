@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salient_util.dir/util/half.cpp.o"
+  "CMakeFiles/salient_util.dir/util/half.cpp.o.d"
+  "CMakeFiles/salient_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/salient_util.dir/util/thread_pool.cpp.o.d"
+  "CMakeFiles/salient_util.dir/util/timer.cpp.o"
+  "CMakeFiles/salient_util.dir/util/timer.cpp.o.d"
+  "libsalient_util.a"
+  "libsalient_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salient_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

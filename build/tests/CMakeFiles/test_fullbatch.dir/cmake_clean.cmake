@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fullbatch.dir/test_fullbatch.cpp.o"
+  "CMakeFiles/test_fullbatch.dir/test_fullbatch.cpp.o.d"
+  "test_fullbatch"
+  "test_fullbatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fullbatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_sched.dir/test_io_sched.cpp.o"
+  "CMakeFiles/test_io_sched.dir/test_io_sched.cpp.o.d"
+  "test_io_sched"
+  "test_io_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

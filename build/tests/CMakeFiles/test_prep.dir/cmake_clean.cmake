@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prep.dir/test_prep.cpp.o"
+  "CMakeFiles/test_prep.dir/test_prep.cpp.o.d"
+  "test_prep"
+  "test_prep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
