@@ -2,17 +2,32 @@
 // preparation on a synthetic ogbn-arxiv-like dataset, then run sampled
 // inference — the end-to-end workflow of the paper in ~40 lines.
 //
-//   ./quickstart [epochs] [dataset-scale]
+//   ./quickstart [epochs] [dataset-scale] [--trace-out=trace.json]
+//                [--metrics-out=metrics.json]
+//
+// With --trace-out the run records spans from the preparation workers, the
+// copy/compute streams, and the main thread, and writes a Chrome trace you
+// can open in https://ui.perfetto.dev (see docs/OBSERVABILITY.md).
 #include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/system.h"
 
 int main(int argc, char** argv) {
-  const int epochs = argc > 1 ? std::atoi(argv[1]) : 4;
-  const double scale = argc > 2 ? std::atof(argv[2]) : 0.05;
-
   salient::SystemConfig cfg;
+
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!salient::parse_obs_flag(arg, cfg)) positional.push_back(arg);
+  }
+  const int epochs =
+      positional.size() > 0 ? std::atoi(positional[0].c_str()) : 4;
+  const double scale =
+      positional.size() > 1 ? std::atof(positional[1].c_str()) : 0.05;
+
   cfg.dataset = "arxiv-sim";
   cfg.dataset_scale = scale;
   cfg.arch = "sage";

@@ -41,7 +41,11 @@ options (all optional):
   --seed N            global seed                                    [1]
   --save PATH         write a checkpoint after training
   --load PATH         load a checkpoint before training
+  --trace-out PATH    write a Chrome trace of the run (open in Perfetto)
+  --metrics-out PATH  dump the metrics registry as JSON on exit
   --help              this text
+
+options may be spelled --key value or --key=value.
 )";
 }
 
@@ -56,7 +60,16 @@ int main(int argc, char** argv) {
       usage();
       return 0;
     }
-    if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+    if (key.rfind("--", 0) != 0) {
+      std::cerr << "bad argument: " << key << " (try --help)\n";
+      return 1;
+    }
+    const auto eq = key.find('=');
+    if (eq != std::string::npos) {
+      args[key.substr(2, eq - 2)] = key.substr(eq + 1);
+      continue;
+    }
+    if (i + 1 >= argc) {
       std::cerr << "bad argument: " << key << " (try --help)\n";
       return 1;
     }
@@ -79,6 +92,8 @@ int main(int argc, char** argv) {
   cfg.num_workers = std::stoi(get("workers", "2"));
   cfg.lr = std::stod(get("lr", "3e-3"));
   cfg.seed = std::stoull(get("seed", "1"));
+  cfg.trace_out = get("trace-out", "");
+  cfg.metrics_out = get("metrics-out", "");
   const std::string mode = get("mode", "salient");
   if (mode == "baseline") {
     cfg.loader_kind = LoaderKind::kBaseline;

@@ -2,6 +2,7 @@
 
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 namespace salient {
 
@@ -15,6 +16,20 @@ std::vector<std::int64_t> parse_fanouts(const std::string& text) {
   }
   if (out.empty()) throw std::invalid_argument("parse_fanouts: empty list");
   return out;
+}
+
+bool parse_obs_flag(const std::string& arg, SystemConfig& config) {
+  constexpr std::string_view kTrace = "--trace-out=";
+  constexpr std::string_view kMetrics = "--metrics-out=";
+  if (arg.rfind(kTrace, 0) == 0) {
+    config.trace_out = arg.substr(kTrace.size());
+    return true;
+  }
+  if (arg.rfind(kMetrics, 0) == 0) {
+    config.metrics_out = arg.substr(kMetrics.size());
+    return true;
+  }
+  return false;
 }
 
 }  // namespace salient

@@ -38,9 +38,25 @@ struct SystemConfig {
 
   DeviceConfig device;
   std::uint64_t seed = 1;
+
+  /// When non-empty, enable span tracing (src/obs/trace.h) for the run and
+  /// write a Chrome trace_event JSON file here when the System is destroyed
+  /// (or on System::flush_observability()). Open it in chrome://tracing or
+  /// https://ui.perfetto.dev. CLI form: --trace-out=<path>.
+  std::string trace_out;
+  /// When non-empty, dump the global metrics registry (counters, gauges,
+  /// per-phase blocking histograms) as JSON to this path at the same points.
+  /// CLI form: --metrics-out=<path>.
+  std::string metrics_out;
 };
 
 /// Parse "a,b,c" into a fanout list (helper for example/bench CLIs).
 std::vector<std::int64_t> parse_fanouts(const std::string& text);
+
+/// Recognize the observability CLI flags (--trace-out=<path>,
+/// --metrics-out=<path>) and apply them to `config`. Returns true when `arg`
+/// was consumed; examples call this before their positional parsing so every
+/// binary accepts the same flags.
+bool parse_obs_flag(const std::string& arg, SystemConfig& config);
 
 }  // namespace salient

@@ -1,5 +1,10 @@
 #include "core/system.h"
 
+#include <iostream>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace salient {
 
 System::System(SystemConfig config) : config_(std::move(config)) {
@@ -13,7 +18,34 @@ System::System(Dataset dataset, SystemConfig config)
   build();
 }
 
+System::~System() { flush_observability(); }
+
+void System::flush_observability() {
+  if (!config_.trace_out.empty()) {
+    if (obs::write_chrome_trace_file(config_.trace_out)) {
+      std::cerr << "[obs] wrote trace to " << config_.trace_out << "\n";
+    } else {
+      std::cerr << "[obs] FAILED to write trace to " << config_.trace_out
+                << "\n";
+    }
+  }
+  if (!config_.metrics_out.empty()) {
+    if (obs::Registry::global().write_json_file(config_.metrics_out)) {
+      std::cerr << "[obs] wrote metrics to " << config_.metrics_out << "\n";
+    } else {
+      std::cerr << "[obs] FAILED to write metrics to " << config_.metrics_out
+                << "\n";
+    }
+  }
+}
+
 void System::build() {
+  // Requesting a trace output opts the run into recording; without it the
+  // tracer stays disabled and instrumented code costs one branch per span.
+  if (!config_.trace_out.empty()) {
+    obs::TraceRecorder::global().enable(true);
+  }
+
   nn::ModelConfig mc;
   mc.in_channels = dataset_.feature_dim;
   mc.hidden_channels = config_.hidden_channels;

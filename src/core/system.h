@@ -21,29 +21,53 @@
 
 namespace salient {
 
+/// Top-level facade over the whole reproduction.
+///
+/// A System owns one dataset, one model, one simulated device, and one
+/// Trainer, all built from a SystemConfig. It is the one-object API the
+/// examples drive; every subsystem it wires together is also public for
+/// finer-grained control (see docs/ARCHITECTURE.md for the map).
 class System {
  public:
   /// Generate the configured dataset preset and build the full stack.
   explicit System(SystemConfig config);
   /// Use a caller-provided dataset (takes ownership).
   System(Dataset dataset, SystemConfig config);
+  /// Flushes the configured observability outputs (see flush_observability).
+  ~System();
+
+  /// Write config.trace_out (Chrome trace of everything recorded so far)
+  /// and config.metrics_out (metrics registry JSON) now. Runs automatically
+  /// at destruction; calling it earlier snapshots a partial run. No-op for
+  /// empty paths.
+  void flush_observability();
 
   /// Train one epoch; returns its stats (per-phase blocking, loss, ...).
   EpochStats train_epoch();
   /// Train `epochs` epochs; returns per-epoch stats.
   std::vector<EpochStats> train(int epochs);
 
-  /// Sampled-inference accuracy on the test/validation split using
-  /// config.infer_fanouts (or an override).
+  /// Sampled-inference accuracy on the test split using
+  /// config.infer_fanouts (paper §5 mini-batch inference).
   double test_accuracy();
+  /// Sampled-inference accuracy on the test split with an explicit fanout
+  /// per layer, overriding config.infer_fanouts.
   double test_accuracy(std::span<const std::int64_t> fanouts);
+  /// Sampled-inference accuracy on the validation split using
+  /// config.infer_fanouts.
   double val_accuracy();
 
+  /// The dataset the system was built over (generated preset or caller's).
   const Dataset& dataset() const { return dataset_; }
+  /// The GNN model being trained; shared so callers can checkpoint it.
   const std::shared_ptr<nn::GnnModel>& model() const { return model_; }
+  /// The simulated accelerator (streams, DMA, feature cache).
   DeviceSim& device() { return *device_; }
+  /// The training-loop driver (blocking or pipelined per config).
   Trainer& trainer() { return *trainer_; }
+  /// The configuration the system was built with.
   const SystemConfig& config() const { return config_; }
+  /// Number of epochs train_epoch()/train() have completed so far.
   int epochs_trained() const { return epochs_trained_; }
 
  private:

@@ -43,7 +43,7 @@ void DeviceSim::enqueue_common_transfers(const PreparedBatch& batch,
         // transferred adjacency (§4.3).
         dma_.round_trip();
       }
-    });
+    }, "h2d.adjacency");
     dl.indptr = std::move(indptr);
     dl.indices = std::move(indices);
     out.mfg.levels.push_back(std::move(dl));
@@ -55,7 +55,7 @@ void DeviceSim::enqueue_common_transfers(const PreparedBatch& batch,
   const Tensor y_host = batch.y;
   copy_.enqueue([this, y_dev, y_host, pinned]() mutable {
     dma_.copy(y_dev.raw(), y_host.raw(), y_host.nbytes(), pinned);
-  });
+  }, "h2d.labels");
 }
 
 namespace {
@@ -85,7 +85,7 @@ DeviceBatch DeviceSim::transfer_batch(const PreparedBatch& batch,
   Tensor x_f16_copy = x_f16_dev;  // shared storage alias for the lambda
   copy_.enqueue([this, x_f16_copy, x_host, pinned]() mutable {
     dma_.copy(x_f16_copy.raw(), x_host.raw(), x_host.nbytes(), pinned);
-  });
+  }, "h2d.features");
 
   // Compute stream waits for the copies, then up-converts the features.
   Event copies_done = copy_.record();
@@ -94,7 +94,7 @@ DeviceBatch DeviceSim::transfer_batch(const PreparedBatch& batch,
   Tensor x_f32_dev = out.x_f32;
   compute_.enqueue([x_f16_dev, x_f32_dev]() mutable {
     convert_features(x_f16_dev, x_f32_dev);
-  });
+  }, "dev.f16_to_f32");
   if (ready != nullptr) {
     *ready = compute_.record();
   }
@@ -127,7 +127,7 @@ DeviceBatch DeviceSim::transfer_batch_cached(const PreparedBatch& batch,
     if (x_host.numel() > 0) {
       dma_.copy(missing_copy.raw(), x_host.raw(), x_host.nbytes(), pinned);
     }
-  });
+  }, "h2d.missing_rows");
 
   // Assemble the full feature matrix on the compute stream: cached rows are
   // device-to-device gathers (no PCIe), missing rows are up-converted from
@@ -161,7 +161,7 @@ DeviceBatch DeviceSim::transfer_batch_cached(const PreparedBatch& batch,
               : missing_f32.data<float>() + src_row * f;
       std::memcpy(dst + static_cast<std::int64_t>(i) * f, src, row_bytes);
     }
-  });
+  }, "dev.assemble_cached");
   if (ready != nullptr) {
     *ready = compute_.record();
   }

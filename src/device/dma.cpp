@@ -4,6 +4,8 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace salient {
@@ -28,6 +30,10 @@ void wait_until(const WallTimer& timer, double deadline_s) {
 
 void DmaEngine::copy(void* dst, const void* src, std::size_t bytes,
                      bool pinned) {
+  // The span lands on whichever thread runs the copy — for pipelined
+  // execution that is the copy stream, so H2D traffic gets its own trace
+  // lane and transfer/compute overlap is directly visible.
+  SALIENT_TRACE_SCOPE_ARG("dma.copy", bytes);
   WallTimer t;
   std::memcpy(dst, src, bytes);
   const double rate = config_.bandwidth_gb_per_s *
@@ -37,12 +43,25 @@ void DmaEngine::copy(void* dst, const void* src, std::size_t bytes,
   wait_until(t, model_s);
   bytes_.fetch_add(bytes, std::memory_order_relaxed);
   busy_ns_.fetch_add(t.nanos(), std::memory_order_relaxed);
+
+  auto& reg = obs::Registry::global();
+  static obs::Counter& m_bytes = reg.counter("dma.bytes");
+  static obs::Counter& m_copies = reg.counter("dma.copies");
+  static obs::Histogram& m_ms = reg.histogram(
+      "dma.copy_ms", {0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0});
+  m_bytes.add(static_cast<std::int64_t>(bytes));
+  m_copies.add();
+  m_ms.observe(t.seconds() * 1e3);
 }
 
 void DmaEngine::round_trip() {
+  SALIENT_TRACE_SCOPE("dma.round_trip");
   WallTimer t;
   wait_until(t, config_.round_trip_us * 1e-6);
   busy_ns_.fetch_add(t.nanos(), std::memory_order_relaxed);
+  static obs::Counter& m_round_trips =
+      obs::Registry::global().counter("dma.round_trips");
+  m_round_trips.add();
 }
 
 double DmaEngine::achieved_gb_per_s() const {

@@ -1,5 +1,6 @@
 #include "device/stream.h"
 
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace salient {
@@ -36,10 +37,10 @@ Stream::~Stream() {
   thread_.join();
 }
 
-void Stream::enqueue(std::function<void()> fn) {
+void Stream::enqueue(std::function<void()> fn, const char* label) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    work_.push_back(std::move(fn));
+    work_.push_back({std::move(fn), label});
     ++enqueued_;
   }
   cv_.notify_all();
@@ -71,8 +72,11 @@ double Stream::busy_seconds() const {
 }
 
 void Stream::loop() {
+  // Name this thread's trace track after the stream ("stream:copy0", ...):
+  // transfers and kernels then render as separate lanes, like Figure 1.
+  SALIENT_TRACE_THREAD_NAME("stream:" + name_);
   for (;;) {
-    std::function<void()> fn;
+    WorkItem item;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !work_.empty(); });
@@ -80,11 +84,14 @@ void Stream::loop() {
         if (stop_) return;
         continue;
       }
-      fn = std::move(work_.front());
+      item = std::move(work_.front());
       work_.pop_front();
     }
     WallTimer t;
-    fn();
+    {
+      obs::TraceSpan span(item.label);  // inactive when label is null
+      item.fn();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       busy_seconds_ += t.seconds();

@@ -51,7 +51,12 @@ class Stream {
   Stream& operator=(const Stream&) = delete;
 
   /// Enqueue work; returns immediately. Work items run in FIFO order.
-  void enqueue(std::function<void()> fn);
+  /// `label`, when non-null, must be a string with static storage duration
+  /// (a literal); the stream thread then records a trace span with that name
+  /// around the item's execution, so the work shows up on the stream's track
+  /// in a captured Chrome trace (see src/obs/trace.h). Unlabelled items
+  /// (event signals, internal waits) are not traced.
+  void enqueue(std::function<void()> fn, const char* label = nullptr);
 
   /// Record an event that completes when all previously enqueued work ran.
   Event record();
@@ -70,10 +75,15 @@ class Stream {
  private:
   void loop();
 
+  struct WorkItem {
+    std::function<void()> fn;
+    const char* label = nullptr;  // static string; traced when non-null
+  };
+
   std::string name_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> work_;
+  std::deque<WorkItem> work_;
   std::uint64_t enqueued_ = 0;
   std::uint64_t completed_ = 0;
   double busy_seconds_ = 0;

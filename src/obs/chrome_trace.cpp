@@ -1,0 +1,135 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+namespace salient::obs::chrome_trace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+void append_common(std::string& out, const char* name, char ph, double ts_us,
+                   int tid) {
+  out += "{\"name\":\"";
+  append_escaped(out, name);
+  out += "\",\"ph\":\"";
+  out += ph;
+  out += "\",\"ts\":";
+  append_number(out, ts_us);
+  out += ",\"pid\":";
+  out += std::to_string(kHostPid);
+  out += ",\"tid\":";
+  out += std::to_string(tid);
+}
+
+}  // namespace
+
+void write(std::ostream& os, const std::vector<CollectedEvent>& events) {
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  // Process + thread naming metadata first, so viewers label the tracks.
+  comma();
+  append_common(out, "process_name", 'M', 0, 0);
+  out += ",\"args\":{\"name\":\"salient\"}}";
+  std::set<int> named;
+  for (const auto& ce : events) {
+    if (ce.thread_name.empty() || !named.insert(ce.tid).second) continue;
+    comma();
+    append_common(out, "thread_name", 'M', 0, ce.tid);
+    out += ",\"args\":{\"name\":\"";
+    append_escaped(out, ce.thread_name);
+    out += "\"}}";
+  }
+
+  for (const auto& ce : events) {
+    const TraceEvent& e = ce.event;
+    comma();
+    switch (e.kind) {
+      case EventKind::kComplete:
+        append_common(out, e.name, 'X', e.ts_us, ce.tid);
+        out += ",\"dur\":";
+        append_number(out, e.dur_us);
+        break;
+      case EventKind::kInstant:
+        append_common(out, e.name, 'i', e.ts_us, ce.tid);
+        out += ",\"s\":\"t\"";
+        break;
+      case EventKind::kAsyncBegin:
+      case EventKind::kAsyncEnd:
+        append_common(out, e.name,
+                      e.kind == EventKind::kAsyncBegin ? 'b' : 'e', e.ts_us,
+                      ce.tid);
+        out += ",\"cat\":\"salient\",\"id\":";
+        out += std::to_string(e.id);
+        break;
+      case EventKind::kCounter:
+        append_common(out, e.name, 'C', e.ts_us, ce.tid);
+        out += ",\"args\":{\"value\":";
+        out += std::to_string(static_cast<std::int64_t>(e.id));
+        out += "}";
+        break;
+    }
+    if (e.kind != EventKind::kCounter && e.arg != kNoArg) {
+      out += ",\"args\":{\"v\":";
+      out += std::to_string(e.arg);
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  os << out;
+}
+
+bool write_file(const std::string& path,
+                const std::vector<CollectedEvent>& events) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write(os, events);
+  return os.good();
+}
+
+}  // namespace salient::obs::chrome_trace

@@ -1,0 +1,38 @@
+// Chrome `trace_event` JSON exporter.
+//
+// Writes the "JSON Array Format" wrapped in an object:
+//   {"traceEvents":[ {...}, {...} ], "displayTimeUnit":"ms"}
+// Every event carries the keys `name`, `ph`, `ts`, `pid`, `tid` (plus `dur`
+// for complete events, `cat`/`id` for async events, `args` where present),
+// which is what chrome://tracing and https://ui.perfetto.dev expect. Thread
+// tracks are labelled with `thread_name` metadata ('M') events, so the
+// preparation workers, the copy stream, the compute stream, and the main
+// thread render as separately named lanes.
+//
+// The trace-event format reference:
+// https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace salient::obs::chrome_trace {
+
+/// Process id used for host-side (recorder) events.
+inline constexpr int kHostPid = 1;
+
+/// Append `s` to `out` with JSON string escaping (quotes, backslashes,
+/// control characters).
+void append_escaped(std::string& out, const std::string& s);
+
+/// Serialize `events` (as returned by TraceRecorder::collect()) to `os`.
+void write(std::ostream& os, const std::vector<CollectedEvent>& events);
+
+/// write() to a file; returns false when the file cannot be written.
+bool write_file(const std::string& path,
+                const std::vector<CollectedEvent>& events);
+
+}  // namespace salient::obs::chrome_trace

@@ -1,0 +1,227 @@
+#include "obs/json_lite.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace salient::obs::json {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string& error)
+      : text_(text), error_(error) {}
+
+  bool parse_document(Value& out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing garbage");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& msg) {
+    error_ = msg + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool parse_value(Value& out) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object(out);
+      case '[':
+        return parse_array(out);
+      case '"':
+        out.type = Value::Type::kString;
+        return parse_string(out.string);
+      case 't':
+        return parse_literal("true", out, Value::Type::kBool, true);
+      case 'f':
+        return parse_literal("false", out, Value::Type::kBool, false);
+      case 'n':
+        return parse_literal("null", out, Value::Type::kNull, false);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_literal(const char* lit, Value& out, Value::Type type,
+                     bool boolean) {
+    for (const char* p = lit; *p; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return fail(std::string("expected '") + lit + "'");
+      }
+    }
+    out.type = type;
+    out.boolean = boolean;
+    return true;
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool any = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      any = true;
+      ++pos_;
+    }
+    if (!any) return fail("expected a value");
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    out.number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("malformed number");
+    out.type = Value::Type::kNumber;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return fail("dangling escape");
+        const char esc = text_[pos_];
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+            out += esc;
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) return fail("short \\u escape");
+            // Decode to a single byte when in range; multi-byte code points
+            // are replaced with '?' (fine for validation purposes).
+            const std::string hex = text_.substr(pos_ + 1, 4);
+            char* end = nullptr;
+            const long cp = std::strtol(hex.c_str(), &end, 16);
+            if (end == nullptr || *end != '\0') return fail("bad \\u escape");
+            out += cp < 0x80 ? static_cast<char>(cp) : '?';
+            pos_ += 4;
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+        ++pos_;
+      } else {
+        out += c;
+        ++pos_;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_array(Value& out) {
+    out.type = Value::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      Value item;
+      skip_ws();
+      if (!parse_value(item)) return false;
+      out.array.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_object(Value& out) {
+    out.type = Value::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail("expected ':'");
+      }
+      ++pos_;
+      skip_ws();
+      Value item;
+      if (!parse_value(item)) return false;
+      out.object.emplace(std::move(key), std::move(item));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::string& error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool parse(const std::string& text, Value& out, std::string& error) {
+  out = Value{};
+  error.clear();
+  return Parser(text, error).parse_document(out);
+}
+
+}  // namespace salient::obs::json

@@ -1,0 +1,47 @@
+// Minimal recursive-descent JSON parser.
+//
+// Just enough JSON to *validate and inspect* the files this repo emits
+// (Chrome traces from obs/chrome_trace.h, metrics dumps from obs/metrics.h)
+// without an external dependency: objects, arrays, strings with the common
+// escapes, numbers, true/false/null. Strict on structure (unbalanced or
+// trailing garbage fails), lenient on nothing. Used by tests/test_obs.cpp
+// and the `trace_check` ctest tool.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace salient::obs::json {
+
+/// A parsed JSON value (tree-owning; no references into the input text).
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+/// Parse `text` as one JSON document. Returns false (and sets `error` to a
+/// "message at offset N" string) on any syntax error or trailing garbage.
+bool parse(const std::string& text, Value& out, std::string& error);
+
+}  // namespace salient::obs::json

@@ -1,0 +1,170 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/chrome_trace.h"  // append_escaped
+
+namespace salient::obs {
+
+namespace {
+
+void atomic_add_double(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (
+      !a.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: bounds must be non-empty");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bounds must be ascending");
+  }
+  counts_ = std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // leaked, see trace.cpp
+  return *instance;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.gauge || e.histogram) {
+    throw std::invalid_argument("Registry: '" + name +
+                                "' already registered with another kind");
+  }
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.counter || e.histogram) {
+    throw std::invalid_argument("Registry: '" + name +
+                                "' already registered with another kind");
+  }
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.counter || e.gauge) {
+    throw std::invalid_argument("Registry: '" + name +
+                                "' already registered with another kind");
+  }
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *e.histogram;
+}
+
+std::string Registry::dump_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, e] : entries_) {  // std::map: already name-sorted
+    if (e.counter) {
+      os << name << ' ' << e.counter->value() << '\n';
+    } else if (e.gauge) {
+      os << name << ' ' << e.gauge->value() << '\n';
+    } else if (e.histogram) {
+      const Histogram& h = *e.histogram;
+      os << name << " count=" << h.total_count() << " mean=" << h.mean()
+         << " buckets=[";
+      for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+        if (i) os << ' ';
+        if (i < h.bounds().size()) {
+          os << "le" << h.bounds()[i] << ':' << h.bucket_count(i);
+        } else {
+          os << "inf:" << h.bucket_count(i);
+        }
+      }
+      os << "]\n";
+    }
+  }
+  return os.str();
+}
+
+void Registry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n";
+  bool first = true;
+  for (const auto& [name, e] : entries_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "\"";
+    chrome_trace::append_escaped(out, name);
+    out += "\":";
+    std::ostringstream v;
+    if (e.counter) {
+      v << e.counter->value();
+    } else if (e.gauge) {
+      v << e.gauge->value();
+    } else if (e.histogram) {
+      const Histogram& h = *e.histogram;
+      v << "{\"count\":" << h.total_count() << ",\"sum\":" << h.sum()
+        << ",\"bounds\":[";
+      for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+        if (i) v << ',';
+        v << h.bounds()[i];
+      }
+      v << "],\"counts\":[";
+      for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+        if (i) v << ',';
+        v << h.bucket_count(i);
+      }
+      v << "]}";
+    } else {
+      v << "null";
+    }
+    out += v.str();
+  }
+  out += "\n}\n";
+  os << out;
+}
+
+bool Registry::write_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_json(os);
+  return os.good();
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : entries_) {
+    if (e.counter) e.counter->reset();
+    if (e.gauge) e.gauge->reset();
+    if (e.histogram) e.histogram->reset();
+  }
+}
+
+}  // namespace salient::obs

@@ -1,0 +1,130 @@
+// Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+//
+// Companion to the tracer (obs/trace.h): where a trace answers "what
+// happened when, on which thread", metrics answer "how much, in total" —
+// bytes DMA'd, batches prepared, pinned-pool misses, per-phase blocking
+// seconds (the Table 1 breakdown). All instruments are updated with relaxed
+// atomics so hot paths (loader workers, stream threads) can bump them
+// without coordination; the registry is always compiled in because a relaxed
+// atomic add is cheaper than any gating worth maintaining.
+//
+// Idiom for hot paths — resolve the instrument once, not per update:
+//   static obs::Counter& c = obs::Registry::global().counter("dma.bytes");
+//   c.add(nbytes);
+//
+// Instruments live for the process lifetime; references never dangle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace salient::obs {
+
+/// Monotonically increasing integer counter.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Double-valued instrument supporting both set() (gauge semantics) and
+/// add() (accumulator semantics, e.g. seconds of blocking time).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-boundary histogram. A value v lands in the first bucket whose upper
+/// bound satisfies v <= bound; values above the last bound land in the
+/// implicit +Inf overflow bucket. Boundaries are set at registration and
+/// immutable afterwards.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket `i`; i == bounds().size() is the +Inf bucket.
+  std::int64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  std::int64_t total_count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const auto n = total_count();
+    return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+  }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;  // ascending upper bounds
+  std::unique_ptr<std::atomic<std::int64_t>[]> counts_;  // bounds.size() + 1
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Name -> instrument registry. Lookup takes a mutex; cache the returned
+/// reference (instruments are never deleted, so references stay valid).
+class Registry {
+ public:
+  /// The process-global registry (intentionally leaked, like the tracer).
+  static Registry& global();
+
+  /// Get or create the named instrument. Re-registering an existing name
+  /// with a different instrument kind throws std::invalid_argument.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` must be non-empty and ascending; it is only consulted on first
+  /// registration of `name`.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Human-readable dump, one `name value` line per instrument, sorted by
+  /// name. Histograms dump count/mean plus per-bucket counts.
+  std::string dump_text() const;
+
+  /// Machine-readable dump: one JSON object keyed by instrument name.
+  void write_json(std::ostream& os) const;
+  /// write_json() to a file; returns false when the file cannot be written.
+  bool write_json_file(const std::string& path) const;
+
+  /// Zero every instrument (registrations persist). Test helper.
+  void reset();
+
+ private:
+  Registry() = default;
+
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace salient::obs

@@ -1,0 +1,160 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/chrome_trace.h"
+
+namespace salient::obs {
+
+namespace detail {
+
+ThreadBuffer::~ThreadBuffer() {
+  for (auto& slot : chunks_) {
+    delete slot.load(std::memory_order_acquire);
+  }
+}
+
+void ThreadBuffer::append(const TraceEvent& e) {
+  const std::size_t idx = count_.load(std::memory_order_relaxed);
+  const std::size_t chunk_idx = idx / kChunkSize;
+  if (chunk_idx >= kMaxChunks) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Chunk* chunk = chunks_[chunk_idx].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Chunk();
+    chunks_[chunk_idx].store(chunk, std::memory_order_release);
+  }
+  chunk->events[idx % kChunkSize] = e;
+  count_.store(idx + 1, std::memory_order_release);
+}
+
+void ThreadBuffer::set_name(std::string name) {
+  std::lock_guard<std::mutex> lock(name_mu_);
+  name_ = std::move(name);
+}
+
+std::string ThreadBuffer::name() const {
+  std::lock_guard<std::mutex> lock(name_mu_);
+  return name_;
+}
+
+}  // namespace detail
+
+TraceRecorder& TraceRecorder::global() {
+  // Leaked on purpose: stream/worker threads may record while statics are
+  // being torn down, and a destructed recorder would be use-after-free.
+  static TraceRecorder* instance = new TraceRecorder();
+  return *instance;
+}
+
+detail::ThreadBuffer& TraceRecorder::local_buffer() {
+  thread_local detail::ThreadBuffer* tls = nullptr;
+  if (tls == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int tid = static_cast<int>(buffers_.size()) + 1;
+    buffers_.push_back(std::make_unique<detail::ThreadBuffer>(tid));
+    tls = buffers_.back().get();
+  }
+  return *tls;
+}
+
+void TraceRecorder::record(const TraceEvent& e) {
+  if (!enabled()) return;
+  local_buffer().append(e);
+}
+
+void TraceRecorder::set_thread_name(std::string name) {
+  local_buffer().set_name(std::move(name));
+}
+
+const char* TraceRecorder::intern(const std::string& s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  interned_.push_back(std::make_unique<std::string>(s));
+  return interned_.back()->c_str();
+}
+
+std::vector<CollectedEvent> TraceRecorder::collect() const {
+  std::vector<CollectedEvent> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    const std::size_t n = buf->size();
+    const std::string name = buf->name();
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back({buf->at(i), buf->tid(), name});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CollectedEvent& a, const CollectedEvent& b) {
+                     return a.event.ts_us < b.event.ts_us;
+                   });
+  return out;
+}
+
+std::size_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& buf : buffers_) n += buf->dropped();
+  return n;
+}
+
+void TraceRecorder::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) buf->clear();
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  chrome_trace::write(os, collect());
+}
+
+void trace_instant(const char* name, std::int64_t arg) {
+  TraceRecorder& r = TraceRecorder::global();
+  if (!r.enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.ts_us = r.now_us();
+  e.arg = arg;
+  e.kind = EventKind::kInstant;
+  r.record(e);
+}
+
+void trace_async_begin(const char* name, std::uint64_t id, std::int64_t arg) {
+  TraceRecorder& r = TraceRecorder::global();
+  if (!r.enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.ts_us = r.now_us();
+  e.id = id;
+  e.arg = arg;
+  e.kind = EventKind::kAsyncBegin;
+  r.record(e);
+}
+
+void trace_async_end(const char* name, std::uint64_t id) {
+  TraceRecorder& r = TraceRecorder::global();
+  if (!r.enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.ts_us = r.now_us();
+  e.id = id;
+  e.kind = EventKind::kAsyncEnd;
+  r.record(e);
+}
+
+void trace_counter(const char* name, std::int64_t value) {
+  TraceRecorder& r = TraceRecorder::global();
+  if (!r.enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.ts_us = r.now_us();
+  e.id = static_cast<std::uint64_t>(value);
+  e.kind = EventKind::kCounter;
+  r.record(e);
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  return chrome_trace::write_file(path, TraceRecorder::global().collect());
+}
+
+}  // namespace salient::obs

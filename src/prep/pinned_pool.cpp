@@ -1,5 +1,8 @@
 #include "prep/pinned_pool.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace salient {
 
 namespace {
@@ -20,6 +23,10 @@ std::size_t bucket_of(std::size_t nbytes) {
 }  // namespace
 
 Tensor PinnedPool::acquire(std::vector<std::int64_t> shape, DType dtype) {
+  auto& reg = obs::Registry::global();
+  static obs::Counter& m_acquires = reg.counter("pinned_pool.acquires");
+  static obs::Counter& m_misses = reg.counter("pinned_pool.misses");
+  m_acquires.add();
   const std::size_t bucket = bucket_of(bytes_for(shape, dtype));
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -31,6 +38,10 @@ Tensor PinnedPool::acquire(std::vector<std::int64_t> shape, DType dtype) {
     }
     ++allocs_;
   }
+  // Pool miss: a fresh page-locked allocation (the expensive case the pool
+  // exists to amortize) — worth an instant marker in the trace.
+  m_misses.add();
+  SALIENT_TRACE_INSTANT("pinned_pool.alloc");
   auto storage = std::make_shared<Storage>(bucket, /*pinned=*/true);
   return Tensor::wrap_storage(std::move(storage), std::move(shape), dtype);
 }

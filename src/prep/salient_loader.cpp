@@ -1,5 +1,7 @@
 #include "prep/salient_loader.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "prep/slicing.h"
 #include "sampling/fast_sampler.h"
 #include "util/rng.h"
@@ -52,7 +54,7 @@ SalientLoader::SalientLoader(const Dataset& dataset,
   const int workers = std::max(1, config_.num_workers);
   workers_.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, w] { worker_loop(w); });
   }
 }
 
@@ -61,38 +63,56 @@ SalientLoader::~SalientLoader() {
   for (auto& t : workers_) t.join();
 }
 
-void SalientLoader::worker_loop() {
+void SalientLoader::worker_loop(int worker_index) {
+  // Each preparation worker is its own trace track ("prep-worker-N"): a
+  // captured trace shows sampling/slicing running ahead of the consumer,
+  // which is the overlap Figure 1(b) illustrates.
+  SALIENT_TRACE_THREAD_NAME("prep-worker-" + std::to_string(worker_index));
+  static obs::Counter& m_prepared =
+      obs::Registry::global().counter("prep.batches_prepared");
   FastSampler sampler(dataset_.graph, config_.fanouts);
   BatchDesc desc;
   while (input_queue_.try_pop(desc)) {
+    // The async "batch" span begins here and ends when the trainer retires
+    // the batch (train/trainer.cpp) — the full per-batch pipeline latency.
+    SALIENT_TRACE_ASYNC_BEGIN("batch", desc.index);
+
     // 1. Neighborhood sampling and MFG construction (fused).
     const std::span<const NodeId> batch_nodes(
         epoch_nodes_.data() + desc.begin,
         static_cast<std::size_t>(desc.end - desc.begin));
     PreparedBatch batch;
     batch.index = desc.index;
-    batch.mfg = sampler.sample(batch_nodes, mix_seed(config_.seed, desc.index));
+    {
+      SALIENT_TRACE_SCOPE_ARG("prep.sample", desc.index);
+      batch.mfg =
+          sampler.sample(batch_nodes, mix_seed(config_.seed, desc.index));
+    }
 
     // 2. Serial slicing directly into pinned staging buffers. With a device
     // feature cache, only the cache-missing rows are sliced/staged.
-    if (cache_) {
-      auto plan = std::make_shared<CachePlan>(
-          plan_cached_batch(batch.mfg, *cache_));
-      batch.x = pool_->acquire({plan->num_missing, dataset_.feature_dim},
-                               dataset_.features.dtype());
-      slice_missing_rows(dataset_, batch.mfg, *plan, batch.x);
-      batch.cache_plan = std::move(plan);
-    } else {
-      batch.x =
-          pool_->acquire({batch.mfg.num_input_nodes(), dataset_.feature_dim},
-                         dataset_.features.dtype());
-      slice_rows_serial(dataset_.features, batch.mfg.n_ids, batch.x);
+    {
+      SALIENT_TRACE_SCOPE_ARG("prep.slice", desc.index);
+      if (cache_) {
+        auto plan = std::make_shared<CachePlan>(
+            plan_cached_batch(batch.mfg, *cache_));
+        batch.x = pool_->acquire({plan->num_missing, dataset_.feature_dim},
+                                 dataset_.features.dtype());
+        slice_missing_rows(dataset_, batch.mfg, *plan, batch.x);
+        batch.cache_plan = std::move(plan);
+      } else {
+        batch.x =
+            pool_->acquire({batch.mfg.num_input_nodes(), dataset_.feature_dim},
+                           dataset_.features.dtype());
+        slice_rows_serial(dataset_.features, batch.mfg.n_ids, batch.x);
+      }
+      batch.y = pool_->acquire({batch.mfg.batch_size}, DType::kI64);
+      slice_labels(dataset_.labels,
+                   {batch.mfg.n_ids.data(),
+                    static_cast<std::size_t>(batch.mfg.batch_size)},
+                   batch.y);
     }
-    batch.y = pool_->acquire({batch.mfg.batch_size}, DType::kI64);
-    slice_labels(dataset_.labels,
-                 {batch.mfg.n_ids.data(),
-                  static_cast<std::size_t>(batch.mfg.batch_size)},
-                 batch.y);
+    m_prepared.add();
 
     // 3. Zero-copy hand-off to the consumer.
     if (!output_queue_.push(std::move(batch))) return;  // loader shut down

@@ -35,6 +35,10 @@
 
 namespace salient {
 
+/// One-epoch pipelined batch-preparation engine (the paper's SALIENT
+/// loader). Worker threads pull mini-batch descriptors from a lock-free
+/// queue, sample + slice each batch into pinned staging buffers, and push
+/// the result to a bounded output queue that next() drains.
 class SalientLoader {
  public:
   /// Start preparing an epoch over `nodes` (typically the training split).
@@ -46,6 +50,7 @@ class SalientLoader {
   SalientLoader(const Dataset& dataset, std::span<const NodeId> nodes,
                 LoaderConfig config, std::shared_ptr<PinnedPool> pool = {},
                 std::shared_ptr<const FeatureCache> cache = {});
+  /// Stops and joins the worker threads; undelivered batches are dropped.
   ~SalientLoader();
 
   SalientLoader(const SalientLoader&) = delete;
@@ -58,7 +63,10 @@ class SalientLoader {
   /// batch's tensors were transferred to the device.
   void recycle(PreparedBatch&& batch);
 
+  /// Total mini-batches this epoch will produce (ceil(nodes / batch_size)).
   std::int64_t num_batches() const { return num_batches_; }
+  /// The pinned staging pool in use; pass it to the next epoch's loader to
+  /// keep recycling the same buffers.
   const std::shared_ptr<PinnedPool>& pool() const { return pool_; }
 
  private:
@@ -68,7 +76,7 @@ class SalientLoader {
     std::int64_t end = 0;
   };
 
-  void worker_loop();
+  void worker_loop(int worker_index);
 
   const Dataset& dataset_;
   LoaderConfig config_;

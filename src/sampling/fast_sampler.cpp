@@ -1,22 +1,43 @@
 #include "sampling/fast_sampler.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sampling/sampler_impl.h"
 
 namespace salient {
+
+namespace {
+
+/// Whole-run sampler totals for the metrics dump (`--metrics-out`).
+void count_sampled_mfg(const Mfg& mfg) {
+  auto& reg = obs::Registry::global();
+  static obs::Counter& batches = reg.counter("sampler.batches");
+  static obs::Counter& input_nodes = reg.counter("sampler.input_nodes");
+  batches.add();
+  input_nodes.add(mfg.num_input_nodes());
+}
+
+}  // namespace
 
 FastSampler::FastSampler(const CsrGraph& graph,
                          std::vector<std::int64_t> fanouts, std::uint64_t seed)
     : graph_(graph), fanouts_(std::move(fanouts)), rng_(seed) {}
 
 Mfg FastSampler::sample(std::span<const NodeId> batch) {
-  return sample_mfg<FlatIdMap, ArraySetSampler, /*Fused=*/true,
-                    /*Reserve=*/true>(graph_, batch, fanouts_, rng_);
+  SALIENT_TRACE_SCOPE_ARG("sample.mfg", batch.size());
+  Mfg mfg = sample_mfg<FlatIdMap, ArraySetSampler, /*Fused=*/true,
+                       /*Reserve=*/true>(graph_, batch, fanouts_, rng_);
+  count_sampled_mfg(mfg);
+  return mfg;
 }
 
 Mfg FastSampler::sample(std::span<const NodeId> batch, std::uint64_t seed) {
+  SALIENT_TRACE_SCOPE_ARG("sample.mfg", batch.size());
   Xoshiro256ss rng(seed);
-  return sample_mfg<FlatIdMap, ArraySetSampler, /*Fused=*/true,
-                    /*Reserve=*/true>(graph_, batch, fanouts_, rng);
+  Mfg mfg = sample_mfg<FlatIdMap, ArraySetSampler, /*Fused=*/true,
+                       /*Reserve=*/true>(graph_, batch, fanouts_, rng);
+  count_sampled_mfg(mfg);
+  return mfg;
 }
 
 }  // namespace salient

@@ -16,6 +16,11 @@
 
 namespace salient {
 
+/// Fused neighborhood sampler + MFG builder in SALIENT's winning
+/// configuration (flat ID map, linear-scan sample set, pre-sized
+/// containers, xoshiro RNG). One instance is cheap; loader workers
+/// construct one per thread. Not thread-safe: share the graph, not the
+/// sampler.
 class FastSampler {
  public:
   /// The sampler borrows `graph`, which must outlive it.
@@ -29,6 +34,7 @@ class FastSampler {
   /// Loaders use this so results are independent of worker scheduling.
   Mfg sample(std::span<const NodeId> batch, std::uint64_t seed);
 
+  /// Per-layer fanouts, outermost (input) layer first.
   const std::vector<std::int64_t>& fanouts() const { return fanouts_; }
 
  private:

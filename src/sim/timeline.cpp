@@ -1,8 +1,12 @@
 #include "sim/timeline.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <sstream>
+
+#include "obs/chrome_trace.h"
 
 namespace salient::sim {
 
@@ -51,6 +55,57 @@ std::string Timeline::render_ascii(int columns) const {
   }
   os << "(total " << total << "s; key: first letter of phase, '#' overlap)\n";
   return os.str();
+}
+
+void Timeline::write_chrome_trace(std::ostream& os) const {
+  using obs::chrome_trace::append_escaped;
+  // Distinct pid from the live tracer so a merged view keeps simulated and
+  // measured tracks apart.
+  constexpr int kSimPid = 2;
+  std::string out = "{\"traceEvents\":[\n";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":" +
+         std::to_string(kSimPid) +
+         ",\"tid\":0,\"args\":{\"name\":\"sim-cluster\"}}";
+
+  // Lane -> tid, in first-appearance order (matches render_ascii rows).
+  std::map<std::string, int> tids;
+  for (const auto& s : spans_) {
+    if (tids.find(s.lane) != tids.end()) continue;
+    const int tid = static_cast<int>(tids.size()) + 1;
+    tids[s.lane] = tid;
+    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":" +
+           std::to_string(kSimPid) + ",\"tid\":" + std::to_string(tid) +
+           ",\"args\":{\"name\":\"";
+    append_escaped(out, s.lane);
+    out += "\"}}";
+  }
+
+  char buf[64];
+  for (const auto& s : spans_) {
+    out += ",\n{\"name\":\"";
+    append_escaped(out, s.label);
+    out += "\",\"ph\":\"X\",\"ts\":";
+    std::snprintf(buf, sizeof(buf), "%.3f", s.start * 1e6);  // sim s -> us
+    out += buf;
+    out += ",\"dur\":";
+    std::snprintf(buf, sizeof(buf), "%.3f", (s.end - s.start) * 1e6);
+    out += buf;
+    out += ",\"pid\":" + std::to_string(kSimPid) +
+           ",\"tid\":" + std::to_string(tids[s.lane]);
+    if (s.batch >= 0) {
+      out += ",\"args\":{\"batch\":" + std::to_string(s.batch) + "}";
+    }
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  os << out;
+}
+
+bool Timeline::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os);
+  return os.good();
 }
 
 void Timeline::write_csv(std::ostream& os) const {

@@ -38,6 +38,15 @@ class Timeline {
   /// CSV dump: lane,label,batch,start,end.
   void write_csv(std::ostream& os) const;
 
+  /// Chrome trace_event JSON dump in the same format as the live tracer
+  /// (obs/chrome_trace.h): one named track per lane, one complete ('X')
+  /// event per span, simulated seconds mapped to trace microseconds. A
+  /// simulated cluster timeline therefore opens in chrome://tracing or
+  /// Perfetto exactly like a captured run.
+  void write_chrome_trace(std::ostream& os) const;
+  /// write_chrome_trace() to a file; false when the file cannot be written.
+  bool write_chrome_trace_file(const std::string& path) const;
+
  private:
   std::vector<TimelineSpan> spans_;
 };

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "prep/slicing.h"
 #include "sampling/fast_sampler.h"
 #include "tensor/ops.h"
@@ -40,8 +41,16 @@ InferenceResult evaluate_sampled(nn::GnnModel& model, const Dataset& dataset,
         nodes.data() + begin, static_cast<std::size_t>(end - begin));
     Mfg mfg = sampler.sample(batch_nodes,
                              seed + static_cast<std::uint64_t>(begin) + 1);
-    Tensor x = gather_features_f32(dataset, mfg.n_ids);
-    Variable logp = model.forward(Variable(x), mfg);
+    Tensor x;
+    {
+      SALIENT_TRACE_SCOPE_ARG("infer.slice", mfg.num_input_nodes());
+      x = gather_features_f32(dataset, mfg.n_ids);
+    }
+    Variable logp;
+    {
+      SALIENT_TRACE_SCOPE_ARG("infer.forward", end - begin);
+      logp = model.forward(Variable(x), mfg);
+    }
     Tensor pred = ops::argmax_rows(logp.data());
     const std::int64_t* pp = pred.data<std::int64_t>();
     for (std::int64_t i = 0; i < end - begin; ++i) {

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "autograd/functions.h"
+#include "obs/trace.h"
 #include "nn/loss.h"
 #include "prep/baseline_loader.h"
 #include "prep/salient_loader.h"
@@ -66,12 +67,17 @@ EpochStats Trainer::run_blocking(Loader& loader, int epoch) {
   EpochStats stats;
   stats.epoch = epoch;
   WallTimer epoch_timer;
+  SALIENT_TRACE_THREAD_NAME("main");
   double loss_sum = 0, acc_sum = 0;
 
   for (;;) {
     // 1. Batch preparation (blocking on the loader).
     WallTimer t;
-    auto maybe_batch = loader.next();
+    std::optional<PreparedBatch> maybe_batch;
+    {
+      SALIENT_TRACE_SCOPE("loader.next");
+      maybe_batch = loader.next();
+    }
     if (!maybe_batch.has_value()) break;
     stats.blocking.add(Phase::kSample, t.seconds());
     PreparedBatch batch = std::move(*maybe_batch);
@@ -79,12 +85,17 @@ EpochStats Trainer::run_blocking(Loader& loader, int epoch) {
 
     // 2. Blocking transfer (Listing 1's `batch.to(GPU)`).
     t.reset();
-    DeviceBatch dev =
-        batch.cache_plan
-            ? device_.transfer_batch_cached(batch, *batch.cache_plan, *cache_,
-                                            /*blocking=*/true, nullptr)
-            : device_.transfer_batch(batch, /*blocking=*/true,
-                                     /*ready=*/nullptr);
+    SALIENT_TRACE_ASYNC_BEGIN("device-batch", batch.index);
+    DeviceBatch dev;
+    {
+      SALIENT_TRACE_SCOPE_ARG("transfer.blocking", batch.index);
+      dev = batch.cache_plan
+                ? device_.transfer_batch_cached(batch, *batch.cache_plan,
+                                                *cache_,
+                                                /*blocking=*/true, nullptr)
+                : device_.transfer_batch(batch, /*blocking=*/true,
+                                         /*ready=*/nullptr);
+    }
     stats.blocking.add(Phase::kTransfer, t.seconds());
     loader.recycle(std::move(batch));
 
@@ -93,8 +104,12 @@ EpochStats Trainer::run_blocking(Loader& loader, int epoch) {
     double acc = 0, loss = 0;
     device_.compute_stream().enqueue([this, &dev, &acc, &loss] {
       loss = train_step(dev, &acc);
-    });
-    device_.compute_stream().synchronize();
+    }, "train.step");
+    {
+      SALIENT_TRACE_SCOPE_ARG("train.wait", dev.index);
+      device_.compute_stream().synchronize();
+    }
+    SALIENT_TRACE_ASYNC_END("device-batch", dev.index);
     stats.blocking.add(Phase::kTrain, t.seconds());
 
     loss_sum += loss;
@@ -138,7 +153,8 @@ EpochStats Trainer::run_replay(int epoch) {
     t.reset();
     double acc = 0, loss = 0;
     device_.compute_stream().enqueue(
-        [this, &dev, &acc, &loss] { loss = train_step(dev, &acc); });
+        [this, &dev, &acc, &loss] { loss = train_step(dev, &acc); },
+        "train.step");
     device_.compute_stream().synchronize();
     stats.blocking.add(Phase::kTrain, t.seconds());
     loss_sum += loss;
@@ -158,6 +174,7 @@ Trainer::InferenceEpoch Trainer::inference_epoch(
     std::uint64_t seed) {
   InferenceEpoch result;
   WallTimer timer;
+  SALIENT_TRACE_THREAD_NAME("main");
   model_->train(false);
 
   LoaderConfig cfg = config_.loader;
@@ -178,7 +195,11 @@ Trainer::InferenceEpoch Trainer::inference_epoch(
   auto retire_front = [&] {
     Inflight f = std::move(inflight.front());
     inflight.pop_front();
-    f.done.synchronize();
+    {
+      SALIENT_TRACE_SCOPE_ARG("infer.wait", f.dev->index);
+      f.done.synchronize();
+    }
+    SALIENT_TRACE_ASYNC_END("batch", f.dev->index);
     loader.recycle(std::move(f.host));
     hits += f.hits->first;
     total += f.hits->second;
@@ -209,7 +230,7 @@ Trainer::InferenceEpoch Trainer::inference_epoch(
       for (std::int64_t i = 0; i < pred.size(0); ++i) h += (pp[i] == py[i]);
       hit_slot->first = h;
       hit_slot->second = pred.size(0);
-    });
+    }, "infer.forward");
     item.done = device_.compute_stream().record();
     inflight.push_back(std::move(item));
     while (static_cast<int>(inflight.size()) > config_.pipeline_depth) {
@@ -228,6 +249,7 @@ EpochStats Trainer::run_pipelined(int epoch, const LoaderConfig& epoch_cfg) {
   EpochStats stats;
   stats.epoch = epoch;
   WallTimer epoch_timer;
+  SALIENT_TRACE_THREAD_NAME("main");
 
   SalientLoader loader(dataset_, dataset_.train_idx, epoch_cfg, pool_,
                        cache_);
@@ -246,7 +268,11 @@ EpochStats Trainer::run_pipelined(int epoch, const LoaderConfig& epoch_cfg) {
     Inflight f = std::move(inflight.front());
     inflight.pop_front();
     WallTimer t;
-    f.train_done.synchronize();
+    {
+      SALIENT_TRACE_SCOPE_ARG("train.wait", f.dev->index);
+      f.train_done.synchronize();
+    }
+    SALIENT_TRACE_ASYNC_END("batch", f.dev->index);
     stats.blocking.add(Phase::kTrain, t.seconds());
     if (config_.sampling_period > 1) {
       // LazyGCN schedule: keep an unpinned deep copy for replay epochs
@@ -263,11 +289,17 @@ EpochStats Trainer::run_pipelined(int epoch, const LoaderConfig& epoch_cfg) {
     loss_sum += f.result->first;
     acc_sum += f.result->second;
     ++stats.num_batches;
+    SALIENT_TRACE_COUNTER("pipeline.inflight",
+                          static_cast<std::int64_t>(inflight.size()));
   };
 
   for (;;) {
     WallTimer t;
-    auto maybe_batch = loader.next();
+    std::optional<PreparedBatch> maybe_batch;
+    {
+      SALIENT_TRACE_SCOPE("loader.wait");
+      maybe_batch = loader.next();
+    }
     if (!maybe_batch.has_value()) break;
     stats.blocking.add(Phase::kSample, t.seconds());
     PreparedBatch batch = std::move(*maybe_batch);
@@ -292,10 +324,12 @@ EpochStats Trainer::run_pipelined(int epoch, const LoaderConfig& epoch_cfg) {
       double acc = 0;
       result->first = train_step(*dev, &acc);
       result->second = acc;
-    });
+    }, "train.step");
     item.train_done = device_.compute_stream().record();
     stats.blocking.add(Phase::kTransfer, t.seconds());
     inflight.push_back(std::move(item));
+    SALIENT_TRACE_COUNTER("pipeline.inflight",
+                          static_cast<std::int64_t>(inflight.size()));
 
     // Throttle the pipeline depth: block on the oldest batch's training.
     while (static_cast<int>(inflight.size()) > config_.pipeline_depth) {

@@ -2,7 +2,43 @@
 
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace salient {
+
+namespace {
+
+/// Registry instruments mirrored by every PhaseTimer, resolved once.
+struct PhaseInstruments {
+  static constexpr int kN = static_cast<int>(Phase::kNumPhases);
+  obs::Gauge* blocking_s[kN];
+  obs::Histogram* block_ms[kN];
+
+  PhaseInstruments() {
+    auto& reg = obs::Registry::global();
+    for (int i = 0; i < kN; ++i) {
+      const std::string base =
+          std::string("phase.") + phase_name(static_cast<Phase>(i));
+      blocking_s[i] = &reg.gauge(base + ".blocking_s");
+      block_ms[i] = &reg.histogram(
+          base + ".block_ms", {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0});
+    }
+  }
+};
+
+PhaseInstruments& phase_instruments() {
+  static PhaseInstruments instance;  // thread-safe magic static
+  return instance;
+}
+
+}  // namespace
+
+void PhaseTimer::add(Phase p, double seconds) {
+  totals_[static_cast<int>(p)] += seconds;
+  PhaseInstruments& ins = phase_instruments();
+  ins.blocking_s[static_cast<int>(p)]->add(seconds);
+  ins.block_ms[static_cast<int>(p)]->observe(seconds * 1e3);
+}
 
 const char* phase_name(Phase p) {
   switch (p) {

@@ -52,12 +52,17 @@ enum class Phase : int {
 const char* phase_name(Phase p);
 
 /// Accumulates blocking wall time per phase.
+///
+/// PhaseTimer is a thin view over the global metrics registry
+/// (obs/metrics.h): each instance keeps its own per-epoch totals (the value
+/// EpochStats reports), and every add() also accumulates into the
+/// process-wide `phase.<name>.blocking_s` gauge and the
+/// `phase.<name>.block_ms` histogram, so a `--metrics-out` dump contains the
+/// whole-run Table 1 blocking breakdown without any extra bookkeeping.
 class PhaseTimer {
  public:
-  /// Add `seconds` of blocking time to phase `p`.
-  void add(Phase p, double seconds) {
-    totals_[static_cast<int>(p)] += seconds;
-  }
+  /// Add `seconds` of blocking time to phase `p` (also feeds the registry).
+  void add(Phase p, double seconds);
 
   /// Time a callable and charge it to phase `p`; returns the callable result.
   template <class F>

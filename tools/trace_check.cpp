@@ -1,0 +1,132 @@
+// trace_check — validate a Chrome trace_event JSON file.
+//
+// Usage: trace_check <trace.json> [--min-tracks N]
+//
+// Checks, in order:
+//   1. the file parses as JSON (obs/json_lite.h);
+//   2. the top-level value is an object with a "traceEvents" array;
+//   3. every event carries the required keys `ph`, `ts`, `pid`, `tid`,
+//      `name` with sane types;
+//   4. complete ('X') events span at least --min-tracks (default 3)
+//      distinct (pid, tid) tracks — for a quickstart run that means the
+//      preparation workers, the copy/compute streams, and the main thread
+//      all show up, i.e. the Figure 1 pipeline overlap is visible.
+//
+// Exit code 0 on success; 1 with a diagnostic on the first violation. Used
+// by the `quickstart_trace_validate` ctest case.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/json_lite.h"
+
+namespace json = salient::obs::json;
+
+namespace {
+
+int fail(const std::string& msg) {
+  std::cerr << "trace_check: " << msg << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::size_t min_tracks = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--min-tracks") == 0 && i + 1 < argc) {
+      min_tracks = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path.empty()) {
+    return fail("usage: trace_check <trace.json> [--min-tracks N]");
+  }
+
+  std::ifstream is(path);
+  if (!is) return fail("cannot open " + path);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  const std::string text = buffer.str();
+  if (text.empty()) return fail(path + " is empty");
+
+  json::Value doc;
+  std::string error;
+  if (!json::parse(text, doc, error)) {
+    return fail(path + " is not valid JSON: " + error);
+  }
+  if (!doc.is_object()) return fail("top-level value is not an object");
+  const json::Value* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return fail("missing \"traceEvents\" array");
+  }
+  if (events->array.empty()) return fail("\"traceEvents\" is empty");
+
+  std::set<std::pair<double, double>> span_tracks;
+  std::set<std::string> thread_names;
+  std::size_t spans = 0;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const json::Value& e = events->array[i];
+    if (!e.is_object()) {
+      return fail("traceEvents[" + std::to_string(i) + "] is not an object");
+    }
+    for (const char* key : {"ph", "ts", "pid", "tid", "name"}) {
+      if (e.find(key) == nullptr) {
+        return fail("traceEvents[" + std::to_string(i) + "] lacks key \"" +
+                    key + "\"");
+      }
+    }
+    const json::Value& ph = *e.find("ph");
+    const json::Value& name = *e.find("name");
+    if (!ph.is_string() || ph.string.empty()) {
+      return fail("traceEvents[" + std::to_string(i) + "].ph is not a string");
+    }
+    if (!e.find("ts")->is_number() || !e.find("pid")->is_number() ||
+        !e.find("tid")->is_number()) {
+      return fail("traceEvents[" + std::to_string(i) +
+                  "]: ts/pid/tid must be numbers");
+    }
+    if (ph.string == "X") {
+      ++spans;
+      span_tracks.insert(
+          {e.find("pid")->number, e.find("tid")->number});
+      const json::Value* dur = e.find("dur");
+      if (dur == nullptr || !dur->is_number() || dur->number < 0) {
+        return fail("traceEvents[" + std::to_string(i) +
+                    "]: 'X' event lacks a non-negative dur");
+      }
+    }
+    if (ph.string == "M" && name.is_string() &&
+        name.string == "thread_name") {
+      const json::Value* args = e.find("args");
+      const json::Value* n = args ? args->find("name") : nullptr;
+      if (n != nullptr && n->is_string()) thread_names.insert(n->string);
+    }
+  }
+
+  if (spans == 0) return fail("no complete ('X') span events");
+  if (span_tracks.size() < min_tracks) {
+    return fail("spans cover only " + std::to_string(span_tracks.size()) +
+                " track(s); expected >= " + std::to_string(min_tracks));
+  }
+
+  std::cout << "trace_check: OK — " << events->array.size() << " events, "
+            << spans << " spans on " << span_tracks.size() << " tracks";
+  if (!thread_names.empty()) {
+    std::cout << " (";
+    bool first = true;
+    for (const auto& n : thread_names) {
+      if (!first) std::cout << ", ";
+      first = false;
+      std::cout << n;
+    }
+    std::cout << ")";
+  }
+  std::cout << "\n";
+  return 0;
+}
