@@ -35,7 +35,9 @@ void DmaEngine::copy(void* dst, const void* src, std::size_t bytes,
   // lane and transfer/compute overlap is directly visible.
   SALIENT_TRACE_SCOPE_ARG("dma.copy", bytes);
   WallTimer t;
-  std::memcpy(dst, src, bytes);
+  // A zero-length level (e.g. an isolated node's empty adjacency) hands over
+  // null pointers; memcpy(null, null, 0) is formally UB, so skip it.
+  if (bytes > 0) std::memcpy(dst, src, bytes);
   const double rate = config_.bandwidth_gb_per_s *
                       (pinned ? 1.0 : config_.pageable_fraction) * 1e9;
   const double model_s =

@@ -40,6 +40,28 @@ void Histogram::observe(double v) {
   atomic_add_double(sum_, v);
 }
 
+double Histogram::quantile(double q) const {
+  const auto total = total_count();
+  if (total <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const std::int64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= rank) {
+      if (i == bounds_.size()) return bounds_.back();  // overflow: clamp
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double frac = (rank - static_cast<double>(cum)) /
+                          static_cast<double>(in_bucket);
+      return lo + std::clamp(frac, 0.0, 1.0) * (hi - lo);
+    }
+    cum += in_bucket;
+  }
+  return bounds_.back();
+}
+
 void Histogram::reset() {
   for (std::size_t i = 0; i <= bounds_.size(); ++i) {
     counts_[i].store(0, std::memory_order_relaxed);

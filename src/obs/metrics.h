@@ -78,6 +78,12 @@ class Histogram {
     const auto n = total_count();
     return n > 0 ? sum() / static_cast<double>(n) : 0.0;
   }
+  /// Approximate quantile (q in [0,1]) assuming a uniform distribution
+  /// within each bucket: finds the bucket holding rank q*count and
+  /// interpolates linearly between its bounds. Values in the +Inf overflow
+  /// bucket clamp to the last finite bound. Returns 0 when empty. This is
+  /// how serving latency p50/p95/p99 are reported (src/serve/).
+  double quantile(double q) const;
   void reset();
 
  private:

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "prep/slicing.h"
 
 namespace salient {
@@ -34,6 +35,13 @@ FeatureCache::FeatureCache(const Dataset& dataset, std::int64_t capacity) {
 }
 
 CachePlan plan_cached_batch(const Mfg& mfg, const FeatureCache& cache) {
+  // Whole-run hit/miss totals for the metrics dump: the cache's measured hit
+  // ratio (vs. the capacity/|V| lower bound) without running the ablation
+  // bench. hit_rate = hits / (hits + misses).
+  auto& reg = obs::Registry::global();
+  static obs::Counter& m_hits = reg.counter("prep.cache.row_hits");
+  static obs::Counter& m_misses = reg.counter("prep.cache.row_misses");
+
   CachePlan plan;
   plan.from_cache.reserve(mfg.n_ids.size());
   plan.source.reserve(mfg.n_ids.size());
@@ -47,6 +55,9 @@ CachePlan plan_cached_batch(const Mfg& mfg, const FeatureCache& cache) {
       plan.source.push_back(plan.num_missing++);
     }
   }
+  const auto total = static_cast<std::int64_t>(plan.from_cache.size());
+  m_hits.add(total - plan.num_missing);
+  m_misses.add(plan.num_missing);
   return plan;
 }
 

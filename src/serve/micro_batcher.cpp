@@ -1,0 +1,69 @@
+#include "serve/micro_batcher.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace salient::serve {
+
+MicroBatcher::MicroBatcher(RequestQueue& queue, BatchPolicy policy)
+    : queue_(queue), policy_(policy) {
+  if (policy_.max_batch_nodes < 1) policy_.max_batch_nodes = 1;
+}
+
+std::optional<MicroBatch> MicroBatcher::next() {
+  auto& reg = obs::Registry::global();
+  static obs::Counter& m_batches = reg.counter("serve.batches");
+  static obs::Histogram& m_batch_nodes = reg.histogram(
+      "serve.batch_nodes", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+
+  MicroBatch mb;
+  mb.seq = seq_;
+  std::int64_t nodes = 0;
+
+  // Seed the batch: the carried-over request, or block for the first one.
+  if (carry_.has_value()) {
+    nodes += static_cast<std::int64_t>(carry_->nodes.size());
+    mb.requests.push_back(std::move(*carry_));
+    carry_.reset();
+  } else {
+    auto first = queue_.pop();
+    if (!first.has_value()) return std::nullopt;  // closed and drained
+    nodes += static_cast<std::int64_t>(first->nodes.size());
+    mb.requests.push_back(std::move(*first));
+  }
+
+  // Coalesce until the size bound or the wait bound trips. The deadline runs
+  // from the first request's *arrival*; once it has passed (e.g. the request
+  // sat in a backlogged queue), pop_for degenerates to a poll, so a backlog
+  // is still drained greedily into full batches instead of singletons.
+  const auto deadline =
+      mb.requests.front().admitted_at +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          policy_.max_wait);
+  while (nodes < policy_.max_batch_nodes) {
+    const auto now = std::chrono::steady_clock::now();
+    const auto remaining =
+        now < deadline
+            ? std::chrono::duration_cast<std::chrono::microseconds>(deadline -
+                                                                    now)
+            : std::chrono::microseconds(0);
+    auto r = queue_.pop_for(remaining);
+    if (!r.has_value()) break;  // wait bound hit (or poll empty), or closed
+    const auto r_nodes = static_cast<std::int64_t>(r->nodes.size());
+    if (nodes > 0 && nodes + r_nodes > policy_.max_batch_nodes) {
+      carry_ = std::move(r);  // would overflow: starts the next batch
+      break;
+    }
+    nodes += r_nodes;
+    mb.requests.push_back(std::move(*r));
+  }
+
+  mb.closed_at = std::chrono::steady_clock::now();
+  ++seq_;
+  m_batches.add();
+  m_batch_nodes.observe(static_cast<double>(nodes));
+  return mb;
+}
+
+}  // namespace salient::serve

@@ -1,0 +1,61 @@
+// Dynamic micro-batching of concurrent prediction requests.
+//
+// GNN inference cost is dominated by per-batch fixed overheads (sampling
+// setup, slicing, transfer issue), so serving single-node requests one at a
+// time wastes most of the pipeline. The MicroBatcher coalesces whatever is
+// in the admission queue into one micro-batch under a classic max-size /
+// max-wait policy:
+//   * a batch closes as soon as its accumulated node count reaches
+//     max_batch_nodes (throughput bound), or
+//   * max_wait after its first request arrived (latency bound) — an idle
+//     server serves a lone request with at most max_wait of added delay.
+// A request never spans two batches; one that would overflow the current
+// batch is carried into the next.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "serve/request_queue.h"
+
+namespace salient::serve {
+
+struct BatchPolicy {
+  /// Close a batch once it holds this many requested nodes.
+  std::int64_t max_batch_nodes = 256;
+  /// Close a batch this long after its first request arrived.
+  std::chrono::microseconds max_wait{2000};
+};
+
+struct MicroBatch {
+  std::int64_t seq = -1;  ///< monotone batch number (drives the sampler seed)
+  std::vector<Request> requests;
+  std::chrono::steady_clock::time_point closed_at;
+
+  std::int64_t total_nodes() const {
+    std::int64_t n = 0;
+    for (const Request& r : requests) {
+      n += static_cast<std::int64_t>(r.nodes.size());
+    }
+    return n;
+  }
+};
+
+class MicroBatcher {
+ public:
+  MicroBatcher(RequestQueue& queue, BatchPolicy policy);
+
+  /// Block until the next micro-batch closes; nullopt once the queue is
+  /// closed and fully drained.
+  std::optional<MicroBatch> next();
+
+ private:
+  RequestQueue& queue_;
+  BatchPolicy policy_;
+  std::int64_t seq_ = 0;
+  std::optional<Request> carry_;  ///< overflow request from the last batch
+};
+
+}  // namespace salient::serve

@@ -1,0 +1,52 @@
+// Online-serving request/response types (docs/SERVING.md).
+//
+// A Request asks for class predictions of a set of nodes under the current
+// model. Responses are delivered through a std::future so callers can run
+// open-loop (fire many, collect later) or closed-loop (submit + wait). All
+// latency accounting uses the steady clock and is reported in microseconds,
+// matching the obs registry's serve.* histograms.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace salient::serve {
+
+enum class RequestStatus : std::uint8_t {
+  kOk,      ///< predictions filled for every requested node
+  kShed,    ///< rejected at admission (queue full) — no work was done
+  kClosed,  ///< server shut down before the request could be served
+};
+
+const char* to_string(RequestStatus s);
+
+struct Response {
+  RequestStatus status = RequestStatus::kOk;
+  /// Predicted class per node, aligned with the request's node order.
+  /// Empty unless status == kOk.
+  std::vector<std::int64_t> predictions;
+  /// Model generation the predictions were computed under (or served from
+  /// the result cache for); see InferenceServer::notify_model_updated().
+  std::uint64_t model_generation = 0;
+  /// Nodes answered from the ResultCache without touching the pipeline.
+  std::int64_t nodes_from_cache = 0;
+  /// Admission -> micro-batch close (time spent waiting for batching).
+  double queue_us = 0;
+  /// Admission -> response completion (the end-to-end serving latency).
+  double total_us = 0;
+
+  bool ok() const { return status == RequestStatus::kOk; }
+};
+
+struct Request {
+  std::uint64_t id = 0;
+  std::vector<NodeId> nodes;
+  std::chrono::steady_clock::time_point admitted_at;
+  std::promise<Response> promise;
+};
+
+}  // namespace salient::serve

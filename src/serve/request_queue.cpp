@@ -1,0 +1,70 @@
+#include "serve/request_queue.h"
+
+#include "obs/metrics.h"
+
+namespace salient::serve {
+
+const char* to_string(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kOk:
+      return "ok";
+    case RequestStatus::kShed:
+      return "shed";
+    case RequestStatus::kClosed:
+      return "closed";
+  }
+  return "?";
+}
+
+RequestQueue::RequestQueue(std::size_t capacity) : queue_(capacity) {}
+
+std::future<Response> RequestQueue::submit(std::vector<NodeId> nodes) {
+  auto& reg = obs::Registry::global();
+  static obs::Counter& m_admitted = reg.counter("serve.admitted");
+  static obs::Counter& m_shed = reg.counter("serve.shed");
+  static obs::Gauge& m_depth = reg.gauge("serve.queue_depth");
+
+  Request req;
+  req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  req.nodes = std::move(nodes);
+  req.admitted_at = std::chrono::steady_clock::now();
+  std::future<Response> fut = req.promise.get_future();
+
+  if (queue_.try_push(req)) {
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    m_admitted.add();
+    m_depth.set(static_cast<double>(queue_.size()));
+    return fut;
+  }
+
+  // Shed: the request was not moved from; complete it right here.
+  Response resp;
+  resp.status = queue_.closed() ? RequestStatus::kClosed : RequestStatus::kShed;
+  if (resp.status == RequestStatus::kShed) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    m_shed.add();
+  }
+  req.promise.set_value(std::move(resp));
+  return fut;
+}
+
+std::optional<Request> RequestQueue::pop() {
+  auto r = queue_.pop();
+  static obs::Gauge& m_depth = obs::Registry::global().gauge("serve.queue_depth");
+  m_depth.set(static_cast<double>(queue_.size()));
+  return r;
+}
+
+std::optional<Request> RequestQueue::pop_for(std::chrono::microseconds timeout) {
+  auto r = queue_.try_pop_for(timeout);
+  if (r.has_value()) {
+    static obs::Gauge& m_depth =
+        obs::Registry::global().gauge("serve.queue_depth");
+    m_depth.set(static_cast<double>(queue_.size()));
+  }
+  return r;
+}
+
+void RequestQueue::close() { queue_.close(); }
+
+}  // namespace salient::serve

@@ -1,0 +1,58 @@
+// Bounded admission queue with load shedding (docs/SERVING.md).
+//
+// The serving front door: submit() either admits a request into a bounded
+// BlockingQueue (backpressure for the batcher) or sheds it immediately when
+// the queue is full — the server never buffers unbounded work, so latency
+// under overload stays bounded instead of growing without limit. Shedding
+// completes the request's future right away with RequestStatus::kShed, which
+// lets clients retry against another replica.
+//
+// Instrumented through obs: serve.admitted / serve.shed counters and a
+// serve.queue_depth gauge.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <vector>
+
+#include "serve/request.h"
+#include "util/blocking_queue.h"
+
+namespace salient::serve {
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  /// Admit a prediction request for `nodes`. Always returns a valid future:
+  /// it resolves with kOk once served, immediately with kShed when the queue
+  /// is full, or with kClosed when the server is shutting down.
+  std::future<Response> submit(std::vector<NodeId> nodes);
+
+  /// Consumer side (the MicroBatcher): block until a request is available.
+  /// nullopt once the queue is closed and drained.
+  std::optional<Request> pop();
+  /// Bounded wait; nullopt on timeout or closed-and-drained.
+  std::optional<Request> pop_for(std::chrono::microseconds timeout);
+
+  /// Stop admission: subsequent submits resolve kClosed; consumers drain.
+  void close();
+
+  std::size_t depth() const { return queue_.size(); }
+  std::size_t capacity() const { return queue_.capacity(); }
+  std::uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+
+ private:
+  BlockingQueue<Request> queue_;
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+};
+
+}  // namespace salient::serve

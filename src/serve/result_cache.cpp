@@ -1,0 +1,67 @@
+#include "serve/result_cache.h"
+
+#include "obs/metrics.h"
+
+namespace salient::serve {
+
+ResultCache::ResultCache(std::int64_t capacity)
+    : capacity_(capacity < 0 ? 0 : capacity) {}
+
+std::optional<std::int64_t> ResultCache::lookup(NodeId v) {
+  auto& reg = obs::Registry::global();
+  static obs::Counter& m_hits = reg.counter("serve.result_cache.hits");
+  static obs::Counter& m_misses = reg.counter("serve.result_cache.misses");
+
+  if (capacity_ == 0) {
+    m_misses.add();
+    return std::nullopt;
+  }
+  const std::uint64_t cur = generation();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(v);
+  if (it == map_.end()) {
+    m_misses.add();
+    return std::nullopt;
+  }
+  if (it->second.gen != cur) {
+    // Stale under the current model: evict on touch.
+    lru_.erase(it->second.lru_it);
+    map_.erase(it);
+    m_misses.add();
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  m_hits.add();
+  return it->second.pred;
+}
+
+void ResultCache::insert(NodeId v, std::int64_t pred, std::uint64_t gen) {
+  if (capacity_ == 0 || gen != generation()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(v);
+  if (it != map_.end()) {
+    it->second.pred = pred;
+    it->second.gen = gen;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  if (static_cast<std::int64_t>(map_.size()) >= capacity_) {
+    const NodeId victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+  }
+  lru_.push_front(v);
+  map_.emplace(v, Entry{pred, gen, lru_.begin()});
+}
+
+std::uint64_t ResultCache::invalidate() {
+  // Entries are evicted lazily on the next touch; only the generation moves.
+  return gen_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+std::int64_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::int64_t>(map_.size());
+}
+
+}  // namespace salient::serve

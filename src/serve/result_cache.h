@@ -1,0 +1,64 @@
+// LRU cache over recent per-node predictions (docs/SERVING.md).
+//
+// Online traffic is heavily skewed toward popular nodes; a small LRU of
+// their latest predicted classes answers repeats without sampling or a
+// forward pass. Entries carry the model generation they were computed under:
+// notify_model_updated() bumps the generation, which lazily invalidates
+// every older entry (a stale hit is treated as a miss and evicted on touch)
+// — no stop-the-world flush on model update.
+//
+// Thread-safe (one mutex); lookups come from the batcher thread and inserts
+// from the retire side of the pipeline.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "graph/csr.h"
+
+namespace salient::serve {
+
+class ResultCache {
+ public:
+  /// `capacity` is the number of node entries retained; 0 disables the cache
+  /// (lookups always miss, inserts are dropped).
+  explicit ResultCache(std::int64_t capacity);
+
+  /// The cached prediction for `v` under the current generation, or nullopt.
+  /// Fresh hits are moved to the LRU front; stale entries are evicted.
+  std::optional<std::int64_t> lookup(NodeId v);
+
+  /// Record `pred` for `v` under generation `gen`. Ignored when `gen` is no
+  /// longer current (a batch that retired across a model update must not
+  /// poison the cache).
+  void insert(NodeId v, std::int64_t pred, std::uint64_t gen);
+
+  /// Invalidate all entries by advancing the generation; returns the new
+  /// generation. Called by InferenceServer::notify_model_updated().
+  std::uint64_t invalidate();
+
+  std::uint64_t generation() const {
+    return gen_.load(std::memory_order_acquire);
+  }
+  std::int64_t capacity() const { return capacity_; }
+  std::int64_t size() const;
+
+ private:
+  struct Entry {
+    std::int64_t pred = 0;
+    std::uint64_t gen = 0;
+    std::list<NodeId>::iterator lru_it;
+  };
+
+  std::int64_t capacity_ = 0;
+  std::atomic<std::uint64_t> gen_{0};
+  mutable std::mutex mu_;
+  std::list<NodeId> lru_;  // front = most recently used
+  std::unordered_map<NodeId, Entry> map_;
+};
+
+}  // namespace salient::serve

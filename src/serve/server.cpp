@@ -1,0 +1,356 @@
+#include "serve/server.h"
+
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "prep/slicing.h"
+#include "sampling/fast_sampler.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace salient::serve {
+
+namespace {
+
+/// Same per-batch seed mixing as the training loader: predictions depend on
+/// the batch sequence number only, never on worker scheduling.
+std::uint64_t mix_seed(std::uint64_t seed, std::int64_t index) {
+  SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ull *
+                        static_cast<std::uint64_t>(index + 1)));
+  return sm.next();
+}
+
+double us_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+const std::vector<double>& latency_bounds_us() {
+  static const std::vector<double> bounds{
+      100,  200,  500,  1000, 2000, 5000, 1e4, 2e4,
+      5e4,  1e5,  2e5,  5e5,  1e6,  2e6,  5e6, 1e7};
+  return bounds;
+}
+
+struct ServeInstruments {
+  obs::Counter& completed;
+  obs::Counter& nodes_served;
+  obs::Counter& nodes_computed;
+  obs::Counter& slo_ok;
+  obs::Counter& slo_miss;
+  obs::Histogram& latency_us;
+  obs::Histogram& queue_us;
+
+  static ServeInstruments& get() {
+    auto& reg = obs::Registry::global();
+    static ServeInstruments inst{
+        reg.counter("serve.completed"),
+        reg.counter("serve.nodes_served"),
+        reg.counter("serve.nodes_computed"),
+        reg.counter("serve.slo.ok"),
+        reg.counter("serve.slo.miss"),
+        reg.histogram("serve.latency_us", latency_bounds_us()),
+        reg.histogram("serve.queue_us", latency_bounds_us()),
+    };
+    return inst;
+  }
+};
+
+}  // namespace
+
+InferenceServer::InferenceServer(const Dataset& dataset,
+                                 std::shared_ptr<nn::GnnModel> model,
+                                 DeviceSim& device, ServeConfig config)
+    : dataset_(dataset),
+      model_(std::move(model)),
+      device_(device),
+      config_(std::move(config)),
+      pool_(std::make_shared<PinnedPool>()),
+      cache_(config_.result_cache_capacity),
+      queue_(config_.queue_capacity),
+      batcher_(queue_, config_.batch),
+      prep_in_(config_.stage_queue_capacity),
+      device_in_(config_.stage_queue_capacity) {
+  model_->train(false);
+  batcher_thread_ = std::thread([this] { batcher_loop(); });
+  const int workers = std::max(1, config_.num_prep_workers);
+  prep_threads_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    prep_threads_.emplace_back([this, w] { prep_loop(w); });
+  }
+  device_thread_ = std::thread([this] { device_loop(); });
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::future<Response> InferenceServer::submit(std::vector<NodeId> nodes) {
+  return queue_.submit(std::move(nodes));
+}
+
+Response InferenceServer::predict(std::vector<NodeId> nodes) {
+  return submit(std::move(nodes)).get();
+}
+
+std::uint64_t InferenceServer::notify_model_updated() {
+  model_->train(false);
+  return cache_.invalidate();
+}
+
+void InferenceServer::shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (shut_down_.exchange(true)) return;
+  // Tear down front to back: each stage drains its input queue, exits, and
+  // only then is the next stage's input closed — nothing in flight is lost.
+  queue_.close();
+  batcher_thread_.join();
+  prep_in_.close();
+  for (auto& t : prep_threads_) t.join();
+  device_in_.close();
+  device_thread_.join();
+}
+
+void InferenceServer::batcher_loop() {
+  SALIENT_TRACE_THREAD_NAME("serve-batcher");
+  while (auto maybe_mb = batcher_.next()) {
+    SALIENT_TRACE_SCOPE_ARG("serve.batch.close", maybe_mb->seq);
+    MicroBatch mb = std::move(*maybe_mb);
+
+    ComputeBatch cb;
+    cb.seq = mb.seq;
+    cb.closed_at = mb.closed_at;
+    cb.generation = cache_.generation();
+    cb.requests = std::move(mb.requests);
+    cb.preds.resize(cb.requests.size());
+    cb.cache_hits.assign(cb.requests.size(), 0);
+
+    // Resolve each requested node against the result cache; dedup the rest
+    // into the compute set (a node asked for by two requests — or twice by
+    // one — is sampled and computed once).
+    std::unordered_map<NodeId, std::uint32_t> node_index;
+    for (std::size_t r = 0; r < cb.requests.size(); ++r) {
+      const auto& nodes = cb.requests[r].nodes;
+      cb.preds[r].assign(nodes.size(), -1);
+      for (std::size_t s = 0; s < nodes.size(); ++s) {
+        if (auto cached = cache_.lookup(nodes[s])) {
+          cb.preds[r][s] = *cached;
+          ++cb.cache_hits[r];
+          continue;
+        }
+        auto [it, inserted] = node_index.try_emplace(
+            nodes[s], static_cast<std::uint32_t>(cb.nodes.size()));
+        if (inserted) cb.nodes.push_back(nodes[s]);
+        cb.refs.push_back({static_cast<std::uint32_t>(r),
+                           static_cast<std::uint32_t>(s), it->second});
+      }
+    }
+
+    if (cb.nodes.empty()) {
+      // Every node answered from the cache: respond without touching the
+      // pipeline (the serving fast path).
+      complete(std::move(cb), nullptr);
+      continue;
+    }
+    SALIENT_TRACE_ASYNC_BEGIN("serve.batch", cb.seq);
+    if (!prep_in_.push(std::move(cb))) break;  // server torn down
+  }
+}
+
+void InferenceServer::prep_loop(int worker_index) {
+  SALIENT_TRACE_THREAD_NAME("serve-prep-" + std::to_string(worker_index));
+  FastSampler sampler(dataset_.graph, config_.fanouts);
+  while (auto maybe_cb = prep_in_.pop()) {
+    ComputeBatch cb = std::move(*maybe_cb);
+    cb.prep.index = cb.seq;
+    {
+      SALIENT_TRACE_SCOPE_ARG("serve.sample", cb.seq);
+      cb.prep.mfg = sampler.sample(cb.nodes, mix_seed(config_.seed, cb.seq));
+    }
+    {
+      SALIENT_TRACE_SCOPE_ARG("serve.slice", cb.seq);
+      if (config_.feature_cache) {
+        auto plan = std::make_shared<CachePlan>(
+            plan_cached_batch(cb.prep.mfg, *config_.feature_cache));
+        cb.prep.x = pool_->acquire({plan->num_missing, dataset_.feature_dim},
+                                   dataset_.features.dtype());
+        slice_missing_rows(dataset_, cb.prep.mfg, *plan, cb.prep.x);
+        cb.prep.cache_plan = std::move(plan);
+      } else {
+        cb.prep.x = pool_->acquire(
+            {cb.prep.mfg.num_input_nodes(), dataset_.feature_dim},
+            dataset_.features.dtype());
+        slice_rows_serial(dataset_.features, cb.prep.mfg.n_ids, cb.prep.x);
+      }
+      // Serving needs no labels, but the device transfer path expects a y
+      // tensor; slice the (tiny) label rows so DeviceBatch stays uniform.
+      cb.prep.y = pool_->acquire({cb.prep.mfg.batch_size}, DType::kI64);
+      slice_labels(dataset_.labels,
+                   {cb.prep.mfg.n_ids.data(),
+                    static_cast<std::size_t>(cb.prep.mfg.batch_size)},
+                   cb.prep.y);
+    }
+    if (!device_in_.push(std::move(cb))) return;  // server torn down
+  }
+}
+
+void InferenceServer::device_loop() {
+  SALIENT_TRACE_THREAD_NAME("serve-device");
+  static obs::Gauge& m_inflight =
+      obs::Registry::global().gauge("serve.inflight");
+
+  struct Inflight {
+    ComputeBatch cb;
+    std::shared_ptr<DeviceBatch> dev;
+    std::shared_ptr<std::vector<std::int64_t>> preds;
+    Event done;
+  };
+  std::deque<Inflight> inflight;
+
+  auto retire_front = [&] {
+    Inflight f = std::move(inflight.front());
+    inflight.pop_front();
+    {
+      SALIENT_TRACE_SCOPE_ARG("serve.retire.wait", f.cb.seq);
+      f.done.synchronize();
+    }
+    SALIENT_TRACE_ASYNC_END("serve.batch", f.cb.seq);
+    pool_->release(std::move(f.cb.prep.x));
+    pool_->release(std::move(f.cb.prep.y));
+    complete(std::move(f.cb), f.preds->data());
+    m_inflight.set(static_cast<double>(inflight.size()));
+  };
+
+  while (true) {
+    std::optional<ComputeBatch> maybe_cb;
+    if (inflight.empty()) {
+      maybe_cb = device_in_.pop();
+      if (!maybe_cb.has_value()) break;  // closed and drained
+    } else {
+      // Keep the pipeline fed when new work is already waiting, but never
+      // hold a finished batch hostage to future traffic: with nothing
+      // immediately available, retire the oldest in-flight batch (bounded by
+      // its compute time) instead of blocking on the queue.
+      maybe_cb = device_in_.try_pop_for(std::chrono::microseconds(0));
+      if (!maybe_cb.has_value()) {
+        retire_front();
+        continue;
+      }
+    }
+    ComputeBatch cb = std::move(*maybe_cb);
+    Inflight item;
+    Event ready;
+    {
+      SALIENT_TRACE_SCOPE_ARG("serve.issue", cb.seq);
+      item.dev = std::make_shared<DeviceBatch>(
+          cb.prep.cache_plan
+              ? device_.transfer_batch_cached(cb.prep, *cb.prep.cache_plan,
+                                              *config_.feature_cache,
+                                              /*blocking=*/false, &ready)
+              : device_.transfer_batch(cb.prep, /*blocking=*/false, &ready));
+    }
+    item.preds = std::make_shared<std::vector<std::int64_t>>();
+    auto dev = item.dev;
+    auto preds = item.preds;
+    auto model = model_;
+    // FIFO stream order puts this after the batch's f16->f32 conversion, so
+    // the forward sees complete device-resident data (§4.3 semantics).
+    device_.compute_stream().enqueue([dev, preds, model] {
+      Variable logp = model->forward(Variable(dev->x_f32), dev->mfg);
+      Tensor p = ops::argmax_rows(logp.data());
+      const std::int64_t* pp = p.data<std::int64_t>();
+      preds->assign(pp, pp + p.size(0));
+    }, "serve.forward");
+    item.done = device_.compute_stream().record();
+    item.cb = std::move(cb);
+    inflight.push_back(std::move(item));
+    m_inflight.set(static_cast<double>(inflight.size()));
+    while (static_cast<int>(inflight.size()) > config_.pipeline_depth) {
+      retire_front();
+    }
+  }
+  while (!inflight.empty()) retire_front();
+}
+
+void InferenceServer::complete(ComputeBatch&& cb,
+                               const std::int64_t* computed) {
+  ServeInstruments& m = ServeInstruments::get();
+
+  // Scatter computed predictions to their request slots and refresh the
+  // result cache (once per unique node).
+  if (computed != nullptr) {
+    for (const ComputeBatch::Ref& ref : cb.refs) {
+      cb.preds[ref.req][ref.slot] = computed[ref.node_index];
+    }
+    for (std::size_t i = 0; i < cb.nodes.size(); ++i) {
+      cache_.insert(cb.nodes[i], computed[i], cb.generation);
+    }
+    m.nodes_computed.add(static_cast<std::int64_t>(cb.nodes.size()));
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < cb.requests.size(); ++r) {
+    Request& req = cb.requests[r];
+    Response resp;
+    resp.status = RequestStatus::kOk;
+    resp.predictions = std::move(cb.preds[r]);
+    resp.model_generation = cb.generation;
+    resp.nodes_from_cache = cb.cache_hits[r];
+    resp.queue_us = us_between(req.admitted_at, cb.closed_at);
+    resp.total_us = us_between(req.admitted_at, now);
+    m.completed.add();
+    m.nodes_served.add(static_cast<std::int64_t>(resp.predictions.size()));
+    m.latency_us.observe(resp.total_us);
+    m.queue_us.observe(resp.queue_us);
+    (resp.total_us <= config_.slo_us ? m.slo_ok : m.slo_miss).add();
+    req.promise.set_value(std::move(resp));
+  }
+}
+
+ServeStats InferenceServer::stats() const {
+  ServeInstruments& m = ServeInstruments::get();
+  auto& reg = obs::Registry::global();
+  ServeStats s;
+  s.admitted = static_cast<std::int64_t>(queue_.admitted());
+  s.shed = static_cast<std::int64_t>(queue_.shed());
+  s.completed = m.completed.value();
+  s.batches = reg.counter("serve.batches").value();
+  s.p50_us = m.latency_us.quantile(0.50);
+  s.p95_us = m.latency_us.quantile(0.95);
+  s.p99_us = m.latency_us.quantile(0.99);
+  s.mean_us = m.latency_us.mean();
+  s.slo_ok = m.slo_ok.value();
+  s.slo_miss = m.slo_miss.value();
+  s.result_cache_hits = reg.counter("serve.result_cache.hits").value();
+  s.result_cache_misses = reg.counter("serve.result_cache.misses").value();
+  if (config_.feature_cache) {
+    const auto hits = reg.counter("prep.cache.row_hits").value();
+    const auto misses = reg.counter("prep.cache.row_misses").value();
+    s.feature_cache_hit_rate =
+        hits + misses > 0
+            ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+            : 0.0;
+  }
+  return s;
+}
+
+std::string ServeStats::summary() const {
+  std::ostringstream os;
+  os << "admitted=" << admitted << " shed=" << shed
+     << " completed=" << completed << " batches=" << batches
+     << " p50=" << p50_us / 1000.0 << "ms p95=" << p95_us / 1000.0
+     << "ms p99=" << p99_us / 1000.0 << "ms mean=" << mean_us / 1000.0
+     << "ms slo_ok=" << slo_ok << " slo_miss=" << slo_miss;
+  if (result_cache_hits + result_cache_misses > 0) {
+    os << " result_cache_hit="
+       << static_cast<double>(result_cache_hits) /
+              static_cast<double>(result_cache_hits + result_cache_misses);
+  }
+  if (feature_cache_hit_rate > 0) {
+    os << " feature_cache_hit=" << feature_cache_hit_rate;
+  }
+  return os.str();
+}
+
+}  // namespace salient::serve

@@ -4,6 +4,7 @@
 // SALIENT's loader uses the lock-free MpmcQueue, as in the paper.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -26,6 +27,32 @@ class BlockingQueue {
     items_.push_back(std::move(value));
     cv_not_empty_.notify_one();
     return true;
+  }
+
+  /// Non-blocking enqueue: fails (without moving from `value`) when the
+  /// queue is full or closed. This is the admission-control primitive — a
+  /// producer that must not stall behind a slow consumer sheds instead.
+  bool try_push(T& value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    cv_not_empty_.notify_one();
+    return true;
+  }
+  bool try_push(T&& value) { return try_push(value); }
+
+  /// Wait up to `timeout` for an item. Returns nullopt on timeout, or once
+  /// the queue is closed *and* drained. A zero (or negative) timeout polls.
+  template <class Rep, class Period>
+  std::optional<T> try_pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_not_empty_.wait_for(lock, timeout,
+                           [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    cv_not_full_.notify_one();
+    return value;
   }
 
   /// Block until an item is available; returns nullopt once the queue is
@@ -51,6 +78,13 @@ class BlockingQueue {
   std::size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
   }
 
  private:

@@ -223,6 +223,29 @@ TEST(ObsMetrics, HistogramBucketBoundaries) {
   EXPECT_THROW(obs::Histogram({10.0, 1.0}), std::invalid_argument);
 }
 
+TEST(ObsMetrics, HistogramQuantileInterpolates) {
+  obs::Histogram h({10.0, 20.0, 40.0});
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty
+  // 10 values uniform in (0,10], 10 in (10,20]: the median sits at the
+  // bucket boundary and p75 lands mid-way through the second bucket.
+  for (int i = 0; i < 10; ++i) h.observe(5.0);
+  for (int i = 0; i < 10; ++i) h.observe(15.0);
+  EXPECT_NEAR(h.quantile(0.5), 10.0, 1e-9);
+  EXPECT_NEAR(h.quantile(0.75), 15.0, 1e-9);
+  EXPECT_NEAR(h.quantile(1.0), 20.0, 1e-9);
+  EXPECT_GT(h.quantile(0.1), 0.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.95));
+  EXPECT_LE(h.quantile(0.95), h.quantile(0.99));
+  // Out-of-range q clamps rather than throwing.
+  EXPECT_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_EQ(h.quantile(2.0), h.quantile(1.0));
+  // Overflow values clamp to the last finite bound.
+  obs::Histogram o({10.0});
+  o.observe(1e9);
+  EXPECT_EQ(o.quantile(0.5), 10.0);
+}
+
 TEST(ObsMetrics, RegistryInstrumentsAndDumps) {
   auto& reg = obs::Registry::global();
   obs::Counter& c = reg.counter("test.counter");

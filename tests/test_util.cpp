@@ -223,6 +223,89 @@ TEST(BlockingQueue, CloseUnblocksProducer) {
   producer.join();
 }
 
+TEST(BlockingQueue, TryPushShedsWhenFullWithoutConsuming) {
+  BlockingQueue<std::unique_ptr<int>> q(2);
+  EXPECT_EQ(q.capacity(), 2u);
+  ASSERT_TRUE(q.try_push(std::make_unique<int>(1)));
+  ASSERT_TRUE(q.try_push(std::make_unique<int>(2)));
+  // Full: try_push must fail immediately and leave the value intact, so the
+  // producer can still complete the shed request itself.
+  auto overflow = std::make_unique<int>(3);
+  EXPECT_FALSE(q.try_push(overflow));
+  ASSERT_NE(overflow, nullptr);
+  EXPECT_EQ(*overflow, 3);
+  EXPECT_EQ(q.size(), 2u);
+  // Draining one slot re-opens admission.
+  EXPECT_NE(q.pop(), std::nullopt);
+  EXPECT_TRUE(q.try_push(std::move(overflow)));
+}
+
+TEST(BlockingQueue, TryPushFailsAfterClose) {
+  BlockingQueue<int> q(4);
+  q.close();
+  EXPECT_FALSE(q.try_push(1));
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BlockingQueue, TryPopForTimesOutOnEmpty) {
+  BlockingQueue<int> q(4);
+  WallTimer t;
+  EXPECT_EQ(q.try_pop_for(std::chrono::milliseconds(20)), std::nullopt);
+  EXPECT_GE(t.seconds(), 0.015);
+  // Zero timeout polls without blocking.
+  EXPECT_EQ(q.try_pop_for(std::chrono::milliseconds(0)), std::nullopt);
+}
+
+TEST(BlockingQueue, TryPopForReturnsEarlyWhenItemArrives) {
+  BlockingQueue<int> q(4);
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_TRUE(q.push(7));
+  });
+  const auto v = q.try_pop_for(std::chrono::seconds(5));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+  producer.join();
+}
+
+TEST(BlockingQueue, TryPopForDrainsThenReportsClosed) {
+  BlockingQueue<int> q(4);
+  ASSERT_TRUE(q.push(1));
+  q.close();
+  EXPECT_EQ(q.try_pop_for(std::chrono::milliseconds(1)), 1);
+  // Closed and drained: returns nullopt immediately, not after the timeout.
+  WallTimer t;
+  EXPECT_EQ(q.try_pop_for(std::chrono::seconds(10)), std::nullopt);
+  EXPECT_LT(t.seconds(), 5.0);
+}
+
+TEST(BlockingQueue, BoundedUnderSlowConsumer) {
+  // A fast producer against a slow consumer must never grow the queue past
+  // its capacity; overflow is shed at try_push instead of buffered.
+  BlockingQueue<int> q(8);
+  std::atomic<int> shed{0}, delivered{0};
+  std::thread producer([&] {
+    for (int i = 0; i < 2000; ++i) {
+      if (q.try_push(int(i))) {
+        ++delivered;
+      } else {
+        ++shed;
+      }
+      ASSERT_LE(q.size(), 8u);
+    }
+    q.close();
+  });
+  int consumed = 0;
+  while (q.pop().has_value()) {
+    ++consumed;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  producer.join();
+  EXPECT_EQ(consumed, delivered.load());
+  EXPECT_EQ(delivered.load() + shed.load(), 2000);
+  EXPECT_GT(shed.load(), 0);  // the slow consumer forced shedding
+}
+
 // --- timers ------------------------------------------------------------------------
 
 TEST(PhaseTimer, AccumulatesPerPhase) {
