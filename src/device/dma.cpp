@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <cstring>
+#include <string>
 #include <thread>
 
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/timer.h"
@@ -35,6 +37,26 @@ void DmaEngine::copy(void* dst, const void* src, std::size_t bytes,
   // lane and transfer/compute overlap is directly visible.
   SALIENT_TRACE_SCOPE_ARG("dma.copy", bytes);
   WallTimer t;
+  // Transfer-error recovery: each attempt consults the `dma.h2d` failpoint
+  // (a real backend would check the engine's error status). Failed attempts
+  // retry after exponential backoff; past max_retries the error is
+  // propagated as DmaError instead of silently delivering garbage.
+  for (int attempt = 0; SALIENT_FAILPOINT("dma.h2d"); ++attempt) {
+    static obs::Counter& m_errors =
+        obs::Registry::global().counter("dma.errors");
+    m_errors.add();
+    SALIENT_TRACE_INSTANT("dma.error");
+    if (attempt >= config_.max_retries) {
+      busy_ns_.fetch_add(t.nanos(), std::memory_order_relaxed);
+      throw DmaError("dma.h2d transfer failed after " +
+                     std::to_string(attempt + 1) + " attempts");
+    }
+    static obs::Counter& m_retries =
+        obs::Registry::global().counter("dma.retries");
+    m_retries.add();
+    std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(
+        config_.retry_backoff_us * static_cast<double>(1 << attempt)));
+  }
   // A zero-length level (e.g. an isolated node's empty adjacency) hands over
   // null pointers; memcpy(null, null, 0) is formally UB, so skip it.
   if (bytes > 0) std::memcpy(dst, src, bytes);

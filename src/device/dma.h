@@ -16,6 +16,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 
 namespace salient {
 
@@ -24,6 +25,17 @@ struct DmaConfig {
   double pageable_fraction = 0.45;   ///< pageable transfers: fraction of peak
   double latency_us = 8.0;           ///< per-transfer setup latency
   double round_trip_us = 40.0;       ///< cost of one blocking CPU-GPU sync
+  /// Transfer-error recovery: a failed copy (injected via the `dma.h2d`
+  /// failpoint; a real backend would surface bus/ECC errors here) is retried
+  /// up to this many times with exponential backoff before DmaError.
+  int max_retries = 3;
+  /// Backoff before retry attempt k is retry_backoff_us * 2^k.
+  double retry_backoff_us = 50.0;
+};
+
+/// A host-to-device transfer that still failed after max_retries attempts.
+struct DmaError : std::runtime_error {
+  using std::runtime_error::runtime_error;
 };
 
 class DmaEngine {
@@ -31,7 +43,9 @@ class DmaEngine {
   explicit DmaEngine(DmaConfig config = {}) : config_(config) {}
 
   /// Copy `bytes` from src to dst at the modelled rate. Runs on the calling
-  /// thread (enqueue on a copy stream for async semantics).
+  /// thread (enqueue on a copy stream for async semantics). Transfer errors
+  /// (injected via the `dma.h2d` failpoint) are retried with bounded
+  /// exponential backoff; throws DmaError once retries are exhausted.
   void copy(void* dst, const void* src, std::size_t bytes, bool pinned);
 
   /// Model a blocking CPU-GPU round trip (e.g., a device-side assertion the

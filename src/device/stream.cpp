@@ -1,5 +1,9 @@
 #include "device/stream.h"
 
+#include <exception>
+
+#include "fault/failpoint.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 
@@ -88,9 +92,26 @@ void Stream::loop() {
       work_.pop_front();
     }
     WallTimer t;
+    // `stream.wedge` injects a scripted stall before the item runs (a slow
+    // kernel / a saturated copy engine); downstream code must tolerate the
+    // delay through its bounded queues, never by losing work.
+    SALIENT_FAILPOINT_WEDGE("stream.wedge");
     {
       obs::TraceSpan span(item.label);  // inactive when label is null
-      item.fn();
+      // A throwing work item (e.g. DmaError after exhausted retries) must
+      // not tear down the stream thread — the stream marks the error and
+      // keeps executing, so events recorded after the faulty item still
+      // fire and the pipeline drains instead of deadlocking. CUDA behaves
+      // the same way: a failed kernel poisons results, not the stream.
+      try {
+        item.fn();
+      } catch (const std::exception& e) {
+        static obs::Counter& m_errors =
+            obs::Registry::global().counter("stream.work_errors");
+        m_errors.add();
+        SALIENT_TRACE_INSTANT("stream.work_error");
+        (void)e;
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -1,0 +1,176 @@
+#include "fault/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace salient::fault {
+
+TriggerSpec TriggerSpec::parse(const std::string& text) {
+  std::string body = text;
+  TriggerSpec spec;
+  if (const auto at = body.find('@'); at != std::string::npos) {
+    spec.arg = std::stod(body.substr(at + 1));
+    body.resize(at);
+  }
+  std::vector<std::string> parts;
+  std::stringstream ss(body);
+  for (std::string p; std::getline(ss, p, ':');) parts.push_back(p);
+  if (parts.empty()) throw std::invalid_argument("empty failpoint trigger");
+  const std::string& mode = parts[0];
+  auto want = [&](std::size_t lo, std::size_t hi) {
+    if (parts.size() < lo + 1 || parts.size() > hi + 1) {
+      throw std::invalid_argument("bad failpoint trigger: " + text);
+    }
+  };
+  if (mode == "off") {
+    want(0, 0);
+    spec.mode = TriggerMode::kOff;
+  } else if (mode == "always") {
+    want(0, 0);
+    spec.mode = TriggerMode::kAlways;
+  } else if (mode == "nth") {
+    want(1, 1);
+    spec.mode = TriggerMode::kNth;
+    spec.n = std::stoull(parts[1]);
+  } else if (mode == "every") {
+    want(1, 1);
+    spec.mode = TriggerMode::kEveryK;
+    spec.n = std::stoull(parts[1]);
+  } else if (mode == "prob") {
+    want(1, 2);
+    spec.mode = TriggerMode::kProb;
+    spec.p = std::stod(parts[1]);
+    if (parts.size() == 3) spec.seed = std::stoull(parts[2]);
+  } else {
+    throw std::invalid_argument("unknown failpoint trigger: " + text);
+  }
+  if ((spec.mode == TriggerMode::kNth || spec.mode == TriggerMode::kEveryK) &&
+      spec.n == 0) {
+    throw std::invalid_argument("failpoint trigger needs N >= 1: " + text);
+  }
+  return spec;
+}
+
+Failpoint::Failpoint(std::string name) : name_(std::move(name)) {}
+
+bool Failpoint::should_fire() {
+  // Unarmed fast path: hits are not even counted, so an instrumented binary
+  // with no schedule armed pays one relaxed load per site visit.
+  if (mode_.load(std::memory_order_relaxed) == TriggerMode::kOff) {
+    return false;
+  }
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (spec_.mode == TriggerMode::kOff) return false;  // disarmed racily
+    const std::uint64_t hit = hits_.fetch_add(1, std::memory_order_relaxed) + 1;
+    switch (spec_.mode) {
+      case TriggerMode::kAlways:
+        fire = true;
+        break;
+      case TriggerMode::kNth:
+        fire = hit == spec_.n;
+        break;
+      case TriggerMode::kEveryK:
+        fire = hit % spec_.n == 0;
+        break;
+      case TriggerMode::kProb:
+        fire = static_cast<double>(rng_()) /
+                   static_cast<double>(Xoshiro256ss::max()) <
+               spec_.p;
+        break;
+      case TriggerMode::kOff:
+        break;
+    }
+    if (fire) fires_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (fire) {
+    static obs::Counter& m_fired =
+        obs::Registry::global().counter("fault.fired");
+    m_fired.add();
+  }
+  return fire;
+}
+
+void Failpoint::arm(const TriggerSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_ = spec;
+  rng_ = Xoshiro256ss(spec.seed);
+  hits_.store(0, std::memory_order_relaxed);
+  fires_.store(0, std::memory_order_relaxed);
+  arg_.store(spec.arg, std::memory_order_relaxed);
+  mode_.store(spec.mode, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // intentionally leaked
+  return *instance;
+}
+
+Registry::Registry() {
+  // Environment-configured schedules make any binary chaos-testable without
+  // code changes: SALIENT_FAILPOINT_SPEC="dma.h2d=every:5,...".
+  if (const char* env = std::getenv("SALIENT_FAILPOINT_SPEC")) {
+    configure_from_spec(env);
+  }
+}
+
+Failpoint& Registry::failpoint(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_.emplace(name, std::make_unique<Failpoint>(name)).first;
+  }
+  return *it->second;
+}
+
+void Registry::configure(const std::string& name, const TriggerSpec& spec) {
+  failpoint(name).arm(spec);
+}
+
+void Registry::configure_from_spec(const std::string& spec) {
+  std::stringstream ss(spec);
+  for (std::string entry; std::getline(ss, entry, ',');) {
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("bad failpoint entry: " + entry);
+    }
+    configure(entry.substr(0, eq), TriggerSpec::parse(entry.substr(eq + 1)));
+  }
+}
+
+void Registry::disarm_all() {
+  std::vector<Failpoint*> points;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    points.reserve(points_.size());
+    for (auto& [name, fp] : points_) points.push_back(fp.get());
+  }
+  for (Failpoint* fp : points) fp->disarm();
+}
+
+std::string Registry::dump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, fp] : points_) {
+    os << name << " " << (fp->armed() ? "armed" : "off") << " hits="
+       << fp->hits() << " fires=" << fp->fires() << "\n";
+  }
+  return os.str();
+}
+
+void maybe_wedge(Failpoint& fp) {
+  if (!fp.should_fire()) return;
+  const double us = fp.arg();
+  if (us <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(us));
+}
+
+}  // namespace salient::fault

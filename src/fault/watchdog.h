@@ -1,0 +1,66 @@
+// Deadlock watchdog for chaos tests.
+//
+// A chaos run that wedges would otherwise hang until the ctest TIMEOUT
+// kills it with no diagnostics. The Watchdog converts a hang into a fast,
+// attributable failure: arm it around the section that must make progress;
+// if the section does not finish (destruction/disarm) within the deadline,
+// the watchdog prints the armed failpoint schedule and their hit counts to
+// stderr and aborts the process. Always compiled (it has no fault-injection
+// behaviour of its own); the ctest-level timeout remains as the backstop.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "fault/failpoint.h"
+
+namespace salient::fault {
+
+class Watchdog {
+ public:
+  explicit Watchdog(std::chrono::milliseconds deadline,
+                    std::string what = "chaos run")
+      : what_(std::move(what)), thread_([this, deadline] {
+          std::unique_lock<std::mutex> lock(mu_);
+          if (cv_.wait_for(lock, deadline, [this] { return disarmed_; })) {
+            return;  // section completed in time
+          }
+          std::fprintf(stderr,
+                       "[watchdog] '%s' did not complete within deadline — "
+                       "likely deadlock/wedge. Failpoint state:\n%s",
+                       what_.c_str(), Registry::global().dump().c_str());
+          std::fflush(stderr);
+          std::abort();
+        }) {}
+
+  ~Watchdog() {
+    disarm();
+    thread_.join();
+  }
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Mark the guarded section complete; the watchdog stands down.
+  void disarm() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      disarmed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::string what_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool disarmed_ = false;
+  std::thread thread_;
+};
+
+}  // namespace salient::fault

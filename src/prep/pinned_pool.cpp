@@ -1,5 +1,6 @@
 #include "prep/pinned_pool.h"
 
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -22,21 +23,57 @@ std::size_t bucket_of(std::size_t nbytes) {
 
 }  // namespace
 
+std::optional<StoragePtr> PinnedPool::take_idle(std::size_t bucket) {
+  auto it = free_by_size_.find(bucket);
+  if (it == free_by_size_.end() || it->second.empty()) return std::nullopt;
+  StoragePtr storage = std::move(it->second.back());
+  it->second.pop_back();
+  return storage;
+}
+
 Tensor PinnedPool::acquire(std::vector<std::int64_t> shape, DType dtype) {
   auto& reg = obs::Registry::global();
   static obs::Counter& m_acquires = reg.counter("pinned_pool.acquires");
   static obs::Counter& m_misses = reg.counter("pinned_pool.misses");
+  static obs::Counter& m_waits = reg.counter("pinned_pool.backpressure_waits");
+  static obs::Counter& m_overshoots = reg.counter("pinned_pool.overshoots");
   m_acquires.add();
   const std::size_t bucket = bucket_of(bytes_for(shape, dtype));
+  bool overshoot = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = free_by_size_.find(bucket);
-    if (it != free_by_size_.end() && !it->second.empty()) {
-      StoragePtr storage = std::move(it->second.back());
-      it->second.pop_back();
-      return Tensor::wrap_storage(std::move(storage), std::move(shape), dtype);
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (auto storage = take_idle(bucket)) {
+        return Tensor::wrap_storage(std::move(*storage), std::move(shape),
+                                    dtype);
+      }
+      // `pinned.exhausted` injects a transient allocation failure: behave
+      // exactly as if the budget were exhausted for this round — wait for a
+      // release, then retry — so the backpressure path is exercised without
+      // real memory pressure.
+      const bool injected = SALIENT_FAILPOINT("pinned.exhausted");
+      const bool over_budget =
+          config_.max_bytes > 0 &&
+          allocated_bytes_ + bucket > config_.max_bytes;
+      if (!injected && (!over_budget || overshoot)) break;  // go allocate
+      ++backpressure_waits_;
+      m_waits.add();
+      SALIENT_TRACE_INSTANT("pinned_pool.backpressure");
+      if (cv_released_.wait_for(lock, config_.acquire_timeout) ==
+          std::cv_status::timeout) {
+        // No release arrived: degrade gracefully rather than deadlock the
+        // pipeline — allocate anyway, accounting for a budget overshoot.
+        overshoot = true;
+        if (over_budget) {
+          ++overshoots_;
+          m_overshoots.add();
+        }
+        break;
+      }
+      // A buffer was released (or a spurious wakeup): loop and retry.
     }
     ++allocs_;
+    allocated_bytes_ += bucket;
   }
   // Pool miss: a fresh page-locked allocation (the expensive case the pool
   // exists to amortize) — worth an instant marker in the trace.
@@ -46,10 +83,33 @@ Tensor PinnedPool::acquire(std::vector<std::int64_t> shape, DType dtype) {
   return Tensor::wrap_storage(std::move(storage), std::move(shape), dtype);
 }
 
+std::optional<Tensor> PinnedPool::try_acquire(std::vector<std::int64_t> shape,
+                                              DType dtype) {
+  const std::size_t bucket = bucket_of(bytes_for(shape, dtype));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto storage = take_idle(bucket)) {
+      return Tensor::wrap_storage(std::move(*storage), std::move(shape),
+                                  dtype);
+    }
+    if (config_.max_bytes > 0 &&
+        allocated_bytes_ + bucket > config_.max_bytes) {
+      return std::nullopt;
+    }
+    ++allocs_;
+    allocated_bytes_ += bucket;
+  }
+  auto storage = std::make_shared<Storage>(bucket, /*pinned=*/true);
+  return Tensor::wrap_storage(std::move(storage), std::move(shape), dtype);
+}
+
 void PinnedPool::release(Tensor t) {
   if (!t.defined() || !t.pinned()) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  free_by_size_[t.storage()->nbytes()].push_back(t.storage());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_by_size_[t.storage()->nbytes()].push_back(t.storage());
+  }
+  cv_released_.notify_one();
 }
 
 std::size_t PinnedPool::idle_count() const {
@@ -57,6 +117,26 @@ std::size_t PinnedPool::idle_count() const {
   std::size_t n = 0;
   for (const auto& [sz, v] : free_by_size_) n += v.size();
   return n;
+}
+
+std::size_t PinnedPool::alloc_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return allocs_;
+}
+
+std::size_t PinnedPool::allocated_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return allocated_bytes_;
+}
+
+std::size_t PinnedPool::backpressure_waits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backpressure_waits_;
+}
+
+std::size_t PinnedPool::overshoots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overshoots_;
 }
 
 }  // namespace salient

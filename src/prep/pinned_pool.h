@@ -6,10 +6,22 @@
 // recycled across mini-batches. The pool hands out Tensors whose Storage is
 // flagged pinned; returning a buffer of the same byte size makes it available
 // for the next batch.
+//
+// Robustness: page-locked memory is a scarce, registered resource, so the
+// pool supports an optional byte budget. When the budget is exhausted,
+// acquire() applies *backpressure* — it blocks until a buffer is released —
+// instead of growing without bound or aborting; after `acquire_timeout` it
+// degrades gracefully by allocating past the budget (counted as
+// pinned_pool.overshoots) so a mis-sized budget can never deadlock the
+// pipeline. The failpoint `pinned.exhausted` injects transient allocation
+// failures to exercise this path deterministically (tests/test_chaos.cpp).
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -17,27 +29,61 @@
 
 namespace salient {
 
+struct PinnedPoolConfig {
+  /// Byte budget across live + idle buffers; 0 means unbounded (the
+  /// historical behaviour).
+  std::size_t max_bytes = 0;
+  /// How long acquire() waits for a release before overshooting the budget.
+  std::chrono::milliseconds acquire_timeout{200};
+};
+
 class PinnedPool {
  public:
   PinnedPool() = default;
+  explicit PinnedPool(PinnedPoolConfig config) : config_(config) {}
 
   /// Get a pinned tensor of the given shape/dtype, recycling a previously
-  /// released buffer of the same byte size when available.
+  /// released buffer of the same byte size when available. Under an
+  /// exhausted budget this blocks for a release (backpressure) and, past
+  /// the configured timeout, allocates anyway (graceful degradation).
   Tensor acquire(std::vector<std::int64_t> shape, DType dtype);
 
+  /// Non-blocking acquire: nullopt when the budget is exhausted and no
+  /// recyclable buffer exists (never allocates past the budget).
+  std::optional<Tensor> try_acquire(std::vector<std::int64_t> shape,
+                                    DType dtype);
+
   /// Return a pinned tensor's storage to the pool. The caller must not touch
-  /// the tensor afterwards.
+  /// the tensor afterwards. Wakes one waiter blocked in acquire().
   void release(Tensor t);
 
   /// Number of idle buffers currently pooled.
   std::size_t idle_count() const;
   /// Total allocations performed (i.e., pool misses).
-  std::size_t alloc_count() const { return allocs_; }
+  std::size_t alloc_count() const;
+  /// Bytes across all buffers this pool has allocated (live + idle).
+  std::size_t allocated_bytes() const;
+  /// Times acquire() blocked on an exhausted budget.
+  std::size_t backpressure_waits() const;
+  /// Times acquire() allocated past the budget after waiting out the
+  /// timeout.
+  std::size_t overshoots() const;
+
+  const PinnedPoolConfig& config() const { return config_; }
 
  private:
+  /// Take a recycled buffer of `bucket` bytes if one is idle (caller holds
+  /// `mu_`).
+  std::optional<StoragePtr> take_idle(std::size_t bucket);
+
+  PinnedPoolConfig config_;
   mutable std::mutex mu_;
+  std::condition_variable cv_released_;
   std::unordered_map<std::size_t, std::vector<StoragePtr>> free_by_size_;
   std::size_t allocs_ = 0;
+  std::size_t allocated_bytes_ = 0;
+  std::size_t backpressure_waits_ = 0;
+  std::size_t overshoots_ = 0;
 };
 
 }  // namespace salient

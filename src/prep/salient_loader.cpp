@@ -1,5 +1,8 @@
 #include "prep/salient_loader.h"
 
+#include <chrono>
+
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "prep/slicing.h"
@@ -15,6 +18,10 @@ std::uint64_t mix_seed(std::uint64_t seed, std::int64_t index) {
                         static_cast<std::uint64_t>(index + 1)));
   return sm.next();
 }
+
+/// Idle backoff while the input queue reports empty but batches remain
+/// outstanding (claimed by other workers, or a transient injected miss).
+constexpr std::chrono::microseconds kIdleBackoff{200};
 
 }  // namespace
 
@@ -34,6 +41,8 @@ SalientLoader::SalientLoader(const Dataset& dataset,
                                              config_.batch_size) +
                           2)),
       output_queue_(config_.queue_capacity) {
+  input_queue_.set_fault_site("prep_in");
+  output_queue_.set_fault_site("prep_out");
   if (config_.shuffle) {
     Xoshiro256ss rng(config_.seed);
     for (std::size_t i = epoch_nodes_.size(); i > 1; --i) {
@@ -42,16 +51,16 @@ SalientLoader::SalientLoader(const Dataset& dataset,
   }
   const auto n = static_cast<std::int64_t>(epoch_nodes_.size());
   num_batches_ = (n + config_.batch_size - 1) / config_.batch_size;
+  pending_.store(num_batches_, std::memory_order_relaxed);
   // Fill the lock-free input queue with every batch descriptor up front;
   // workers pop dynamically, which load-balances the highly variable
   // per-batch neighborhood-expansion work.
   for (std::int64_t b = 0; b < num_batches_; ++b) {
-    const BatchDesc desc{b, b * config_.batch_size,
-                         std::min(n, (b + 1) * config_.batch_size)};
-    const bool pushed = input_queue_.try_push(desc);
-    (void)pushed;  // capacity covers all descriptors by construction
+    enqueue_desc({b, b * config_.batch_size,
+                  std::min(n, (b + 1) * config_.batch_size)});
   }
   const int workers = std::max(1, config_.num_workers);
+  std::lock_guard<std::mutex> lock(workers_mu_);
   workers_.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
@@ -60,7 +69,41 @@ SalientLoader::SalientLoader(const Dataset& dataset,
 
 SalientLoader::~SalientLoader() {
   output_queue_.close();  // unblock producers if the consumer bailed early
-  for (auto& t : workers_) t.join();
+  // A dying worker may respawn a replacement while we join, so drain the
+  // thread vector until it stays empty (respawn_worker refuses to spawn
+  // once the output queue is closed, which happened-before this loop).
+  for (;;) {
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard<std::mutex> lock(workers_mu_);
+      threads.swap(workers_);
+    }
+    if (threads.empty()) break;
+    for (auto& t : threads) t.join();
+  }
+}
+
+void SalientLoader::enqueue_desc(const BatchDesc& desc) {
+  // Capacity covers every descriptor by construction, so only a transient
+  // (injected) full condition can make this fail — retry, never drop. The
+  // closed() escape keeps shutdown (which discards undelivered batches
+  // anyway) from spinning against an always-on injected fault.
+  while (!input_queue_.try_push(desc)) {
+    if (output_queue_.closed()) return;
+    std::this_thread::sleep_for(kIdleBackoff);
+  }
+}
+
+void SalientLoader::respawn_worker(int worker_index) {
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  if (output_queue_.closed()) return;  // shutting down: no replacement
+  worker_deaths_.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter& m_deaths =
+      obs::Registry::global().counter("prep.worker.deaths");
+  m_deaths.add();
+  SALIENT_TRACE_INSTANT("prep.worker.respawn");
+  workers_.emplace_back(
+      [this, worker_index] { worker_loop(worker_index); });
 }
 
 void SalientLoader::worker_loop(int worker_index) {
@@ -72,7 +115,26 @@ void SalientLoader::worker_loop(int worker_index) {
       obs::Registry::global().counter("prep.batches_prepared");
   FastSampler sampler(dataset_.graph, config_.fanouts);
   BatchDesc desc;
-  while (input_queue_.try_pop(desc)) {
+  // Exit on "every batch delivered" or shutdown — never on an empty input
+  // queue alone, which can be a transient miss (other workers hold the
+  // remaining descriptors, or the mpmc.prep_in.pop_empty failpoint fired).
+  while (pending_.load(std::memory_order_acquire) > 0 &&
+         !output_queue_.closed()) {
+    if (!input_queue_.try_pop(desc)) {
+      std::this_thread::sleep_for(kIdleBackoff);
+      continue;
+    }
+
+    // `prep.worker.die` simulates this worker crashing while holding a
+    // claimed, not-yet-delivered batch. Recovery: put the descriptor back
+    // for the surviving workers (no batch lost; it was never delivered, so
+    // none duplicated either), spawn a replacement thread, and unwind.
+    if (SALIENT_FAILPOINT("prep.worker.die")) {
+      enqueue_desc(desc);
+      respawn_worker(worker_index);
+      return;
+    }
+
     // The async "batch" span begins here and ends when the trainer retires
     // the batch (train/trainer.cpp) — the full per-batch pipeline latency.
     SALIENT_TRACE_ASYNC_BEGIN("batch", desc.index);
@@ -114,8 +176,11 @@ void SalientLoader::worker_loop(int worker_index) {
     }
     m_prepared.add();
 
-    // 3. Zero-copy hand-off to the consumer.
+    // 3. Zero-copy hand-off to the consumer. Only a delivered batch counts
+    // against pending_ — exactly-once delivery is what the chaos suite
+    // asserts under injected faults.
     if (!output_queue_.push(std::move(batch))) return;  // loader shut down
+    pending_.fetch_sub(1, std::memory_order_release);
   }
 }
 

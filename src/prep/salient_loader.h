@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
@@ -69,6 +70,13 @@ class SalientLoader {
   /// keep recycling the same buffers.
   const std::shared_ptr<PinnedPool>& pool() const { return pool_; }
 
+  /// Workers that died (the `prep.worker.die` failpoint) and were respawned
+  /// with their in-flight batch re-enqueued — each death is recovered with
+  /// no batch lost or duplicated.
+  std::int64_t worker_deaths() const {
+    return worker_deaths_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct BatchDesc {
     std::int64_t index = -1;
@@ -77,6 +85,11 @@ class SalientLoader {
   };
 
   void worker_loop(int worker_index);
+  /// Push `desc` onto the input queue, retrying through transient (injected)
+  /// full conditions — a descriptor is never dropped.
+  void enqueue_desc(const BatchDesc& desc);
+  /// Spawn a replacement after a worker death (no-op during shutdown).
+  void respawn_worker(int worker_index);
 
   const Dataset& dataset_;
   LoaderConfig config_;
@@ -88,6 +101,11 @@ class SalientLoader {
 
   MpmcQueue<BatchDesc> input_queue_;
   BlockingQueue<PreparedBatch> output_queue_;
+  /// Batches not yet handed to the output queue. Workers exit on zero — not
+  /// on an empty input queue, which can be a transient (injected) miss.
+  std::atomic<std::int64_t> pending_{0};
+  std::atomic<std::int64_t> worker_deaths_{0};
+  std::mutex workers_mu_;  // guards workers_ against respawn during join
   std::vector<std::thread> workers_;
 };
 

@@ -17,9 +17,12 @@
 namespace salient::serve {
 
 enum class RequestStatus : std::uint8_t {
-  kOk,      ///< predictions filled for every requested node
-  kShed,    ///< rejected at admission (queue full) — no work was done
-  kClosed,  ///< server shut down before the request could be served
+  kOk,       ///< predictions filled for every requested node
+  kShed,     ///< rejected at admission (queue full) — no work was done
+  kClosed,   ///< server shut down before the request could be served
+  kInvalid,  ///< rejected at validation (e.g. out-of-range node id)
+  kFailed,   ///< a pipeline stage failed for this request's micro-batch;
+             ///< the server degraded gracefully instead of wedging (retry)
 };
 
 const char* to_string(RequestStatus s);

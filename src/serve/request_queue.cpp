@@ -12,6 +12,10 @@ const char* to_string(RequestStatus s) {
       return "shed";
     case RequestStatus::kClosed:
       return "closed";
+    case RequestStatus::kInvalid:
+      return "invalid";
+    case RequestStatus::kFailed:
+      return "failed";
   }
   return "?";
 }

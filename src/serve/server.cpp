@@ -4,6 +4,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "prep/slicing.h"
@@ -74,6 +75,8 @@ InferenceServer::InferenceServer(const Dataset& dataset,
       batcher_(queue_, config_.batch),
       prep_in_(config_.stage_queue_capacity),
       device_in_(config_.stage_queue_capacity) {
+  prep_in_.set_fault_site("serve_prep");
+  device_in_.set_fault_site("serve_device");
   model_->train(false);
   batcher_thread_ = std::thread([this] { batcher_loop(); });
   const int workers = std::max(1, config_.num_prep_workers);
@@ -87,6 +90,23 @@ InferenceServer::InferenceServer(const Dataset& dataset,
 InferenceServer::~InferenceServer() { shutdown(); }
 
 std::future<Response> InferenceServer::submit(std::vector<NodeId> nodes) {
+  // Validate before admission: an out-of-range node would read past the CSR
+  // arrays deep inside a prep worker, poisoning a whole micro-batch. Reject
+  // it at the front door instead — the cheapest possible failure.
+  const auto num_nodes = dataset_.graph.num_nodes();
+  for (const NodeId v : nodes) {
+    if (v < 0 || v >= num_nodes) {
+      static obs::Counter& m_invalid =
+          obs::Registry::global().counter("serve.faults.invalid");
+      m_invalid.add();
+      SALIENT_TRACE_INSTANT("serve.fault.invalid");
+      std::promise<Response> promise;
+      Response resp;
+      resp.status = RequestStatus::kInvalid;
+      promise.set_value(std::move(resp));
+      return promise.get_future();
+    }
+  }
   return queue_.submit(std::move(nodes));
 }
 
@@ -115,6 +135,10 @@ void InferenceServer::shutdown() {
 void InferenceServer::batcher_loop() {
   SALIENT_TRACE_THREAD_NAME("serve-batcher");
   while (auto maybe_mb = batcher_.next()) {
+    // `serve.batcher.wedge` models a stalled batcher (e.g. a slow request
+    // preprocessing step): the admission queue backs up and load shedding —
+    // not unbounded buffering — absorbs the overload.
+    SALIENT_FAILPOINT_WEDGE("serve.batcher.wedge");
     SALIENT_TRACE_SCOPE_ARG("serve.batch.close", maybe_mb->seq);
     MicroBatch mb = std::move(*maybe_mb);
 
@@ -163,6 +187,15 @@ void InferenceServer::prep_loop(int worker_index) {
   FastSampler sampler(dataset_.graph, config_.fanouts);
   while (auto maybe_cb = prep_in_.pop()) {
     ComputeBatch cb = std::move(*maybe_cb);
+    // `serve.prep.fail` simulates a batch-preparation fault (sampler error,
+    // staging allocation failure). Degrade gracefully: resolve the batch's
+    // requests with kFailed so clients can retry, and keep the worker alive
+    // for the next batch — one poisoned micro-batch must not wedge the
+    // pipeline or take the worker down.
+    if (SALIENT_FAILPOINT("serve.prep.fail")) {
+      fail_batch(std::move(cb));
+      continue;
+    }
     cb.prep.index = cb.seq;
     {
       SALIENT_TRACE_SCOPE_ARG("serve.sample", cb.seq);
@@ -273,6 +306,20 @@ void InferenceServer::device_loop() {
   while (!inflight.empty()) retire_front();
 }
 
+void InferenceServer::fail_batch(ComputeBatch&& cb) {
+  static obs::Counter& m_prep_faults =
+      obs::Registry::global().counter("serve.faults.prep");
+  SALIENT_TRACE_INSTANT("serve.fault.prep");
+  SALIENT_TRACE_ASYNC_END("serve.batch", cb.seq);
+  for (Request& req : cb.requests) {
+    Response resp;
+    resp.status = RequestStatus::kFailed;
+    resp.model_generation = cb.generation;
+    m_prep_faults.add();
+    req.promise.set_value(std::move(resp));
+  }
+}
+
 void InferenceServer::complete(ComputeBatch&& cb,
                                const std::int64_t* computed) {
   ServeInstruments& m = ServeInstruments::get();
@@ -324,6 +371,8 @@ ServeStats InferenceServer::stats() const {
   s.slo_miss = m.slo_miss.value();
   s.result_cache_hits = reg.counter("serve.result_cache.hits").value();
   s.result_cache_misses = reg.counter("serve.result_cache.misses").value();
+  s.invalid = reg.counter("serve.faults.invalid").value();
+  s.prep_faults = reg.counter("serve.faults.prep").value();
   if (config_.feature_cache) {
     const auto hits = reg.counter("prep.cache.row_hits").value();
     const auto misses = reg.counter("prep.cache.row_misses").value();
@@ -342,6 +391,8 @@ std::string ServeStats::summary() const {
      << " p50=" << p50_us / 1000.0 << "ms p95=" << p95_us / 1000.0
      << "ms p99=" << p99_us / 1000.0 << "ms mean=" << mean_us / 1000.0
      << "ms slo_ok=" << slo_ok << " slo_miss=" << slo_miss;
+  if (invalid > 0) os << " invalid=" << invalid;
+  if (prep_faults > 0) os << " prep_faults=" << prep_faults;
   if (result_cache_hits + result_cache_misses > 0) {
     os << " result_cache_hit="
        << static_cast<double>(result_cache_hits) /

@@ -76,6 +76,9 @@ struct ServeStats {
   double p50_us = 0, p95_us = 0, p99_us = 0, mean_us = 0;
   std::int64_t slo_ok = 0, slo_miss = 0;
   std::int64_t result_cache_hits = 0, result_cache_misses = 0;
+  /// Graceful-degradation counters (serve.faults.*): requests rejected at
+  /// validation, and requests completed kFailed after a prep-stage fault.
+  std::int64_t invalid = 0, prep_faults = 0;
   /// Device feature-cache row hit rate (prep.cache.* counters); 0 when no
   /// feature cache is attached.
   double feature_cache_hit_rate = 0;
@@ -97,7 +100,10 @@ class InferenceServer {
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
-  /// Asynchronous entry point: admit or shed. See RequestQueue::submit.
+  /// Asynchronous entry point: validate, then admit or shed. A request
+  /// naming an out-of-range node (a "poison" request that would corrupt
+  /// sampling) resolves immediately with kInvalid — it never enters the
+  /// pipeline. See RequestQueue::submit for admission semantics.
   std::future<Response> submit(std::vector<NodeId> nodes);
 
   /// Synchronous convenience wrapper: submit + wait.
@@ -141,6 +147,9 @@ class InferenceServer {
   void prep_loop(int worker_index);
   void device_loop();
   void complete(ComputeBatch&& cb, const std::int64_t* computed);
+  /// Graceful degradation: resolve every request of a batch whose pipeline
+  /// stage faulted with kFailed (clients retry) instead of wedging.
+  void fail_batch(ComputeBatch&& cb);
 
   const Dataset& dataset_;
   std::shared_ptr<nn::GnnModel> model_;

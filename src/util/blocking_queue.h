@@ -10,6 +10,8 @@
 #include <mutex>
 #include <optional>
 
+#include "fault/failpoint.h"
+
 namespace salient {
 
 template <typename T>
@@ -17,9 +19,28 @@ class BlockingQueue {
  public:
   explicit BlockingQueue(std::size_t capacity) : capacity_(capacity) {}
 
+  /// Name this queue as a fault-injection site: producers then consult the
+  /// failpoint `queue.<site>.push.wedge` and consumers
+  /// `queue.<site>.pop.wedge`, each a scripted stall (the failpoint's @arg is
+  /// the stall in microseconds) injected *outside* the queue lock — the
+  /// thread wedges, the queue stays live. Dead code unless the build sets
+  /// SALIENT_FAILPOINTS=ON.
+  void set_fault_site(const std::string& site) {
+#if defined(SALIENT_FAILPOINTS_ENABLED)
+    auto& reg = fault::Registry::global();
+    push_wedge_ = &reg.failpoint("queue." + site + ".push.wedge");
+    pop_wedge_ = &reg.failpoint("queue." + site + ".pop.wedge");
+#else
+    (void)site;
+#endif
+  }
+
   /// Block until space is available, then enqueue. Returns false if the
   /// queue was closed.
   bool push(T value) {
+#if defined(SALIENT_FAILPOINTS_ENABLED)
+    if (push_wedge_) fault::maybe_wedge(*push_wedge_);
+#endif
     std::unique_lock<std::mutex> lock(mu_);
     cv_not_full_.wait(lock,
                       [this] { return closed_ || items_.size() < capacity_; });
@@ -45,6 +66,9 @@ class BlockingQueue {
   /// the queue is closed *and* drained. A zero (or negative) timeout polls.
   template <class Rep, class Period>
   std::optional<T> try_pop_for(std::chrono::duration<Rep, Period> timeout) {
+#if defined(SALIENT_FAILPOINTS_ENABLED)
+    if (pop_wedge_) fault::maybe_wedge(*pop_wedge_);
+#endif
     std::unique_lock<std::mutex> lock(mu_);
     cv_not_empty_.wait_for(lock, timeout,
                            [this] { return closed_ || !items_.empty(); });
@@ -58,6 +82,9 @@ class BlockingQueue {
   /// Block until an item is available; returns nullopt once the queue is
   /// closed *and* drained.
   std::optional<T> pop() {
+#if defined(SALIENT_FAILPOINTS_ENABLED)
+    if (pop_wedge_) fault::maybe_wedge(*pop_wedge_);
+#endif
     std::unique_lock<std::mutex> lock(mu_);
     cv_not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;
@@ -94,6 +121,10 @@ class BlockingQueue {
   std::deque<T> items_;
   std::size_t capacity_;
   bool closed_ = false;
+#if defined(SALIENT_FAILPOINTS_ENABLED)
+  fault::Failpoint* push_wedge_ = nullptr;
+  fault::Failpoint* pop_wedge_ = nullptr;
+#endif
 };
 
 }  // namespace salient

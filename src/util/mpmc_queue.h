@@ -17,6 +17,8 @@
 #include <memory>
 #include <utility>
 
+#include "fault/failpoint.h"
+
 namespace salient {
 
 template <typename T>
@@ -40,8 +42,28 @@ class MpmcQueue {
 
   std::size_t capacity() const { return mask_ + 1; }
 
+  /// Name this queue as a fault-injection site: try_push then consults
+  /// `mpmc.<site>.push_full` (spurious "queue full") and try_pop
+  /// `mpmc.<site>.pop_empty` (spurious "queue empty"). These model transient
+  /// contention/latency the lock-free fast path can exhibit under load;
+  /// hardened callers must retry rather than drop work (the property
+  /// tests/test_chaos.cpp verifies for the loader). Dead code unless the
+  /// build sets SALIENT_FAILPOINTS=ON.
+  void set_fault_site(const std::string& site) {
+#if defined(SALIENT_FAILPOINTS_ENABLED)
+    auto& reg = fault::Registry::global();
+    push_full_ = &reg.failpoint("mpmc." + site + ".push_full");
+    pop_empty_ = &reg.failpoint("mpmc." + site + ".pop_empty");
+#else
+    (void)site;
+#endif
+  }
+
   /// Attempt to enqueue; returns false when the queue is full.
   bool try_push(T value) {
+#if defined(SALIENT_FAILPOINTS_ENABLED)
+    if (push_full_ && push_full_->should_fire()) return false;
+#endif
     Slot* slot;
     std::size_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
@@ -67,6 +89,9 @@ class MpmcQueue {
 
   /// Attempt to dequeue; returns false when the queue is empty.
   bool try_pop(T& out) {
+#if defined(SALIENT_FAILPOINTS_ENABLED)
+    if (pop_empty_ && pop_empty_->should_fire()) return false;
+#endif
     Slot* slot;
     std::size_t pos = head_.load(std::memory_order_relaxed);
     for (;;) {
@@ -108,6 +133,10 @@ class MpmcQueue {
   alignas(64) std::atomic<std::size_t> tail_;
   alignas(64) std::unique_ptr<Slot[]> slots_;
   std::size_t mask_;
+#if defined(SALIENT_FAILPOINTS_ENABLED)
+  fault::Failpoint* push_full_ = nullptr;
+  fault::Failpoint* pop_empty_ = nullptr;
+#endif
 };
 
 }  // namespace salient

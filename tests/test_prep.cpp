@@ -10,6 +10,7 @@
 #include "graph/dataset.h"
 #include "prep/baseline_loader.h"
 #include "prep/batch.h"
+#include "prep/feature_cache.h"
 #include "prep/pinned_pool.h"
 #include "prep/salient_loader.h"
 #include "prep/slicing.h"
@@ -240,6 +241,83 @@ TEST(SalientLoader, SharedPoolIsReusedAcrossEpochs) {
   // second and third epochs should have mostly recycled buffers
   EXPECT_LT(pool->alloc_count(), 3u * 4u);
   EXPECT_GT(pool->idle_count(), 0u);
+}
+
+// --- device feature cache + cache-aware transfer plans ----------------------
+
+Mfg cache_test_mfg(std::uint64_t seed = 5) {
+  const Dataset& ds = small_dataset();
+  std::vector<NodeId> batch;
+  for (NodeId v = 0; v < 96; ++v) {
+    batch.push_back((v * 37) % ds.graph.num_nodes());
+  }
+  FastSampler sampler(ds.graph, {6, 4});
+  return sampler.sample(batch, seed);
+}
+
+TEST(FeatureCache, CapacityZeroAlwaysMisses) {
+  const Dataset& ds = small_dataset();
+  const FeatureCache cache(ds, 0);
+  const Mfg mfg = cache_test_mfg();
+  const CachePlan plan = plan_cached_batch(mfg, cache);
+  const auto n = static_cast<std::int64_t>(mfg.n_ids.size());
+  ASSERT_EQ(static_cast<std::int64_t>(plan.from_cache.size()), n);
+  EXPECT_EQ(plan.num_missing, n);
+  EXPECT_DOUBLE_EQ(plan.hit_rate(), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    EXPECT_FALSE(plan.from_cache[static_cast<std::size_t>(i)]);
+    // Missing rows are numbered densely in input order.
+    EXPECT_EQ(plan.source[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(FeatureCache, FullCapacityAlwaysHits) {
+  const Dataset& ds = small_dataset();
+  const FeatureCache cache(ds, ds.graph.num_nodes());
+  const Mfg mfg = cache_test_mfg();
+  const CachePlan plan = plan_cached_batch(mfg, cache);
+  EXPECT_EQ(plan.num_missing, 0);
+  EXPECT_DOUBLE_EQ(plan.hit_rate(), 1.0);
+  for (std::size_t i = 0; i < mfg.n_ids.size(); ++i) {
+    ASSERT_TRUE(plan.from_cache[i]);
+    EXPECT_EQ(plan.source[i], cache.slot_of(mfg.n_ids[i]));
+  }
+}
+
+TEST(FeatureCache, HitRateIsMonotoneInCapacity) {
+  // The cache is degree-ordered and static, so a larger capacity caches a
+  // superset of nodes: the hit rate on any fixed batch cannot decrease.
+  const Dataset& ds = small_dataset();
+  const Mfg mfg = cache_test_mfg();
+  double prev = -1.0;
+  for (const std::int64_t capacity : {0, 100, 500, 2000, 4000}) {
+    const FeatureCache cache(ds, capacity);
+    const double rate = plan_cached_batch(mfg, cache).hit_rate();
+    EXPECT_GE(rate, prev) << "capacity " << capacity;
+    prev = rate;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);  // capacity == |V| caches everything
+}
+
+TEST(FeatureCache, SliceMissingRowsMatchesNaiveSlice) {
+  const Dataset& ds = small_dataset();
+  const FeatureCache cache(ds, 700);
+  const Mfg mfg = cache_test_mfg();
+  const CachePlan plan = plan_cached_batch(mfg, cache);
+  ASSERT_GT(plan.num_missing, 0);
+  ASSERT_LT(plan.num_missing, static_cast<std::int64_t>(mfg.n_ids.size()));
+
+  Tensor out({plan.num_missing, ds.feature_dim}, DType::kF16);
+  slice_missing_rows(ds, mfg, plan, out);
+  for (std::size_t i = 0; i < mfg.n_ids.size(); ++i) {
+    if (plan.from_cache[i]) continue;
+    const std::int64_t row = plan.source[i];
+    for (std::int64_t j = 0; j < ds.feature_dim; ++j) {
+      ASSERT_EQ(out.at<Half>(row, j).bits,
+                ds.features.at<Half>(mfg.n_ids[i], j).bits)
+          << "missing row " << row << " col " << j;
+    }
+  }
 }
 
 }  // namespace

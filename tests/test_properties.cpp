@@ -12,7 +12,9 @@
 #include "autograd/gradcheck.h"
 #include "graph/builder.h"
 #include "graph/dataset.h"
+#include "graph/generator.h"
 #include "prep/salient_loader.h"
+#include "sampling/baseline_sampler.h"
 #include "sampling/fast_sampler.h"
 #include "sampling/sample_set.h"
 #include "sim/pipeline_model.h"
@@ -190,6 +192,105 @@ TEST(SamplerStatistics, EveryPolicyCoversAllNeighborsEventually) {
   EXPECT_EQ(covers(ArraySetSampler{}), 25u);
   EXPECT_EQ(covers(FisherYatesSampler{}), 25u);
 }
+
+// --- MFG structural invariants, sampler-agnostic ----------------------------
+
+// Check every invariant an MFG must satisfy regardless of which sampler
+// produced it. Level order is model-consumption order (levels[0] outermost),
+// so levels[l] was sampled with fanouts[L-1-l].
+void check_mfg_invariants(const Mfg& mfg, const CsrGraph& g,
+                          const std::vector<std::int64_t>& fanouts,
+                          std::int64_t batch_size) {
+  ASSERT_TRUE(mfg.valid());
+  const std::size_t num_levels = fanouts.size();
+  ASSERT_EQ(mfg.levels.size(), num_levels);
+  EXPECT_EQ(mfg.batch_size, batch_size);
+  EXPECT_EQ(mfg.levels.back().num_dst, batch_size);
+
+  // n_ids is exactly the largest source set: no duplicate locals, every
+  // global ID in range.
+  ASSERT_EQ(static_cast<std::int64_t>(mfg.n_ids.size()),
+            mfg.levels.front().num_src);
+  const std::set<NodeId> unique_ids(mfg.n_ids.begin(), mfg.n_ids.end());
+  EXPECT_EQ(unique_ids.size(), mfg.n_ids.size())
+      << "two locals map to the same global node";
+  for (const NodeId id : mfg.n_ids) {
+    ASSERT_GE(id, 0);
+    ASSERT_LT(id, g.num_nodes());
+  }
+
+  for (std::size_t l = 0; l < num_levels; ++l) {
+    const MfgLevel& level = mfg.levels[l];
+    const std::int64_t fanout = fanouts[num_levels - 1 - l];
+    ASSERT_EQ(static_cast<std::int64_t>(level.indptr->size()),
+              level.num_dst + 1);
+    // Destinations are a prefix of every enclosing source set, so local d
+    // resolves globally through n_ids at every level.
+    for (std::int64_t d = 0; d < level.num_dst; ++d) {
+      const std::int64_t deg =
+          (*level.indptr)[static_cast<std::size_t>(d) + 1] -
+          (*level.indptr)[static_cast<std::size_t>(d)];
+      ASSERT_GE(deg, 0);
+      ASSERT_LE(deg, fanout) << "level " << l << " dst " << d;
+      ASSERT_LE(deg, g.degree(mfg.n_ids[static_cast<std::size_t>(d)]))
+          << "sampled more neighbors than node " << d << " has";
+    }
+    for (const std::int64_t local : *level.indices) {
+      ASSERT_GE(local, 0);
+      ASSERT_LT(local, level.num_src);
+    }
+    // Frontier growth bound: each destination contributes itself plus at
+    // most `fanout` sampled sources.
+    ASSERT_LE(level.num_src, level.num_dst * (1 + fanout));
+    if (l + 1 < num_levels) {
+      ASSERT_EQ(level.num_dst, mfg.levels[l + 1].num_src);
+    }
+  }
+}
+
+class MfgInvariantSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MfgInvariantSweep, HoldForBothSamplersOnRandomGraphs) {
+  const unsigned seed = static_cast<unsigned>(GetParam());
+  Xoshiro256ss rng(seed);
+  // A mix of graph families, sizes, and fanout shapes per instance.
+  const std::int64_t n = 200 + static_cast<std::int64_t>(bounded_rand(rng, 800));
+  const double avg_degree = 2.0 + static_cast<double>(bounded_rand(rng, 10));
+  const CsrGraph graph =
+      (seed % 2 == 0) ? erdos_renyi(n, avg_degree, seed)
+                      : powerlaw_configuration(n, avg_degree, 2.5, n / 4, seed);
+  const std::vector<std::vector<std::int64_t>> fanout_shapes{
+      {5}, {4, 3}, {6, 4, 2}, {1, 1}};
+  for (const auto& fanouts : fanout_shapes) {
+    // Random batch, possibly with repeated scans over high-degree nodes.
+    const std::int64_t batch_size =
+        1 + static_cast<std::int64_t>(bounded_rand(rng, 64));
+    std::vector<NodeId> batch;
+    std::set<NodeId> used;
+    while (static_cast<std::int64_t>(batch.size()) < batch_size) {
+      const auto v = static_cast<NodeId>(
+          bounded_rand(rng, static_cast<std::uint64_t>(n)));
+      if (used.insert(v).second) batch.push_back(v);
+    }
+    FastSampler fast(graph, fanouts);
+    BaselineSampler baseline(graph, fanouts);
+    const Mfg m_fast = fast.sample(batch, seed * 31 + 7);
+    const Mfg m_base = baseline.sample(batch, seed * 31 + 7);
+    check_mfg_invariants(m_fast, graph, fanouts,
+                         static_cast<std::int64_t>(batch.size()));
+    check_mfg_invariants(m_base, graph, fanouts,
+                         static_cast<std::int64_t>(batch.size()));
+    // Both samplers anchor the batch: the first batch_size n_ids are the
+    // requested destinations, in order.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(m_fast.n_ids[i], batch[i]);
+      EXPECT_EQ(m_base.n_ids[i], batch[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, MfgInvariantSweep,
+                         ::testing::Range(1, 9));
 
 // --- degenerate graphs ----------------------------------------------------------------
 

@@ -181,6 +181,84 @@ TEST(MicroBatcher, RequestNeverSpansTwoBatches) {
   q.close();
 }
 
+TEST(MicroBatcher, ZeroWaitStillDrainsBacklogGreedily) {
+  // max_wait == 0 degenerates the coalescing wait to a poll: a backlog is
+  // still packed into one batch instead of one singleton batch per request.
+  RequestQueue q(16);
+  BatchPolicy policy;
+  policy.max_batch_nodes = 64;
+  policy.max_wait = std::chrono::microseconds(0);
+  MicroBatcher batcher(q, policy);
+  std::vector<std::future<Response>> futures;
+  for (NodeId v = 0; v < 5; ++v) futures.push_back(q.submit({v}));
+  auto b = batcher.next();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->requests.size(), 5u);
+  EXPECT_EQ(b->total_nodes(), 5);
+  for (Request& r : b->requests) r.promise.set_value(Response{});
+  q.close();
+  EXPECT_FALSE(batcher.next().has_value());
+}
+
+TEST(MicroBatcher, OversizedRequestFormsItsOwnBatch) {
+  // A single request larger than max_batch_nodes cannot be split (a request
+  // never spans two batches), so it is carried over and shipped alone.
+  RequestQueue q(8);
+  BatchPolicy policy;
+  policy.max_batch_nodes = 4;
+  policy.max_wait = std::chrono::microseconds(0);
+  MicroBatcher batcher(q, policy);
+  auto fa = q.submit({0, 1});
+  auto fb = q.submit({2, 3, 4, 5, 6, 7});  // oversized: 6 > max_batch_nodes
+  auto fc = q.submit({8});
+  q.close();
+
+  auto b1 = batcher.next();
+  ASSERT_TRUE(b1.has_value());
+  EXPECT_EQ(b1->seq, 0);
+  EXPECT_EQ(b1->requests.size(), 1u);
+  EXPECT_EQ(b1->total_nodes(), 2);  // {A}; B would overflow and is carried
+
+  auto b2 = batcher.next();
+  ASSERT_TRUE(b2.has_value());
+  EXPECT_EQ(b2->seq, 1);
+  EXPECT_EQ(b2->requests.size(), 1u);
+  EXPECT_EQ(b2->total_nodes(), 6);  // {B} alone, over the nominal bound
+
+  auto b3 = batcher.next();
+  ASSERT_TRUE(b3.has_value());
+  EXPECT_EQ(b3->seq, 2);
+  EXPECT_EQ(b3->total_nodes(), 1);  // {C}
+  EXPECT_FALSE(batcher.next().has_value());
+
+  for (auto* b : {&*b1, &*b2, &*b3}) {
+    for (Request& r : b->requests) r.promise.set_value(Response{});
+  }
+}
+
+TEST(RequestQueue, ShedThenDrainPreservesFifoOfAdmitted) {
+  // Overload then shutdown: the overflow is shed immediately, and what was
+  // admitted drains in submission order before the consumer sees nullopt.
+  RequestQueue q(3);
+  std::vector<std::future<Response>> futures;
+  for (NodeId v = 0; v < 5; ++v) futures.push_back(q.submit({v}));
+  EXPECT_EQ(q.admitted(), 3u);
+  EXPECT_EQ(q.shed(), 2u);
+  // The shed futures (the two latest submits) resolved immediately.
+  for (std::size_t i = 3; i < 5; ++i) {
+    EXPECT_EQ(futures[i].get().status, RequestStatus::kShed);
+  }
+  q.close();
+  for (NodeId expect = 0; expect < 3; ++expect) {
+    auto r = q.pop();
+    ASSERT_TRUE(r.has_value());
+    ASSERT_EQ(r->nodes.size(), 1u);
+    EXPECT_EQ(r->nodes[0], expect);  // FIFO
+    r->promise.set_value(Response{});
+  }
+  EXPECT_FALSE(q.pop().has_value());  // closed and drained
+}
+
 // --- ResultCache ------------------------------------------------------------
 
 TEST(ResultCache, LruEvictsOldestAndGenerationInvalidates) {
