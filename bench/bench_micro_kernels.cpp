@@ -13,9 +13,11 @@
 #include "sampling/fast_sampler.h"
 #include "sampling/id_map.h"
 #include "sampling/parameterized.h"
+#include "tensor/kernel_config.h"
 #include "tensor/ops.h"
 #include "util/half.h"
 #include "util/mpmc_queue.h"
+#include "util/thread_pool.h"
 #include "util/rng.h"
 
 namespace {
@@ -161,6 +163,133 @@ void BM_SpmmMean(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpmmMean)->Unit(benchmark::kMillisecond);
+
+// --- kernel-layer A/B benchmarks (tensor/kernel_config.h) -------------------
+//
+// Each benchmark takes Args({opt, threads}): opt selects the reference (0)
+// or optimized (1) kernels, threads sizes a private pool the kernels run on.
+// Shapes are ogbn-like MFG sizes, matching tools/bench_gate.cpp — use the
+// gate for regression checks and these for interactive profiling.
+
+/// Scoped kernel-kind + private-pool override (restored on destruction).
+class KernelABGuard {
+ public:
+  KernelABGuard(bool opt, int threads)
+      : saved_(ops::kernel_kind()), pool_(static_cast<std::size_t>(threads)) {
+    ops::set_kernel_kind(opt ? ops::KernelKind::kOpt : ops::KernelKind::kRef);
+    ops::set_kernel_pool(&pool_);
+  }
+  ~KernelABGuard() {
+    ops::set_kernel_pool(nullptr);
+    ops::set_kernel_kind(saved_);
+  }
+
+ private:
+  ops::KernelKind saved_;
+  ThreadPool pool_;
+};
+
+#define KERNEL_AB_ARGS                               \
+  ->ArgNames({"opt", "threads"})                     \
+      ->Args({0, 1})                                 \
+      ->Args({1, 1})                                 \
+      ->Args({1, 4})                                 \
+      ->Args({1, 8})                                 \
+      ->Unit(benchmark::kMillisecond)
+
+void BM_GemmKernel(benchmark::State& state) {
+  KernelABGuard guard(state.range(0) != 0, static_cast<int>(state.range(1)));
+  Tensor a = Tensor::uniform({512, 128}, 1, -1, 1);
+  Tensor b = Tensor::uniform({128, 256}, 2, -1, 1);
+  for (auto _ : state) {
+    Tensor c = ops::matmul(a, b);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.counters["GFLOPs"] = benchmark::Counter(
+      2.0 * 512 * 128 * 256 * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmKernel) KERNEL_AB_ARGS;
+
+/// MFG-shaped CSR shared by the SpMM kernel benchmarks: one fanout-15 level
+/// sampled from the bench dataset (~8k dst, ~20-30k src).
+struct SpmmFixture {
+  Mfg mfg;
+  Tensor x;
+  Tensor grad;
+  SpmmFixture() {
+    const auto& ds = bench_dataset();
+    FastSampler sampler(ds.graph, {15});
+    mfg = sampler.sample(bench_batch(8192), 11);
+    const auto& level = mfg.levels[0];
+    x = Tensor::uniform({level.num_src, 128}, 12, -1, 1);
+    grad = Tensor::uniform({level.num_dst, 128}, 13, -1, 1);
+  }
+};
+
+const SpmmFixture& spmm_fixture() {
+  static SpmmFixture f;
+  return f;
+}
+
+void BM_SpmmMeanKernel(benchmark::State& state) {
+  KernelABGuard guard(state.range(0) != 0, static_cast<int>(state.range(1)));
+  const auto& f = spmm_fixture();
+  const auto& level = f.mfg.levels[0];
+  for (auto _ : state) {
+    Tensor y =
+        ops::spmm_mean(*level.indptr, *level.indices, f.x, level.num_dst);
+    benchmark::DoNotOptimize(y.raw());
+  }
+}
+BENCHMARK(BM_SpmmMeanKernel) KERNEL_AB_ARGS;
+
+void BM_SpmmMeanBackwardKernel(benchmark::State& state) {
+  KernelABGuard guard(state.range(0) != 0, static_cast<int>(state.range(1)));
+  const auto& f = spmm_fixture();
+  const auto& level = f.mfg.levels[0];
+  for (auto _ : state) {
+    Tensor gx = ops::spmm_mean_backward(*level.indptr, *level.indices, f.grad,
+                                        level.num_src);
+    benchmark::DoNotOptimize(gx.raw());
+  }
+}
+BENCHMARK(BM_SpmmMeanBackwardKernel) KERNEL_AB_ARGS;
+
+void BM_SpmmMaxKernel(benchmark::State& state) {
+  KernelABGuard guard(state.range(0) != 0, static_cast<int>(state.range(1)));
+  const auto& f = spmm_fixture();
+  const auto& level = f.mfg.levels[0];
+  for (auto _ : state) {
+    Tensor y = ops::spmm_max(*level.indptr, *level.indices, f.x,
+                             level.num_dst, nullptr);
+    benchmark::DoNotOptimize(y.raw());
+  }
+}
+BENCHMARK(BM_SpmmMaxKernel) KERNEL_AB_ARGS;
+
+void BM_ElementwiseKernel(benchmark::State& state) {
+  KernelABGuard guard(state.range(0) != 0, static_cast<int>(state.range(1)));
+  Tensor a = Tensor::uniform({8192, 256}, 21, -1, 1);
+  Tensor b = Tensor::uniform({8192, 256}, 22, -1, 1);
+  for (auto _ : state) {
+    Tensor c = ops::add(a, b);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 3 *
+                          8192 * 256 * 4);
+}
+BENCHMARK(BM_ElementwiseKernel) KERNEL_AB_ARGS;
+
+void BM_LogSoftmaxKernel(benchmark::State& state) {
+  KernelABGuard guard(state.range(0) != 0, static_cast<int>(state.range(1)));
+  Tensor logits = Tensor::uniform({8192, 48}, 23, -4, 4);
+  for (auto _ : state) {
+    Tensor y = ops::log_softmax_rows(logits);
+    benchmark::DoNotOptimize(y.raw());
+  }
+}
+BENCHMARK(BM_LogSoftmaxKernel) KERNEL_AB_ARGS;
 
 void BM_MpmcQueuePingPong(benchmark::State& state) {
   MpmcQueue<int> q(1024);

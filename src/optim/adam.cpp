@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/kernel_config.h"
+
 namespace salient::optim {
 
 Adam::Adam(std::vector<Variable> params, double lr, double beta1, double beta2,
@@ -31,20 +33,25 @@ void Adam::step() {
     Tensor& data = p.data();
     const Tensor& grad = p.grad();
     const std::int64_t n = data.numel();
+    // Elementwise and independent per parameter, so the parallel version is
+    // bitwise identical to the serial one (ops::parallel_for_n keeps small
+    // parameter blocks serial via the shared cost heuristic).
     auto update = [&](auto* pd, const auto* pg, auto* pm, auto* pv) {
       using T = std::remove_reference_t<decltype(pd[0])>;
-      for (std::int64_t i = 0; i < n; ++i) {
-        double g = double(pg[i]);
-        if (weight_decay_ != 0.0) g += weight_decay_ * double(pd[i]);
-        const double m = beta1_ * double(pm[i]) + (1 - beta1_) * g;
-        const double v = beta2_ * double(pv[i]) + (1 - beta2_) * g * g;
-        pm[i] = static_cast<T>(m);
-        pv[i] = static_cast<T>(v);
-        const double mhat = m / bc1;
-        const double vhat = v / bc2;
-        pd[i] = static_cast<T>(double(pd[i]) -
-                               lr_ * mhat / (std::sqrt(vhat) + eps_));
-      }
+      ops::parallel_for_n(n, n, [&](std::int64_t ib, std::int64_t ie) {
+        for (std::int64_t i = ib; i < ie; ++i) {
+          double g = double(pg[i]);
+          if (weight_decay_ != 0.0) g += weight_decay_ * double(pd[i]);
+          const double m = beta1_ * double(pm[i]) + (1 - beta1_) * g;
+          const double v = beta2_ * double(pv[i]) + (1 - beta2_) * g * g;
+          pm[i] = static_cast<T>(m);
+          pv[i] = static_cast<T>(v);
+          const double mhat = m / bc1;
+          const double vhat = v / bc2;
+          pd[i] = static_cast<T>(double(pd[i]) -
+                                 lr_ * mhat / (std::sqrt(vhat) + eps_));
+        }
+      });
     };
     if (data.dtype() == DType::kF32) {
       update(data.data<float>(), grad.data<float>(), m_[k].data<float>(),

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "tensor/kernel_config.h"
+
 namespace salient {
 
 namespace {
@@ -16,16 +18,26 @@ void check_slice_args(const Tensor& src, std::span<const NodeId> ids,
   }
 }
 
+/// Validate every id in one pass so the copy loops stay branch-free — the
+/// per-iteration throw check used to sit on the pinned-slice hot path (§4.2).
+void check_ids(std::span<const NodeId> ids, std::int64_t n, const char* op) {
+  const auto lim = static_cast<std::uint64_t>(n);
+  std::uint64_t bad = 0;
+  for (const NodeId i : ids) {
+    bad |= static_cast<std::uint64_t>(static_cast<std::uint64_t>(i) >= lim);
+  }
+  if (bad) throw std::out_of_range(std::string(op) + ": node id");
+}
+
+/// Branch-free row gather; ids must be pre-validated.
 void copy_row_range(const Tensor& src, std::span<const NodeId> ids,
                     Tensor& out, std::int64_t begin, std::int64_t end) {
   const std::size_t row_bytes =
       static_cast<std::size_t>(src.size(1)) * dtype_size(src.dtype());
   const char* ps = static_cast<const char*>(src.raw());
   char* pd = static_cast<char*>(out.raw());
-  const std::int64_t n = src.size(0);
   for (std::int64_t k = begin; k < end; ++k) {
     const NodeId i = ids[static_cast<std::size_t>(k)];
-    if (i < 0 || i >= n) throw std::out_of_range("slice_rows: node id");
     std::memcpy(pd + static_cast<std::size_t>(k) * row_bytes,
                 ps + static_cast<std::size_t>(i) * row_bytes, row_bytes);
   }
@@ -36,12 +48,14 @@ void copy_row_range(const Tensor& src, std::span<const NodeId> ids,
 void slice_rows_serial(const Tensor& src, std::span<const NodeId> ids,
                        Tensor& out) {
   check_slice_args(src, ids, out);
+  check_ids(ids, src.size(0), "slice_rows");
   copy_row_range(src, ids, out, 0, static_cast<std::int64_t>(ids.size()));
 }
 
 void slice_rows_parallel(const Tensor& src, std::span<const NodeId> ids,
                          Tensor& out, ThreadPool& pool) {
   check_slice_args(src, ids, out);
+  check_ids(ids, src.size(0), "slice_rows");
   pool.parallel_for(0, static_cast<std::int64_t>(ids.size()),
                     [&](std::int64_t b, std::int64_t e) {
                       copy_row_range(src, ids, out, b, e);
@@ -55,14 +69,17 @@ void slice_labels(const Tensor& labels, std::span<const NodeId> ids,
       out.size(0) != static_cast<std::int64_t>(ids.size())) {
     throw std::runtime_error("slice_labels: bad arguments");
   }
+  check_ids(ids, labels.size(0), "slice_labels");
   const std::int64_t* ps = labels.data<std::int64_t>();
   std::int64_t* pd = out.data<std::int64_t>();
-  const std::int64_t n = labels.size(0);
-  for (std::size_t k = 0; k < ids.size(); ++k) {
-    const NodeId i = ids[k];
-    if (i < 0 || i >= n) throw std::out_of_range("slice_labels: node id");
-    pd[k] = ps[i];
-  }
+  const auto n = static_cast<std::int64_t>(ids.size());
+  // Large batches gather in parallel; the shared kernel grain keeps typical
+  // serve-path batches serial.
+  ops::parallel_for_n(n, n, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t k = b; k < e; ++k) {
+      pd[k] = ps[ids[static_cast<std::size_t>(k)]];
+    }
+  });
 }
 
 }  // namespace salient

@@ -49,29 +49,43 @@ class FlatIdMap {
   static constexpr const char* kName = "flat_map";
   static constexpr NodeId kEmpty = -1;
 
-  FlatIdMap() { rehash(64); }
+  FlatIdMap() { allocate(64); }
 
   void reserve(std::size_t n) {
     std::size_t want = 64;
     while (want * 3 / 4 < n) want <<= 1;
-    if (want > capacity_) rehash(want);
+    if (want <= capacity_) return;
+    // Fast path after clear(): an empty table can grow by reallocating
+    // directly instead of scanning the old slots for keys to re-insert —
+    // the common reserve-per-minibatch pattern hits this every time.
+    if (size_ == 0) {
+      allocate(want);
+    } else {
+      rehash(want);
+    }
   }
 
   std::int64_t get_or_insert(NodeId g, std::vector<NodeId>& locals) {
-    if ((size_ + 1) * 4 > capacity_ * 3) rehash(capacity_ * 2);
+    // Probe first: pure lookup hits (the overwhelming majority once a
+    // frontier saturates) return without touching the load-factor check.
     std::size_t i = probe_start(g);
-    for (;;) {
-      if (keys_[i] == kEmpty) {
-        keys_[i] = g;
-        const auto local = static_cast<std::int64_t>(locals.size());
-        values_[i] = local;
-        locals.push_back(g);
-        ++size_;
-        return local;
-      }
+    while (keys_[i] != kEmpty) {
       if (keys_[i] == g) return values_[i];
       i = (i + 1) & (capacity_ - 1);
     }
+    // Miss: grow if the insert would cross the 0.75 load factor, then
+    // re-probe (the rehash moved every key).
+    if ((size_ + 1) * 4 > capacity_ * 3) {
+      rehash(capacity_ * 2);
+      i = probe_start(g);
+      while (keys_[i] != kEmpty) i = (i + 1) & (capacity_ - 1);
+    }
+    keys_[i] = g;
+    const auto local = static_cast<std::int64_t>(locals.size());
+    values_[i] = local;
+    locals.push_back(g);
+    ++size_;
+    return local;
   }
 
   void clear() {
@@ -87,14 +101,19 @@ class FlatIdMap {
     return static_cast<std::size_t>(h >> shift_) & (capacity_ - 1);
   }
 
-  void rehash(std::size_t new_capacity) {
-    std::vector<NodeId> old_keys = std::move(keys_);
-    std::vector<std::int64_t> old_values = std::move(values_);
+  /// Size the table for `new_capacity` slots with no keys to carry over.
+  void allocate(std::size_t new_capacity) {
     capacity_ = new_capacity;
     shift_ = 64 - static_cast<unsigned>(__builtin_ctzll(capacity_));
     keys_.assign(capacity_, kEmpty);
     values_.assign(capacity_, 0);
     size_ = 0;
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<NodeId> old_keys = std::move(keys_);
+    std::vector<std::int64_t> old_values = std::move(values_);
+    allocate(new_capacity);
     for (std::size_t i = 0; i < old_keys.size(); ++i) {
       if (old_keys[i] == kEmpty) continue;
       std::size_t j = probe_start(old_keys[i]);

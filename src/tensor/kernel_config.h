@@ -1,0 +1,73 @@
+// Runtime configuration for the CPU kernel layer (tensor/ops.cpp,
+// tensor/matmul.cpp).
+//
+// Two kernel implementations live behind the ops:: API:
+//   * kRef — the straightforward serial loops the repo started with. They
+//     are the ground truth for A/B testing and gradient checking.
+//   * kOpt — vectorization-friendly, thread-pool-parallel kernels (packed
+//     GEMM microkernel, destination-row-block SpMM, parallel elementwise).
+//
+// The optimized kernels are *bitwise deterministic*: every output element is
+// accumulated by exactly one thread in a fixed order that does not depend on
+// the pool size, so results are identical across runs and worker counts
+// (tests/test_chaos.cpp and tests/test_kernels.cpp assert this). For the
+// SpMM/elementwise family the fixed order matches the reference order, so
+// kRef and kOpt agree bitwise; GEMM uses a different (register-tiled)
+// accumulation order and agrees within a tight ULP bound instead.
+//
+// Selection: the SALIENT_KERNEL environment variable ("ref" or "opt", read
+// once at first use, default "opt") or set_kernel_kind() from code. Tests
+// and benchmarks can also redirect the kernels onto a private pool with
+// set_kernel_pool() to measure scaling at fixed worker counts.
+#pragma once
+
+#include <cstdint>
+
+#include "util/thread_pool.h"
+
+namespace salient::ops {
+
+enum class KernelKind {
+  kRef,  ///< serial reference loops
+  kOpt,  ///< vectorized + parallel kernels
+};
+
+/// Active kernel implementation. First call reads SALIENT_KERNEL ("ref"
+/// selects the reference path; anything else, including unset, selects the
+/// optimized path).
+KernelKind kernel_kind();
+
+/// Override the kernel selection (benchmarks/tests; not thread-safe with
+/// concurrently running kernels).
+void set_kernel_kind(KernelKind kind);
+
+/// Pool the optimized kernels run on. Defaults to ThreadPool::global().
+ThreadPool& kernel_pool();
+
+/// Redirect kernels onto `pool` (nullptr restores the global pool). The
+/// caller keeps ownership and must keep the pool alive while kernels run.
+void set_kernel_pool(ThreadPool* pool);
+
+/// Shared cost heuristic: one threshold below which every kernel stays
+/// serial so small serve-path tensors never pay pool-dispatch latency.
+/// `work` is the total number of scalar operations (≈ elements touched).
+inline constexpr std::int64_t kParallelGrain = 1 << 14;
+
+/// True when `work` clears the grain and the kernel pool has >1 worker.
+bool use_parallel(std::int64_t work);
+
+/// Run fn over [0, n) — chunked on the kernel pool when `work` clears the
+/// cost heuristic, serially otherwise. fn receives (begin, end). fn must be
+/// safe to run from pool workers and must write disjoint outputs per index
+/// so results stay deterministic under any chunking.
+template <typename Fn>
+void parallel_for_n(std::int64_t n, std::int64_t work, const Fn& fn) {
+  if (n <= 0) return;
+  if (use_parallel(work)) {
+    kernel_pool().parallel_for(0, n, fn);
+  } else {
+    fn(0, n);
+  }
+}
+
+}  // namespace salient::ops

@@ -1,3 +1,22 @@
+// Dense + sparse CPU kernels with runtime selection (tensor/kernel_config.h).
+//
+// Every op has two implementations:
+//   * reference (SALIENT_KERNEL=ref) — the original serial loops, kept
+//     verbatim as ground truth for A/B benchmarks;
+//   * optimized (default) — the same arithmetic restructured for
+//     auto-vectorization (validation hoisted out of hot loops, branch-free
+//     inner loops) and parallelized on the kernel pool.
+//
+// Determinism contract: the optimized kernels accumulate every output
+// element in the same order as the reference — elementwise ops are
+// trivially order-free, SpMM forwards parallelize over destination rows
+// (per-row edge order unchanged), SpMM backwards scatter through an
+// explicit CSR transpose whose per-source order equals the serial scatter
+// order, and spmm_max_backward partitions by feature column. Results are
+// therefore bitwise identical to the reference AND invariant to the pool
+// size (tests/test_kernels.cpp asserts both; tests/test_chaos.cpp relies on
+// the latter). The shared `parallel_for_n` cost heuristic keeps small
+// serve-path tensors serial.
 #include "tensor/ops.h"
 
 #include <algorithm>
@@ -6,6 +25,7 @@
 #include <stdexcept>
 #include <type_traits>
 
+#include "tensor/kernel_config.h"
 #include "util/rng.h"
 
 namespace salient::ops {
@@ -26,6 +46,49 @@ void check_same(const Tensor& a, const Tensor& b, const char* op) {
   }
 }
 
+/// Run fn over [0, n): serial on the reference path, pool-parallel (above
+/// the shared cost heuristic) on the optimized path. fn(begin, end) must
+/// write disjoint outputs per index.
+template <typename Fn>
+void run_indexed(std::int64_t n, std::int64_t work, const Fn& fn) {
+  if (kernel_kind() == KernelKind::kRef) {
+    if (n > 0) fn(std::int64_t{0}, n);
+  } else {
+    parallel_for_n(n, work, fn);
+  }
+}
+
+/// Validate that every entry of `indices` lands in [0, limit) before the
+/// hot loop runs, so the loop itself stays branch-free. Matches the
+/// reference kernels' exception type and message.
+void check_source_indices(const std::vector<std::int64_t>& indices,
+                          std::int64_t limit, const char* name) {
+  const auto lim = static_cast<std::uint64_t>(limit);
+  std::uint64_t bad = 0;
+  for (const std::int64_t ix : indices) {
+    bad |= static_cast<std::uint64_t>(static_cast<std::uint64_t>(ix) >= lim);
+  }
+  if (bad) throw std::out_of_range(std::string(name) + ": source index");
+}
+
+/// Hint the next random source row into cache. The SpMM/gather family is
+/// memory-latency-bound on x-row gathers (random rows of a matrix far larger
+/// than L2); prefetching the head of a row a few edges ahead overlaps that
+/// latency with the current row's accumulate. No semantic effect, so
+/// bitwise determinism is untouched. The hardware prefetcher picks up the
+/// rest of the row once the first lines are touched.
+inline void prefetch_row_head(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p);
+  __builtin_prefetch(static_cast<const char*>(p) + 64);
+#else
+  (void)p;
+#endif
+}
+
+/// Edges to look ahead when prefetching gathered rows.
+constexpr std::int64_t kPrefetchDist = 8;
+
 /// Apply f elementwise over two same-shaped tensors into a new tensor.
 template <typename F>
 Tensor binary_op(const Tensor& a, const Tensor& b, const char* name, F f) {
@@ -37,12 +100,18 @@ Tensor binary_op(const Tensor& a, const Tensor& b, const char* name, F f) {
     const float* pa = a.data<float>();
     const float* pb = b.data<float>();
     float* po = out.data<float>();
-    for (std::int64_t i = 0; i < n; ++i) po[i] = static_cast<float>(f(pa[i], pb[i]));
+    run_indexed(n, n, [&](std::int64_t ib, std::int64_t ie) {
+      for (std::int64_t i = ib; i < ie; ++i) {
+        po[i] = static_cast<float>(f(pa[i], pb[i]));
+      }
+    });
   } else {
     const double* pa = a.data<double>();
     const double* pb = b.data<double>();
     double* po = out.data<double>();
-    for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    run_indexed(n, n, [&](std::int64_t ib, std::int64_t ie) {
+      for (std::int64_t i = ib; i < ie; ++i) po[i] = f(pa[i], pb[i]);
+    });
   }
   return out;
 }
@@ -55,11 +124,17 @@ Tensor unary_op(const Tensor& x, const char* name, F f) {
   if (x.dtype() == DType::kF32) {
     const float* px = x.data<float>();
     float* po = out.data<float>();
-    for (std::int64_t i = 0; i < n; ++i) po[i] = static_cast<float>(f(px[i]));
+    run_indexed(n, n, [&](std::int64_t ib, std::int64_t ie) {
+      for (std::int64_t i = ib; i < ie; ++i) {
+        po[i] = static_cast<float>(f(px[i]));
+      }
+    });
   } else {
     const double* px = x.data<double>();
     double* po = out.data<double>();
-    for (std::int64_t i = 0; i < n; ++i) po[i] = f(px[i]);
+    run_indexed(n, n, [&](std::int64_t ib, std::int64_t ie) {
+      for (std::int64_t i = ib; i < ie; ++i) po[i] = f(px[i]);
+    });
   }
   return out;
 }
@@ -95,11 +170,15 @@ void axpy_(Tensor& a, const Tensor& b, double alpha) {
     float* pa = a.data<float>();
     const float* pb = b.data<float>();
     const auto al = static_cast<float>(alpha);
-    for (std::int64_t i = 0; i < n; ++i) pa[i] += al * pb[i];
+    run_indexed(n, n, [&](std::int64_t ib, std::int64_t ie) {
+      for (std::int64_t i = ib; i < ie; ++i) pa[i] += al * pb[i];
+    });
   } else {
     double* pa = a.data<double>();
     const double* pb = b.data<double>();
-    for (std::int64_t i = 0; i < n; ++i) pa[i] += alpha * pb[i];
+    run_indexed(n, n, [&](std::int64_t ib, std::int64_t ie) {
+      for (std::int64_t i = ib; i < ie; ++i) pa[i] += alpha * pb[i];
+    });
   }
 }
 
@@ -141,20 +220,19 @@ Tensor add_row_broadcast(const Tensor& x, const Tensor& b) {
   }
   Tensor out(x.shape(), x.dtype());
   const std::int64_t m = x.size(0), n = x.size(1);
+  auto run = [&](const auto* px, const auto* pb, auto* po) {
+    run_indexed(m, m * n, [&](std::int64_t ib, std::int64_t ie) {
+      for (std::int64_t i = ib; i < ie; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+          po[i * n + j] = px[i * n + j] + pb[j];
+        }
+      }
+    });
+  };
   if (x.dtype() == DType::kF32) {
-    const float* px = x.data<float>();
-    const float* pb = b.data<float>();
-    float* po = out.data<float>();
-    for (std::int64_t i = 0; i < m; ++i)
-      for (std::int64_t j = 0; j < n; ++j)
-        po[i * n + j] = px[i * n + j] + pb[j];
+    run(x.data<float>(), b.data<float>(), out.data<float>());
   } else {
-    const double* px = x.data<double>();
-    const double* pb = b.data<double>();
-    double* po = out.data<double>();
-    for (std::int64_t i = 0; i < m; ++i)
-      for (std::int64_t j = 0; j < n; ++j)
-        po[i * n + j] = px[i * n + j] + pb[j];
+    run(x.data<double>(), b.data<double>(), out.data<double>());
   }
   return out;
 }
@@ -164,16 +242,20 @@ Tensor sum_rows(const Tensor& x) {
   if (x.dim() != 2) throw std::runtime_error("sum_rows: need [M,N]");
   const std::int64_t m = x.size(0), n = x.size(1);
   Tensor out({n}, x.dtype());
+  // Parallel decomposition is by output column so each po[j] is owned by
+  // one thread and accumulated in ascending-row order — the same order as
+  // the serial loop, keeping the result bitwise identical.
+  auto run = [&](const auto* px, auto* po) {
+    run_indexed(n, m * n, [&](std::int64_t jb, std::int64_t je) {
+      for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = jb; j < je; ++j) po[j] += px[i * n + j];
+      }
+    });
+  };
   if (x.dtype() == DType::kF32) {
-    const float* px = x.data<float>();
-    float* po = out.data<float>();
-    for (std::int64_t i = 0; i < m; ++i)
-      for (std::int64_t j = 0; j < n; ++j) po[j] += px[i * n + j];
+    run(x.data<float>(), out.data<float>());
   } else {
-    const double* px = x.data<double>();
-    double* po = out.data<double>();
-    for (std::int64_t i = 0; i < m; ++i)
-      for (std::int64_t j = 0; j < n; ++j) po[j] += px[i * n + j];
+    run(x.data<double>(), out.data<double>());
   }
   return out;
 }
@@ -204,15 +286,26 @@ Tensor gather_rows(const Tensor& x, const Tensor& idx) {
   const std::int64_t m = x.size(0), n = x.size(1), k = idx.size(0);
   Tensor out({k, n}, x.dtype());
   const std::int64_t* pi = idx.data<std::int64_t>();
+  // Validate every index up front so the copy loop is branch-free.
+  {
+    const auto lim = static_cast<std::uint64_t>(m);
+    std::uint64_t bad = 0;
+    for (std::int64_t r = 0; r < k; ++r) {
+      bad |= static_cast<std::uint64_t>(static_cast<std::uint64_t>(pi[r]) >=
+                                        lim);
+    }
+    if (bad) throw std::out_of_range("gather_rows: index");
+  }
   const std::size_t row_bytes = static_cast<std::size_t>(n) * dtype_size(x.dtype());
   const char* src = static_cast<const char*>(x.raw());
   char* dst = static_cast<char*>(out.raw());
-  for (std::int64_t r = 0; r < k; ++r) {
-    const std::int64_t i = pi[r];
-    if (i < 0 || i >= m) throw std::out_of_range("gather_rows: index");
-    std::memcpy(dst + static_cast<std::size_t>(r) * row_bytes,
-                src + static_cast<std::size_t>(i) * row_bytes, row_bytes);
-  }
+  run_indexed(k, k * n, [&](std::int64_t rb, std::int64_t re) {
+    for (std::int64_t r = rb; r < re; ++r) {
+      std::memcpy(dst + static_cast<std::size_t>(r) * row_bytes,
+                  src + static_cast<std::size_t>(pi[r]) * row_bytes,
+                  row_bytes);
+    }
+  });
   return out;
 }
 
@@ -225,22 +318,62 @@ void scatter_add_rows_(Tensor& dst, const Tensor& idx, const Tensor& src) {
   }
   const std::int64_t k = src.size(0), n = src.size(1), m = dst.size(0);
   const std::int64_t* pi = idx.data<std::int64_t>();
+  const bool parallel =
+      kernel_kind() == KernelKind::kOpt && use_parallel(k * n);
+  if (!parallel) {
+    auto run = [&](auto* pd, const auto* ps) {
+      for (std::int64_t r = 0; r < k; ++r) {
+        const std::int64_t i = pi[r];
+        if (i < 0 || i >= m) {
+          throw std::out_of_range("scatter_add_rows_: index");
+        }
+        for (std::int64_t j = 0; j < n; ++j) pd[i * n + j] += ps[r * n + j];
+      }
+    };
+    if (dst.dtype() == DType::kF32) {
+      run(dst.data<float>(), src.data<float>());
+    } else {
+      run(dst.data<double>(), src.data<double>());
+    }
+    return;
+  }
+  // Deterministic parallel scatter: invert the index map (stable counting
+  // sort), then parallelize over destination rows. Each destination row is
+  // owned by one thread and accumulates its source rows in ascending-r
+  // order — exactly the serial order, so the result is bitwise identical
+  // regardless of pool size.
+  {
+    const auto lim = static_cast<std::uint64_t>(m);
+    std::uint64_t bad = 0;
+    for (std::int64_t r = 0; r < k; ++r) {
+      bad |= static_cast<std::uint64_t>(static_cast<std::uint64_t>(pi[r]) >=
+                                        lim);
+    }
+    if (bad) throw std::out_of_range("scatter_add_rows_: index");
+  }
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(m) + 1, 0);
+  for (std::int64_t r = 0; r < k; ++r) ++offsets[pi[r] + 1];
+  for (std::int64_t i = 0; i < m; ++i) offsets[i + 1] += offsets[i];
+  std::vector<std::int64_t> rows(static_cast<std::size_t>(k));
+  {
+    std::vector<std::int64_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::int64_t r = 0; r < k; ++r) rows[cursor[pi[r]]++] = r;
+  }
+  auto run = [&](auto* pd, const auto* ps) {
+    kernel_pool().parallel_for(0, m, [&](std::int64_t ib, std::int64_t ie) {
+      for (std::int64_t i = ib; i < ie; ++i) {
+        auto* drow = pd + i * n;
+        for (std::int64_t t = offsets[i]; t < offsets[i + 1]; ++t) {
+          const auto* srow = ps + rows[t] * n;
+          for (std::int64_t j = 0; j < n; ++j) drow[j] += srow[j];
+        }
+      }
+    });
+  };
   if (dst.dtype() == DType::kF32) {
-    float* pd = dst.data<float>();
-    const float* ps = src.data<float>();
-    for (std::int64_t r = 0; r < k; ++r) {
-      const std::int64_t i = pi[r];
-      if (i < 0 || i >= m) throw std::out_of_range("scatter_add_rows_: index");
-      for (std::int64_t j = 0; j < n; ++j) pd[i * n + j] += ps[r * n + j];
-    }
+    run(dst.data<float>(), src.data<float>());
   } else {
-    double* pd = dst.data<double>();
-    const double* ps = src.data<double>();
-    for (std::int64_t r = 0; r < k; ++r) {
-      const std::int64_t i = pi[r];
-      if (i < 0 || i >= m) throw std::out_of_range("scatter_add_rows_: index");
-      for (std::int64_t j = 0; j < n; ++j) pd[i * n + j] += ps[r * n + j];
-    }
+    run(dst.data<double>(), src.data<double>());
   }
 }
 
@@ -262,11 +395,13 @@ Tensor concat_cols(const std::vector<Tensor>& xs) {
   for (const auto& x : xs) {
     const std::int64_t n = x.size(1);
     const char* ps = static_cast<const char*>(x.raw());
-    for (std::int64_t i = 0; i < m; ++i) {
-      std::memcpy(pd + (static_cast<std::size_t>(i) * total + col) * esz,
-                  ps + static_cast<std::size_t>(i) * n * esz,
-                  static_cast<std::size_t>(n) * esz);
-    }
+    run_indexed(m, m * n, [&](std::int64_t ib, std::int64_t ie) {
+      for (std::int64_t i = ib; i < ie; ++i) {
+        std::memcpy(pd + (static_cast<std::size_t>(i) * total + col) * esz,
+                    ps + static_cast<std::size_t>(i) * n * esz,
+                    static_cast<std::size_t>(n) * esz);
+      }
+    });
     col += n;
   }
   return out;
@@ -277,19 +412,22 @@ Tensor log_softmax_rows(const Tensor& x) {
   if (x.dim() != 2) throw std::runtime_error("log_softmax_rows: need [M,N]");
   const std::int64_t m = x.size(0), n = x.size(1);
   Tensor out(x.shape(), x.dtype());
-  auto run = [m, n](const auto* px, auto* po) {
+  auto run = [&](const auto* px, auto* po) {
     using T = std::remove_cv_t<std::remove_reference_t<decltype(px[0])>>;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const auto* row = px + i * n;
-      auto* orow = po + i * n;
-      T mx = row[0];
-      for (std::int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-      double s = 0;
-      for (std::int64_t j = 0; j < n; ++j) s += std::exp(double(row[j] - mx));
-      const double lse = std::log(s) + double(mx);
-      for (std::int64_t j = 0; j < n; ++j)
-        orow[j] = static_cast<T>(double(row[j]) - lse);
-    }
+    run_indexed(m, m * n, [&](std::int64_t ib, std::int64_t ie) {
+      for (std::int64_t i = ib; i < ie; ++i) {
+        const auto* row = px + i * n;
+        auto* orow = po + i * n;
+        T mx = row[0];
+        for (std::int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+        double s = 0;
+        for (std::int64_t j = 0; j < n; ++j) s += std::exp(double(row[j] - mx));
+        const double lse = std::log(s) + double(mx);
+        for (std::int64_t j = 0; j < n; ++j) {
+          orow[j] = static_cast<T>(double(row[j]) - lse);
+        }
+      }
+    });
   };
   if (x.dtype() == DType::kF32) {
     run(x.data<float>(), out.data<float>());
@@ -346,14 +484,16 @@ Tensor argmax_rows(const Tensor& x) {
   const std::int64_t m = x.size(0), n = x.size(1);
   Tensor out({m}, DType::kI64);
   std::int64_t* po = out.data<std::int64_t>();
-  auto run = [m, n, po](const auto* px) {
-    for (std::int64_t i = 0; i < m; ++i) {
-      const auto* row = px + i * n;
-      std::int64_t best = 0;
-      for (std::int64_t j = 1; j < n; ++j)
-        if (row[j] > row[best]) best = j;
-      po[i] = best;
-    }
+  auto run = [&](const auto* px) {
+    run_indexed(m, m * n, [&](std::int64_t ib, std::int64_t ie) {
+      for (std::int64_t i = ib; i < ie; ++i) {
+        const auto* row = px + i * n;
+        std::int64_t best = 0;
+        for (std::int64_t j = 1; j < n; ++j)
+          if (row[j] > row[best]) best = j;
+        po[i] = best;
+      }
+    });
   };
   if (x.dtype() == DType::kF32) {
     run(x.data<float>());
@@ -401,6 +541,37 @@ Tensor dropout_mask(const std::vector<std::int64_t>& shape, double p,
 
 namespace {
 
+/// Incoming-edge view of a destination-major CSR: for each source row, the
+/// incoming edges in ascending (destination, edge) order — i.e. exactly the
+/// order the serial backward scatter visits them, which is what makes the
+/// parallel backward bitwise identical to the reference.
+struct CsrTranspose {
+  std::vector<std::int64_t> indptr;  ///< num_src + 1
+  std::vector<std::int64_t> dst;     ///< destination row per incoming edge
+  std::vector<std::int64_t> edge;    ///< original edge id per incoming edge
+};
+
+CsrTranspose build_transpose(const std::vector<std::int64_t>& indptr,
+                             const std::vector<std::int64_t>& indices,
+                             std::int64_t num_src, std::int64_t d_count) {
+  CsrTranspose t;
+  const std::size_t nnz = indices.size();
+  t.indptr.assign(static_cast<std::size_t>(num_src) + 1, 0);
+  for (const std::int64_t src : indices) ++t.indptr[src + 1];
+  for (std::int64_t i = 0; i < num_src; ++i) t.indptr[i + 1] += t.indptr[i];
+  t.dst.resize(nnz);
+  t.edge.resize(nnz);
+  std::vector<std::int64_t> cursor(t.indptr.begin(), t.indptr.end() - 1);
+  for (std::int64_t d = 0; d < d_count; ++d) {
+    for (std::int64_t e = indptr[d]; e < indptr[d + 1]; ++e) {
+      const std::int64_t slot = cursor[indices[static_cast<std::size_t>(e)]]++;
+      t.dst[static_cast<std::size_t>(slot)] = d;
+      t.edge[static_cast<std::size_t>(slot)] = e;
+    }
+  }
+  return t;
+}
+
 template <bool Mean>
 Tensor spmm_impl(const std::vector<std::int64_t>& indptr,
                  const std::vector<std::int64_t>& indices, const Tensor& x,
@@ -412,24 +583,60 @@ Tensor spmm_impl(const std::vector<std::int64_t>& indptr,
   }
   const std::int64_t s = x.size(0), f = x.size(1);
   Tensor out({num_dst, f}, x.dtype());
+  if (kernel_kind() == KernelKind::kRef) {
+    auto run = [&](const auto* px, auto* po) {
+      using T = std::remove_cv_t<std::remove_reference_t<decltype(px[0])>>;
+      for (std::int64_t d = 0; d < num_dst; ++d) {
+        const std::int64_t b = indptr[d], e = indptr[d + 1];
+        auto* orow = po + d * f;
+        for (std::int64_t k = b; k < e; ++k) {
+          const std::int64_t src = indices[static_cast<std::size_t>(k)];
+          if (src < 0 || src >= s) {
+            throw std::out_of_range(std::string(name) + ": source index");
+          }
+          const auto* row = px + src * f;
+          for (std::int64_t j = 0; j < f; ++j) orow[j] += row[j];
+        }
+        if (Mean && e > b) {
+          const T inv = static_cast<T>(1.0 / static_cast<double>(e - b));
+          for (std::int64_t j = 0; j < f; ++j) orow[j] *= inv;
+        }
+      }
+    };
+    if (x.dtype() == DType::kF32) {
+      run(x.data<float>(), out.data<float>());
+    } else {
+      run(x.data<double>(), out.data<double>());
+    }
+    return out;
+  }
+  // Optimized: validate up front, then destination-row-block parallelism
+  // with a branch-free, vectorizable accumulate loop. Per-row edge order is
+  // unchanged, so the result matches the reference bitwise.
+  check_source_indices(indices, s, name);
+  const auto work =
+      static_cast<std::int64_t>(indices.size()) * std::max<std::int64_t>(f, 1);
   auto run = [&](const auto* px, auto* po) {
     using T = std::remove_cv_t<std::remove_reference_t<decltype(px[0])>>;
-    for (std::int64_t d = 0; d < num_dst; ++d) {
-      const std::int64_t b = indptr[d], e = indptr[d + 1];
-      auto* orow = po + d * f;
-      for (std::int64_t k = b; k < e; ++k) {
-        const std::int64_t src = indices[static_cast<std::size_t>(k)];
-        if (src < 0 || src >= s) {
-          throw std::out_of_range(std::string(name) + ": source index");
+    parallel_for_n(num_dst, work, [&](std::int64_t db, std::int64_t de) {
+      const std::int64_t chunk_end = indptr[de];
+      for (std::int64_t d = db; d < de; ++d) {
+        const std::int64_t b = indptr[d], e = indptr[d + 1];
+        auto* orow = po + d * f;
+        for (std::int64_t k = b; k < e; ++k) {
+          const std::int64_t pf = k + kPrefetchDist;
+          if (pf < chunk_end) {
+            prefetch_row_head(px + indices[static_cast<std::size_t>(pf)] * f);
+          }
+          const auto* row = px + indices[static_cast<std::size_t>(k)] * f;
+          for (std::int64_t j = 0; j < f; ++j) orow[j] += row[j];
         }
-        const auto* row = px + src * f;
-        for (std::int64_t j = 0; j < f; ++j) orow[j] += row[j];
+        if (Mean && e > b) {
+          const T inv = static_cast<T>(1.0 / static_cast<double>(e - b));
+          for (std::int64_t j = 0; j < f; ++j) orow[j] *= inv;
+        }
       }
-      if (Mean && e > b) {
-        const T inv = static_cast<T>(1.0 / static_cast<double>(e - b));
-        for (std::int64_t j = 0; j < f; ++j) orow[j] *= inv;
-      }
-    }
+    });
   };
   if (x.dtype() == DType::kF32) {
     run(x.data<float>(), out.data<float>());
@@ -450,23 +657,59 @@ Tensor spmm_backward_impl(const std::vector<std::int64_t>& indptr,
     throw std::runtime_error(std::string(name) + ": indptr size");
   }
   Tensor gx({num_src, f}, grad_out.dtype());
+  const auto work =
+      static_cast<std::int64_t>(indices.size()) * std::max<std::int64_t>(f, 1);
+  const bool parallel = kernel_kind() == KernelKind::kOpt && use_parallel(work);
+  if (!parallel) {
+    auto run = [&](const auto* pg, auto* px) {
+      using T = std::remove_cv_t<std::remove_reference_t<decltype(pg[0])>>;
+      for (std::int64_t d = 0; d < d_count; ++d) {
+        const std::int64_t b = indptr[d], e = indptr[d + 1];
+        if (e == b) continue;
+        const T w =
+            Mean ? static_cast<T>(1.0 / static_cast<double>(e - b)) : T(1);
+        const auto* grow = pg + d * f;
+        for (std::int64_t k = b; k < e; ++k) {
+          const std::int64_t src = indices[static_cast<std::size_t>(k)];
+          if (src < 0 || src >= num_src) {
+            throw std::out_of_range(std::string(name) + ": source index");
+          }
+          auto* xrow = px + src * f;
+          for (std::int64_t j = 0; j < f; ++j) xrow[j] += w * grow[j];
+        }
+      }
+    };
+    if (grad_out.dtype() == DType::kF32) {
+      run(grad_out.data<float>(), gx.data<float>());
+    } else {
+      run(grad_out.data<double>(), gx.data<double>());
+    }
+    return gx;
+  }
+  // Deterministic parallel scatter: segment by source-row ownership through
+  // an explicit transpose. Each source row is accumulated by one thread in
+  // ascending (destination, edge) order — the serial scatter order — so the
+  // result is bitwise identical to the reference for any pool size.
+  check_source_indices(indices, num_src, name);
+  const CsrTranspose t = build_transpose(indptr, indices, num_src, d_count);
   auto run = [&](const auto* pg, auto* px) {
     using T = std::remove_cv_t<std::remove_reference_t<decltype(pg[0])>>;
-    for (std::int64_t d = 0; d < d_count; ++d) {
-      const std::int64_t b = indptr[d], e = indptr[d + 1];
-      if (e == b) continue;
-      const T w =
-          Mean ? static_cast<T>(1.0 / static_cast<double>(e - b)) : T(1);
-      const auto* grow = pg + d * f;
-      for (std::int64_t k = b; k < e; ++k) {
-        const std::int64_t src = indices[static_cast<std::size_t>(k)];
-        if (src < 0 || src >= num_src) {
-          throw std::out_of_range(std::string(name) + ": source index");
-        }
-        auto* xrow = px + src * f;
-        for (std::int64_t j = 0; j < f; ++j) xrow[j] += w * grow[j];
-      }
-    }
+    kernel_pool().parallel_for(
+        0, num_src, [&](std::int64_t sb, std::int64_t se) {
+          for (std::int64_t src = sb; src < se; ++src) {
+            auto* xrow = px + src * f;
+            for (std::int64_t e2 = t.indptr[src]; e2 < t.indptr[src + 1];
+                 ++e2) {
+              const std::int64_t d = t.dst[static_cast<std::size_t>(e2)];
+              const T w = Mean ? static_cast<T>(1.0 / static_cast<double>(
+                                                          indptr[d + 1] -
+                                                          indptr[d]))
+                               : T(1);
+              const auto* grow = pg + d * f;
+              for (std::int64_t j = 0; j < f; ++j) xrow[j] += w * grow[j];
+            }
+          }
+        });
   };
   if (grad_out.dtype() == DType::kF32) {
     run(grad_out.data<float>(), gx.data<float>());
@@ -517,21 +760,46 @@ Tensor spmm_weighted(const std::vector<std::int64_t>& indptr,
   }
   const std::int64_t s = x.size(0), f = x.size(1);
   Tensor out({num_dst, f}, x.dtype());
+  if (kernel_kind() == KernelKind::kRef) {
+    auto run = [&](const auto* px, auto* po) {
+      using T = std::remove_cv_t<std::remove_reference_t<decltype(px[0])>>;
+      for (std::int64_t d = 0; d < num_dst; ++d) {
+        auto* orow = po + d * f;
+        for (std::int64_t e = indptr[static_cast<std::size_t>(d)];
+             e < indptr[static_cast<std::size_t>(d) + 1]; ++e) {
+          const std::int64_t src = indices[static_cast<std::size_t>(e)];
+          if (src < 0 || src >= s) {
+            throw std::out_of_range("spmm_weighted: source index");
+          }
+          const T w = static_cast<T>(weights[static_cast<std::size_t>(e)]);
+          const auto* row = px + src * f;
+          for (std::int64_t j = 0; j < f; ++j) orow[j] += w * row[j];
+        }
+      }
+    };
+    if (x.dtype() == DType::kF32) {
+      run(x.data<float>(), out.data<float>());
+    } else {
+      run(x.data<double>(), out.data<double>());
+    }
+    return out;
+  }
+  check_source_indices(indices, s, "spmm_weighted");
+  const auto work =
+      static_cast<std::int64_t>(indices.size()) * std::max<std::int64_t>(f, 1);
   auto run = [&](const auto* px, auto* po) {
     using T = std::remove_cv_t<std::remove_reference_t<decltype(px[0])>>;
-    for (std::int64_t d = 0; d < num_dst; ++d) {
-      auto* orow = po + d * f;
-      for (std::int64_t e = indptr[static_cast<std::size_t>(d)];
-           e < indptr[static_cast<std::size_t>(d) + 1]; ++e) {
-        const std::int64_t src = indices[static_cast<std::size_t>(e)];
-        if (src < 0 || src >= s) {
-          throw std::out_of_range("spmm_weighted: source index");
+    parallel_for_n(num_dst, work, [&](std::int64_t db, std::int64_t de) {
+      for (std::int64_t d = db; d < de; ++d) {
+        auto* orow = po + d * f;
+        for (std::int64_t e = indptr[static_cast<std::size_t>(d)];
+             e < indptr[static_cast<std::size_t>(d) + 1]; ++e) {
+          const T w = static_cast<T>(weights[static_cast<std::size_t>(e)]);
+          const auto* row = px + indices[static_cast<std::size_t>(e)] * f;
+          for (std::int64_t j = 0; j < f; ++j) orow[j] += w * row[j];
         }
-        const T w = static_cast<T>(weights[static_cast<std::size_t>(e)]);
-        const auto* row = px + src * f;
-        for (std::int64_t j = 0; j < f; ++j) orow[j] += w * row[j];
       }
-    }
+    });
   };
   if (x.dtype() == DType::kF32) {
     run(x.data<float>(), out.data<float>());
@@ -548,21 +816,54 @@ Tensor spmm_weighted_backward(const std::vector<std::int64_t>& indptr,
   check_float(grad_out, "spmm_weighted_backward");
   const std::int64_t d_count = grad_out.size(0), f = grad_out.size(1);
   Tensor gx({num_src, f}, grad_out.dtype());
+  const auto work =
+      static_cast<std::int64_t>(indices.size()) * std::max<std::int64_t>(f, 1);
+  const bool parallel = kernel_kind() == KernelKind::kOpt && use_parallel(work);
+  if (!parallel) {
+    auto run = [&](const auto* pg, auto* px) {
+      using T = std::remove_cv_t<std::remove_reference_t<decltype(pg[0])>>;
+      for (std::int64_t d = 0; d < d_count; ++d) {
+        const auto* grow = pg + d * f;
+        for (std::int64_t e = indptr[static_cast<std::size_t>(d)];
+             e < indptr[static_cast<std::size_t>(d) + 1]; ++e) {
+          const std::int64_t src = indices[static_cast<std::size_t>(e)];
+          if (src < 0 || src >= num_src) {
+            throw std::out_of_range("spmm_weighted_backward: source index");
+          }
+          const T w = static_cast<T>(weights[static_cast<std::size_t>(e)]);
+          auto* xrow = px + src * f;
+          for (std::int64_t j = 0; j < f; ++j) xrow[j] += w * grow[j];
+        }
+      }
+    };
+    if (grad_out.dtype() == DType::kF32) {
+      run(grad_out.data<float>(), gx.data<float>());
+    } else {
+      run(grad_out.data<double>(), gx.data<double>());
+    }
+    return gx;
+  }
+  // Same source-ownership decomposition as spmm_sum_backward; the packed
+  // edge ids recover each contribution's weight.
+  check_source_indices(indices, num_src, "spmm_weighted_backward");
+  const CsrTranspose t = build_transpose(indptr, indices, num_src, d_count);
   auto run = [&](const auto* pg, auto* px) {
     using T = std::remove_cv_t<std::remove_reference_t<decltype(pg[0])>>;
-    for (std::int64_t d = 0; d < d_count; ++d) {
-      const auto* grow = pg + d * f;
-      for (std::int64_t e = indptr[static_cast<std::size_t>(d)];
-           e < indptr[static_cast<std::size_t>(d) + 1]; ++e) {
-        const std::int64_t src = indices[static_cast<std::size_t>(e)];
-        if (src < 0 || src >= num_src) {
-          throw std::out_of_range("spmm_weighted_backward: source index");
-        }
-        const T w = static_cast<T>(weights[static_cast<std::size_t>(e)]);
-        auto* xrow = px + src * f;
-        for (std::int64_t j = 0; j < f; ++j) xrow[j] += w * grow[j];
-      }
-    }
+    kernel_pool().parallel_for(
+        0, num_src, [&](std::int64_t sb, std::int64_t se) {
+          for (std::int64_t src = sb; src < se; ++src) {
+            auto* xrow = px + src * f;
+            for (std::int64_t e2 = t.indptr[src]; e2 < t.indptr[src + 1];
+                 ++e2) {
+              const std::int64_t d = t.dst[static_cast<std::size_t>(e2)];
+              const T w = static_cast<T>(
+                  weights[static_cast<std::size_t>(
+                      t.edge[static_cast<std::size_t>(e2)])]);
+              const auto* grow = pg + d * f;
+              for (std::int64_t j = 0; j < f; ++j) xrow[j] += w * grow[j];
+            }
+          }
+        });
   };
   if (grad_out.dtype() == DType::kF32) {
     run(grad_out.data<float>(), gx.data<float>());
@@ -584,33 +885,83 @@ Tensor spmm_max(const std::vector<std::int64_t>& indptr,
   if (argmax_out != nullptr) {
     argmax_out->assign(static_cast<std::size_t>(num_dst * f), -1);
   }
-  auto run = [&](const auto* px, auto* po) {
-    for (std::int64_t d = 0; d < num_dst; ++d) {
-      const std::int64_t b = indptr[static_cast<std::size_t>(d)];
-      const std::int64_t e = indptr[static_cast<std::size_t>(d) + 1];
-      if (b == e) continue;  // empty row stays zero
-      auto* orow = po + d * f;
-      for (std::int64_t j = 0; j < f; ++j) {
-        double best = -1e300;
-        std::int64_t arg = -1;
-        for (std::int64_t k = b; k < e; ++k) {
-          const std::int64_t src = indices[static_cast<std::size_t>(k)];
-          if (src < 0 || src >= s) {
-            throw std::out_of_range("spmm_max: source index");
+  if (kernel_kind() == KernelKind::kRef) {
+    auto run = [&](const auto* px, auto* po) {
+      for (std::int64_t d = 0; d < num_dst; ++d) {
+        const std::int64_t b = indptr[static_cast<std::size_t>(d)];
+        const std::int64_t e = indptr[static_cast<std::size_t>(d) + 1];
+        if (b == e) continue;  // empty row stays zero
+        auto* orow = po + d * f;
+        for (std::int64_t j = 0; j < f; ++j) {
+          double best = -1e300;
+          std::int64_t arg = -1;
+          for (std::int64_t k = b; k < e; ++k) {
+            const std::int64_t src = indices[static_cast<std::size_t>(k)];
+            if (src < 0 || src >= s) {
+              throw std::out_of_range("spmm_max: source index");
+            }
+            const double v = double(px[src * f + j]);
+            if (v > best) {
+              best = v;
+              arg = src;
+            }
           }
-          const double v = double(px[src * f + j]);
-          if (v > best) {
-            best = v;
-            arg = src;
+          orow[j] = static_cast<std::remove_reference_t<decltype(orow[0])>>(
+              best);
+          if (argmax_out != nullptr) {
+            (*argmax_out)[static_cast<std::size_t>(d * f + j)] = arg;
           }
-        }
-        orow[j] = static_cast<std::remove_reference_t<decltype(orow[0])>>(
-            best);
-        if (argmax_out != nullptr) {
-          (*argmax_out)[static_cast<std::size_t>(d * f + j)] = arg;
         }
       }
+    };
+    if (x.dtype() == DType::kF32) {
+      run(x.data<float>(), out.data<float>());
+    } else {
+      run(x.data<double>(), out.data<double>());
     }
+    return out;
+  }
+  // Optimized: edge-outer / feature-inner order so the inner loop is
+  // unit-stride over both the candidate row and the running max. The strict
+  // `>` keeps the first maximum in edge order, matching the reference's
+  // winner (and the reference compares exact float values widened to
+  // double, so the selected maxima are identical).
+  check_source_indices(indices, s, "spmm_max");
+  const auto work =
+      static_cast<std::int64_t>(indices.size()) * std::max<std::int64_t>(f, 1);
+  auto run = [&](const auto* px, auto* po) {
+    parallel_for_n(num_dst, work, [&](std::int64_t db, std::int64_t de) {
+      for (std::int64_t d = db; d < de; ++d) {
+        const std::int64_t b = indptr[static_cast<std::size_t>(d)];
+        const std::int64_t e = indptr[static_cast<std::size_t>(d) + 1];
+        if (b == e) continue;  // empty row stays zero
+        auto* orow = po + d * f;
+        std::int64_t* arow =
+            argmax_out ? argmax_out->data() + d * f : nullptr;
+        const std::int64_t src0 = indices[static_cast<std::size_t>(b)];
+        const auto* row0 = px + src0 * f;
+        for (std::int64_t j = 0; j < f; ++j) orow[j] = row0[j];
+        if (arow != nullptr) {
+          for (std::int64_t j = 0; j < f; ++j) arow[j] = src0;
+        }
+        for (std::int64_t k = b + 1; k < e; ++k) {
+          const std::int64_t src = indices[static_cast<std::size_t>(k)];
+          const auto* row = px + src * f;
+          if (arow != nullptr) {
+            for (std::int64_t j = 0; j < f; ++j) {
+              if (row[j] > orow[j]) {
+                orow[j] = row[j];
+                arow[j] = src;
+              }
+            }
+          } else {
+            for (std::int64_t j = 0; j < f; ++j) {
+              orow[j] = std::max(orow[j], row[j]);
+            }
+          }
+        }
+      }
+    });
   };
   if (x.dtype() == DType::kF32) {
     run(x.data<float>(), out.data<float>());
@@ -628,17 +979,51 @@ Tensor spmm_max_backward(const std::vector<std::int64_t>& argmax,
     throw std::invalid_argument("spmm_max_backward: argmax size");
   }
   Tensor gx({num_src, f}, grad_out.dtype());
-  auto run = [&](const auto* pg, auto* px) {
-    for (std::int64_t d = 0; d < d_count; ++d) {
-      for (std::int64_t j = 0; j < f; ++j) {
-        const std::int64_t src = argmax[static_cast<std::size_t>(d * f + j)];
-        if (src < 0) continue;
-        if (src >= num_src) {
-          throw std::out_of_range("spmm_max_backward: source index");
+  const bool parallel = kernel_kind() == KernelKind::kOpt &&
+                        use_parallel(d_count * std::max<std::int64_t>(f, 1));
+  if (!parallel) {
+    auto run = [&](const auto* pg, auto* px) {
+      for (std::int64_t d = 0; d < d_count; ++d) {
+        for (std::int64_t j = 0; j < f; ++j) {
+          const std::int64_t src = argmax[static_cast<std::size_t>(d * f + j)];
+          if (src < 0) continue;
+          if (src >= num_src) {
+            throw std::out_of_range("spmm_max_backward: source index");
+          }
+          px[src * f + j] += pg[d * f + j];
         }
-        px[src * f + j] += pg[d * f + j];
       }
+    };
+    if (grad_out.dtype() == DType::kF32) {
+      run(grad_out.data<float>(), gx.data<float>());
+    } else {
+      run(grad_out.data<double>(), gx.data<double>());
     }
+    return gx;
+  }
+  // Deterministic parallel scatter: partition by feature column. Element
+  // (src, j) is only ever written by the thread owning column j, in
+  // ascending-d order — the serial order — so results are bitwise identical
+  // for any pool size.
+  {
+    // Negative entries flag empty rows and are skipped (as in the reference
+    // loop); only src >= num_src is an error.
+    std::int64_t mx = -1;
+    for (const std::int64_t src : argmax) mx = std::max(mx, src);
+    if (mx >= num_src) {
+      throw std::out_of_range("spmm_max_backward: source index");
+    }
+  }
+  auto run = [&](const auto* pg, auto* px) {
+    kernel_pool().parallel_for(0, f, [&](std::int64_t jb, std::int64_t je) {
+      for (std::int64_t d = 0; d < d_count; ++d) {
+        for (std::int64_t j = jb; j < je; ++j) {
+          const std::int64_t src = argmax[static_cast<std::size_t>(d * f + j)];
+          if (src < 0) continue;
+          px[src * f + j] += pg[d * f + j];
+        }
+      }
+    });
   };
   if (grad_out.dtype() == DType::kF32) {
     run(grad_out.data<float>(), gx.data<float>());

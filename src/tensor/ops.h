@@ -4,6 +4,12 @@
 // place) or documented otherwise. Float ops support f32 and f64 so the same
 // kernels serve both training (f32, the simulated-GPU precision) and gradient
 // checking (f64). Shapes are validated and mismatches throw.
+//
+// Every hot op has a reference and an optimized (vectorized, pool-parallel,
+// bitwise-deterministic) implementation behind this API, selected at runtime
+// via SALIENT_KERNEL=ref|opt or ops::set_kernel_kind(); pool parallelism is
+// opted into with ops::set_kernel_pool(). See tensor/kernel_config.h and
+// docs/PERFORMANCE.md.
 #pragma once
 
 #include <cstdint>

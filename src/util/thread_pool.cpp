@@ -4,6 +4,12 @@
 
 namespace salient {
 
+namespace {
+// Set while a thread is executing as a worker of some pool, so parallel_for
+// can detect re-entrant use and fall back to serial execution.
+thread_local const ThreadPool* t_current_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   num_threads = std::max<std::size_t>(1, num_threads);
   workers_.reserve(num_threads);
@@ -37,6 +43,10 @@ void ThreadPool::parallel_for(
     const std::function<void(std::int64_t, std::int64_t)>& fn) {
   const std::int64_t n = end - begin;
   if (n <= 0) return;
+  if (t_current_pool == this) {  // nested call from one of our own workers
+    fn(begin, end);
+    return;
+  }
   const auto nchunks =
       std::min<std::int64_t>(n, static_cast<std::int64_t>(size()) + 1);
   if (nchunks <= 1) {
@@ -61,6 +71,7 @@ ThreadPool& ThreadPool::global() {
 }
 
 void ThreadPool::worker_loop() {
+  t_current_pool = this;
   for (;;) {
     std::packaged_task<void()> task;
     {

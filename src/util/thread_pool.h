@@ -36,7 +36,10 @@ class ThreadPool {
 
   /// Run fn(begin..end) split into roughly `size()` contiguous chunks and
   /// block until all chunks completed. fn receives (chunk_begin, chunk_end).
-  /// The calling thread participates in the work.
+  /// The calling thread participates in the work. Re-entrant calls from one
+  /// of this pool's own workers degrade to a serial fn(begin, end) — nested
+  /// parallelism would otherwise deadlock once every worker blocks waiting
+  /// for chunks only other workers could run.
   void parallel_for(std::int64_t begin, std::int64_t end,
                     const std::function<void(std::int64_t, std::int64_t)>& fn);
 

@@ -1,0 +1,362 @@
+// Kernel-layer tests (tensor/kernel_config.h, tensor/ops.cpp,
+// tensor/matmul.cpp): the optimized (vectorized + parallel) kernels must be
+//   * bitwise identical to the reference kernels for the SpMM family,
+//     elementwise/reduction ops, and row indexing;
+//   * within a tight tolerance of the reference for GEMM (register tiling
+//     changes the floating-point association, nothing else);
+//   * bitwise deterministic across thread-pool sizes {1, 2, 8};
+//   * correct on edge cases (empty index sets, ragged rows, all-zero-degree
+//     CSRs) and under autograd::gradcheck on the optimized path.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "autograd/functions.h"
+#include "autograd/gradcheck.h"
+#include "tensor/kernel_config.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace salient {
+namespace {
+
+namespace ag = autograd;
+
+/// Scoped kernel-kind + kernel-pool override; restores defaults on exit.
+class KernelGuard {
+ public:
+  KernelGuard() : saved_(ops::kernel_kind()) {}
+  ~KernelGuard() {
+    ops::set_kernel_pool(nullptr);
+    ops::set_kernel_kind(saved_);
+  }
+  void use(ops::KernelKind kind, ThreadPool* pool = nullptr) {
+    ops::set_kernel_kind(kind);
+    ops::set_kernel_pool(pool);
+  }
+
+ private:
+  ops::KernelKind saved_;
+};
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  return a.dtype() == b.dtype() && a.shape() == b.shape() &&
+         std::memcmp(a.raw(), b.raw(), a.nbytes()) == 0;
+}
+
+/// Random destination-major CSR with ragged rows: a mix of empty rows,
+/// light rows, and one heavy row to make chunk boundaries interesting.
+struct Csr {
+  std::vector<std::int64_t> indptr;
+  std::vector<std::int64_t> indices;
+  std::vector<double> weights;
+  std::int64_t num_dst = 0;
+  std::int64_t num_src = 0;
+};
+
+Csr make_csr(std::int64_t num_dst, std::int64_t num_src, std::uint64_t seed) {
+  Csr c;
+  c.num_dst = num_dst;
+  c.num_src = num_src;
+  c.indptr.push_back(0);
+  Xoshiro256ss rng(seed);
+  for (std::int64_t d = 0; d < num_dst; ++d) {
+    std::int64_t deg = 0;
+    const std::uint64_t r = bounded_rand(rng, 10);
+    if (r == 0) {
+      deg = 0;  // empty row
+    } else if (r == 1) {
+      deg = 40;  // heavy row
+    } else {
+      deg = 1 + static_cast<std::int64_t>(bounded_rand(rng, 8));
+    }
+    for (std::int64_t k = 0; k < deg; ++k) {
+      c.indices.push_back(static_cast<std::int64_t>(
+          bounded_rand(rng, static_cast<std::uint64_t>(num_src))));
+      c.weights.push_back(
+          0.1 + static_cast<double>(bounded_rand(rng, 100)) / 50.0);
+    }
+    c.indptr.push_back(static_cast<std::int64_t>(c.indices.size()));
+  }
+  return c;
+}
+
+/// Run `fn` under the reference kernels, then under the optimized kernels on
+/// pools of size {1, 2, 8}; assert every optimized result is bitwise equal
+/// to the reference result.
+void expect_ref_opt_bitwise(const std::function<Tensor()>& fn,
+                            const char* what) {
+  KernelGuard guard;
+  guard.use(ops::KernelKind::kRef);
+  const Tensor ref = fn();
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    guard.use(ops::KernelKind::kOpt, &pool);
+    const Tensor opt = fn();
+    EXPECT_TRUE(bitwise_equal(ref, opt))
+        << what << ": optimized kernel diverges at " << threads << " threads";
+  }
+}
+
+// Sizes chosen so total work clears ops::kParallelGrain and the parallel
+// decomposition actually engages on the multi-thread pools.
+constexpr std::int64_t kRows = 160;
+constexpr std::int64_t kCols = 128;
+
+TEST(Elementwise, RefVsOptBitwise) {
+  for (const DType dt : {DType::kF32, DType::kF64}) {
+    const Tensor a = Tensor::uniform({kRows, kCols}, 11, -2, 2, dt);
+    const Tensor b = Tensor::uniform({kRows, kCols}, 12, -2, 2, dt);
+    expect_ref_opt_bitwise([&] { return ops::add(a, b); }, "add");
+    expect_ref_opt_bitwise([&] { return ops::sub(a, b); }, "sub");
+    expect_ref_opt_bitwise([&] { return ops::mul(a, b); }, "mul");
+    expect_ref_opt_bitwise([&] { return ops::scale(a, 0.37); }, "scale");
+    expect_ref_opt_bitwise([&] { return ops::add_scaled(a, b, -1.25); },
+                           "add_scaled");
+    expect_ref_opt_bitwise([&] { return ops::relu(a); }, "relu");
+    expect_ref_opt_bitwise([&] { return ops::leaky_relu(a, 0.1); },
+                           "leaky_relu");
+    expect_ref_opt_bitwise([&] { return ops::exp(a); }, "exp");
+    expect_ref_opt_bitwise([&] { return ops::log(ops::relu(a)); }, "log");
+    expect_ref_opt_bitwise(
+        [&] {
+          Tensor acc = a.clone();
+          ops::axpy_(acc, b, 0.77);
+          return acc;
+        },
+        "axpy_");
+  }
+}
+
+TEST(Reductions, RefVsOptBitwise) {
+  for (const DType dt : {DType::kF32, DType::kF64}) {
+    const Tensor x = Tensor::uniform({kRows, kCols}, 21, -3, 3, dt);
+    const Tensor bias = Tensor::uniform({kCols}, 22, -1, 1, dt);
+    expect_ref_opt_bitwise([&] { return ops::add_row_broadcast(x, bias); },
+                           "add_row_broadcast");
+    expect_ref_opt_bitwise([&] { return ops::sum_rows(x); }, "sum_rows");
+    expect_ref_opt_bitwise([&] { return ops::log_softmax_rows(x); },
+                           "log_softmax_rows");
+    expect_ref_opt_bitwise([&] { return ops::argmax_rows(x); },
+                           "argmax_rows");
+  }
+}
+
+TEST(RowIndexing, RefVsOptBitwise) {
+  const Tensor x = Tensor::uniform({kRows, kCols}, 31, -1, 1);
+  Xoshiro256ss rng(32);
+  std::vector<std::int64_t> raw(512);
+  for (auto& v : raw) {
+    v = static_cast<std::int64_t>(
+        bounded_rand(rng, static_cast<std::uint64_t>(kRows)));
+  }
+  const Tensor idx = Tensor::from_vector<std::int64_t>(
+      raw, {static_cast<std::int64_t>(raw.size())});
+  expect_ref_opt_bitwise([&] { return ops::gather_rows(x, idx); },
+                         "gather_rows");
+  const Tensor src =
+      Tensor::uniform({static_cast<std::int64_t>(raw.size()), kCols}, 33);
+  expect_ref_opt_bitwise(
+      [&] {
+        Tensor dst = Tensor::zeros({kRows, kCols}, DType::kF32);
+        ops::scatter_add_rows_(dst, idx, src);
+        return dst;
+      },
+      "scatter_add_rows_");
+}
+
+TEST(Spmm, ForwardAndBackwardRefVsOptBitwise) {
+  const Csr c = make_csr(200, 160, 41);
+  auto indptr = c.indptr;
+  auto indices = c.indices;
+  for (const DType dt : {DType::kF32, DType::kF64}) {
+    const Tensor x = Tensor::uniform({c.num_src, 64}, 42, -1, 1, dt);
+    const Tensor g = Tensor::uniform({c.num_dst, 64}, 43, -1, 1, dt);
+    expect_ref_opt_bitwise(
+        [&] { return ops::spmm_mean(indptr, indices, x, c.num_dst); },
+        "spmm_mean");
+    expect_ref_opt_bitwise(
+        [&] { return ops::spmm_sum(indptr, indices, x, c.num_dst); },
+        "spmm_sum");
+    expect_ref_opt_bitwise(
+        [&] {
+          return ops::spmm_weighted(indptr, indices, c.weights, x, c.num_dst);
+        },
+        "spmm_weighted");
+    expect_ref_opt_bitwise(
+        [&] { return ops::spmm_mean_backward(indptr, indices, g, c.num_src); },
+        "spmm_mean_backward");
+    expect_ref_opt_bitwise(
+        [&] { return ops::spmm_sum_backward(indptr, indices, g, c.num_src); },
+        "spmm_sum_backward");
+    expect_ref_opt_bitwise(
+        [&] {
+          return ops::spmm_weighted_backward(indptr, indices, c.weights, g,
+                                             c.num_src);
+        },
+        "spmm_weighted_backward");
+    expect_ref_opt_bitwise(
+        [&] { return ops::spmm_max(indptr, indices, x, c.num_dst, nullptr); },
+        "spmm_max");
+    // spmm_max argmax + its backward routing.
+    KernelGuard guard;
+    guard.use(ops::KernelKind::kRef);
+    std::vector<std::int64_t> arg_ref;
+    const Tensor max_ref = ops::spmm_max(indptr, indices, x, c.num_dst,
+                                         &arg_ref);
+    const Tensor gmax_ref = ops::spmm_max_backward(arg_ref, g, c.num_src);
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      ThreadPool pool(threads);
+      guard.use(ops::KernelKind::kOpt, &pool);
+      std::vector<std::int64_t> arg_opt;
+      const Tensor max_opt = ops::spmm_max(indptr, indices, x, c.num_dst,
+                                           &arg_opt);
+      EXPECT_TRUE(bitwise_equal(max_ref, max_opt));
+      EXPECT_EQ(arg_ref, arg_opt) << "argmax diverges at " << threads;
+      const Tensor gmax_opt = ops::spmm_max_backward(arg_opt, g, c.num_src);
+      EXPECT_TRUE(bitwise_equal(gmax_ref, gmax_opt));
+    }
+  }
+}
+
+TEST(Spmm, EdgeCases) {
+  KernelGuard guard;
+  ThreadPool pool(4);
+  guard.use(ops::KernelKind::kOpt, &pool);
+  const Tensor x = Tensor::uniform({8, 16}, 51);
+  // All-zero-degree CSR: every output row stays zero, argmax stays -1.
+  const std::vector<std::int64_t> empty_indptr(7, 0);
+  const std::vector<std::int64_t> no_indices;
+  std::vector<std::int64_t> argmax;
+  const Tensor y = ops::spmm_max(empty_indptr, no_indices, x, 6, &argmax);
+  EXPECT_TRUE(bitwise_equal(y, Tensor::zeros({6, 16}, DType::kF32)));
+  for (const std::int64_t a : argmax) EXPECT_EQ(a, -1);
+  EXPECT_TRUE(bitwise_equal(ops::spmm_mean(empty_indptr, no_indices, x, 6),
+                            Tensor::zeros({6, 16}, DType::kF32)));
+  // Empty gather.
+  const Tensor no_idx = Tensor::zeros({0}, DType::kI64);
+  EXPECT_EQ(ops::gather_rows(x, no_idx).size(0), 0);
+  // Out-of-range source indices still throw (validation is hoisted, not
+  // dropped).
+  const std::vector<std::int64_t> bad_indptr{0, 1};
+  const std::vector<std::int64_t> bad_indices{99};
+  EXPECT_THROW(ops::spmm_sum(bad_indptr, bad_indices, x, 1),
+               std::out_of_range);
+  EXPECT_THROW(ops::spmm_mean_backward(
+                   bad_indptr, bad_indices,
+                   Tensor::uniform({1, 16}, 52), 8),
+               std::out_of_range);
+  const Tensor bad_idx = Tensor::from_vector<std::int64_t>({-3}, {1});
+  EXPECT_THROW(ops::gather_rows(x, bad_idx), std::out_of_range);
+}
+
+TEST(Gemm, RefVsOptWithinUlpBound) {
+  KernelGuard guard;
+  for (const bool ta : {false, true}) {
+    for (const bool tb : {false, true}) {
+      for (const DType dt : {DType::kF32, DType::kF64}) {
+        const Tensor a = Tensor::uniform(ta ? std::vector<std::int64_t>{96, 70}
+                                            : std::vector<std::int64_t>{70, 96},
+                                         61 + ta, -1, 1, dt);
+        const Tensor b = Tensor::uniform(tb ? std::vector<std::int64_t>{83, 96}
+                                            : std::vector<std::int64_t>{96, 83},
+                                         63 + tb, -1, 1, dt);
+        guard.use(ops::KernelKind::kRef);
+        const Tensor ref = ops::matmul(a, b, ta, tb);
+        ThreadPool pool(4);
+        guard.use(ops::KernelKind::kOpt, &pool);
+        const Tensor opt = ops::matmul(a, b, ta, tb);
+        // Only the summation association differs; with K=96 and inputs in
+        // [-1,1] the results agree to a few ULP.
+        const double tol = dt == DType::kF32 ? 2e-5 : 1e-13;
+        EXPECT_TRUE(allclose(ref, opt, tol, tol))
+            << "ta=" << ta << " tb=" << tb;
+      }
+    }
+  }
+}
+
+TEST(Gemm, OptDeterministicAcrossPoolSizes) {
+  KernelGuard guard;
+  const Tensor a = Tensor::uniform({130, 77}, 71, -1, 1);
+  const Tensor b = Tensor::uniform({77, 90}, 72, -1, 1);
+  ThreadPool p1(1);
+  guard.use(ops::KernelKind::kOpt, &p1);
+  const Tensor base = ops::matmul(a, b);
+  for (const std::size_t threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    guard.use(ops::KernelKind::kOpt, &pool);
+    EXPECT_TRUE(bitwise_equal(base, ops::matmul(a, b)))
+        << "GEMM result depends on pool size (" << threads << " threads)";
+  }
+}
+
+TEST(Gemm, TallSkinnyAndTinyShapes) {
+  KernelGuard guard;
+  ThreadPool pool(4);
+  for (const auto& dims : std::vector<std::vector<std::int64_t>>{
+           {1, 1, 1}, {2, 3, 5}, {5, 1, 7}, {1, 64, 1}, {257, 3, 19}}) {
+    const Tensor a = Tensor::uniform({dims[0], dims[1]}, 81, -1, 1);
+    const Tensor b = Tensor::uniform({dims[1], dims[2]}, 82, -1, 1);
+    guard.use(ops::KernelKind::kRef);
+    const Tensor ref = ops::matmul(a, b);
+    guard.use(ops::KernelKind::kOpt, &pool);
+    const Tensor opt = ops::matmul(a, b);
+    EXPECT_TRUE(allclose(ref, opt, 1e-5, 1e-6))
+        << dims[0] << "x" << dims[1] << "x" << dims[2];
+  }
+}
+
+TEST(Gradcheck, OptimizedKernelPath) {
+  KernelGuard guard;
+  ThreadPool pool(4);
+  guard.use(ops::KernelKind::kOpt, &pool);
+  // Matmul through the packed microkernel.
+  {
+    auto fn = [](const std::vector<Variable>& in) {
+      Variable y = ag::matmul(in[0], in[1]);
+      return ag::nll_loss(ag::log_softmax(y),
+                          Tensor::from_vector<std::int64_t>({0, 2, 1}, {3}));
+    };
+    auto leaf = [](std::vector<std::int64_t> shape, std::uint64_t seed) {
+      return Variable(Tensor::uniform(std::move(shape), seed, -1, 1,
+                                      DType::kF64),
+                      true);
+    };
+    auto r = ag::gradcheck(fn, {leaf({3, 5}, 91), leaf({5, 4}, 92)});
+    EXPECT_TRUE(r.ok) << r.message;
+  }
+  // The SpMM family through the validated/parallel kernels.
+  {
+    auto indptr = std::make_shared<const std::vector<std::int64_t>>(
+        std::vector<std::int64_t>{0, 2, 2, 5});
+    auto indices = std::make_shared<const std::vector<std::int64_t>>(
+        std::vector<std::int64_t>{1, 3, 0, 2, 3});
+    auto weights = std::make_shared<const std::vector<double>>(
+        std::vector<double>{0.5, 1.5, 2.0, 0.25, 1.0});
+    const Tensor target = Tensor::from_vector<std::int64_t>({0, 1, 1}, {3});
+    std::vector<std::function<Variable(const Variable&)>> builders{
+        [&](const Variable& x) { return ag::spmm_mean(indptr, indices, x, 3); },
+        [&](const Variable& x) { return ag::spmm_sum(indptr, indices, x, 3); },
+        [&](const Variable& x) {
+          return ag::spmm_weighted(indptr, indices, weights, x, 3);
+        },
+        [&](const Variable& x) { return ag::spmm_max(indptr, indices, x, 3); },
+    };
+    for (std::size_t i = 0; i < builders.size(); ++i) {
+      auto fn = [&](const std::vector<Variable>& in) {
+        return ag::nll_loss(ag::log_softmax(builders[i](in[0])), target);
+      };
+      Variable x(Tensor::uniform({4, 2}, 95 + i, -1, 1, DType::kF64), true);
+      auto r = ag::gradcheck(fn, {x});
+      EXPECT_TRUE(r.ok) << "builder " << i << ": " << r.message;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace salient

@@ -207,6 +207,31 @@ TEST(FlatIdMap, MatchesStdMapUnderFuzz) {
   EXPECT_EQ(flat.get_or_insert(7, flat_locals), 1);
 }
 
+// Regression test for the reserve()/clear() reuse fast paths: reserving an
+// empty (freshly cleared) table must keep it usable and must not shrink it,
+// and the per-minibatch clear → reserve → refill cycle must behave exactly
+// like a fresh map at every step.
+TEST(FlatIdMap, ClearThenReserveReusesCapacity) {
+  FlatIdMap map;
+  StdIdMap ref;
+  Xoshiro256ss rng(29);
+  for (int round = 0; round < 5; ++round) {
+    map.clear();
+    ref.clear();
+    map.reserve(4000);
+    std::vector<NodeId> locals, ref_locals;
+    for (int i = 0; i < 12000; ++i) {
+      const auto key = static_cast<NodeId>(bounded_rand(rng, 6000));
+      ASSERT_EQ(map.get_or_insert(key, locals),
+                ref.get_or_insert(key, ref_locals))
+          << "round " << round << " iteration " << i;
+    }
+    EXPECT_EQ(locals, ref_locals);
+    // A smaller reserve on the next round must not lose existing capacity.
+    map.reserve(16);
+  }
+}
+
 TEST(FlatIdMap, GrowsBeyondInitialCapacity) {
   FlatIdMap map;
   std::vector<NodeId> locals;

@@ -1,0 +1,347 @@
+// bench_gate — kernel-layer benchmark regression gate.
+//
+// Measures every kernel the optimized layer covers (GEMM, the SpMM family,
+// row indexing, elementwise/reduction ops) under the reference kernels and
+// under the optimized kernels at 1/4/8 pool threads, min-of-N timed (the
+// same de-noising discipline as tests/test_device.cpp), on fixed MFG-like
+// shapes.
+//
+// Modes:
+//   bench_gate --emit BENCH_kernels.json [--smoke]
+//       Write the measured baseline (committed at the repo root; refresh it
+//       whenever kernels change intentionally — see docs/PERFORMANCE.md).
+//   bench_gate --baseline BENCH_kernels.json [--smoke] [--tolerance F]
+//       Re-measure and fail (exit 1) if any kernel's speedup-over-reference
+//       fell below `baseline_speedup * F`, or if an optimized kernel became
+//       >2x slower than its reference. Speedup *ratios* (not absolute times)
+//       are compared so the gate tolerates machine differences; the ctest
+//       registration uses --smoke (fewer repetitions, looser tolerance) and
+//       only catches order-of-magnitude regressions.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json_lite.h"
+#include "tensor/kernel_config.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace salient;
+namespace json = salient::obs::json;
+
+struct Entry {
+  std::string name;
+  std::function<void()> run;  ///< executes the kernel under the current kind/pool
+};
+
+struct Measurement {
+  std::string name;
+  double ref_ms = 0, opt1_ms = 0, opt4_ms = 0, opt8_ms = 0;
+  double speedup1() const { return ref_ms / opt1_ms; }
+  double speedup4() const { return ref_ms / opt4_ms; }
+  double speedup8() const { return ref_ms / opt8_ms; }
+};
+
+double time_min_ms(const std::function<void()>& fn, int reps) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warmup
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = clock::now();
+    fn();
+    const auto t1 = clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+/// Synthetic destination-major CSR with MFG-like degree statistics.
+struct Csr {
+  std::vector<std::int64_t> indptr;
+  std::vector<std::int64_t> indices;
+  std::vector<double> weights;
+};
+
+Csr make_csr(std::int64_t num_dst, std::int64_t num_src, std::int64_t fanout,
+             std::uint64_t seed) {
+  Csr c;
+  Xoshiro256ss rng(seed);
+  c.indptr.push_back(0);
+  for (std::int64_t d = 0; d < num_dst; ++d) {
+    // sampled-fanout style: most rows at the fanout cap, some below.
+    const std::int64_t deg =
+        1 + static_cast<std::int64_t>(
+                bounded_rand(rng, static_cast<std::uint64_t>(fanout)));
+    for (std::int64_t k = 0; k < deg; ++k) {
+      c.indices.push_back(static_cast<std::int64_t>(
+          bounded_rand(rng, static_cast<std::uint64_t>(num_src))));
+      c.weights.push_back(
+          0.05 + static_cast<double>(bounded_rand(rng, 64)) / 64.0);
+    }
+    c.indptr.push_back(static_cast<std::int64_t>(c.indices.size()));
+  }
+  return c;
+}
+
+// Keep kernel outputs observable so the work is not optimized away.
+volatile double g_sink = 0;
+void sink(const Tensor& t) {
+  g_sink = g_sink + static_cast<const char*>(t.raw())[0];
+}
+
+std::vector<Entry> build_entries() {
+  std::vector<Entry> es;
+  // GEMM at the issue's headline shape plus a larger one; f64 at a smaller
+  // shape (gradcheck precision path, less hot).
+  struct GemmShape { std::int64_t m, k, n; };
+  static const Tensor ga = Tensor::uniform({512, 128}, 1, -1, 1);
+  static const Tensor gb = Tensor::uniform({128, 256}, 2, -1, 1);
+  es.push_back({"gemm_f32_512x128x256",
+                [] { sink(ops::matmul(ga, gb)); }});
+  static const Tensor ga2 = Tensor::uniform({1024, 256}, 3, -1, 1);
+  static const Tensor gb2 = Tensor::uniform({256, 512}, 4, -1, 1);
+  es.push_back({"gemm_f32_1024x256x512",
+                [] { sink(ops::matmul(ga2, gb2)); }});
+  static const Tensor ga3 =
+      Tensor::uniform({256, 128}, 5, -1, 1, DType::kF64);
+  static const Tensor gb3 =
+      Tensor::uniform({128, 128}, 6, -1, 1, DType::kF64);
+  es.push_back({"gemm_f64_256x128x128",
+                [] { sink(ops::matmul(ga3, gb3)); }});
+
+  // SpMM family on an ogbn-like MFG level: ~8k destination rows with
+  // fanout-15 sampled in-degrees over ~24k sources, 128 features.
+  static const Csr csr = make_csr(8192, 24576, 15, 7);
+  static const Tensor sx = Tensor::uniform({24576, 128}, 8, -1, 1);
+  static const Tensor sg = Tensor::uniform({8192, 128}, 9, -1, 1);
+  es.push_back({"spmm_mean_fwd_8kx24k_f128", [] {
+                  sink(ops::spmm_mean(csr.indptr, csr.indices, sx, 8192));
+                }});
+  es.push_back({"spmm_sum_fwd_8kx24k_f128", [] {
+                  sink(ops::spmm_sum(csr.indptr, csr.indices, sx, 8192));
+                }});
+  es.push_back({"spmm_weighted_fwd_8kx24k_f128", [] {
+                  sink(ops::spmm_weighted(csr.indptr, csr.indices,
+                                          csr.weights, sx, 8192));
+                }});
+  es.push_back({"spmm_max_fwd_8kx24k_f128", [] {
+                  sink(ops::spmm_max(csr.indptr, csr.indices, sx, 8192,
+                                     nullptr));
+                }});
+  es.push_back({"spmm_mean_bwd_8kx24k_f128", [] {
+                  sink(ops::spmm_mean_backward(csr.indptr, csr.indices, sg,
+                                               24576));
+                }});
+  es.push_back({"spmm_sum_bwd_8kx24k_f128", [] {
+                  sink(ops::spmm_sum_backward(csr.indptr, csr.indices, sg,
+                                              24576));
+                }});
+  es.push_back({"spmm_weighted_bwd_8kx24k_f128", [] {
+                  sink(ops::spmm_weighted_backward(csr.indptr, csr.indices,
+                                                   csr.weights, sg, 24576));
+                }});
+
+  // Row indexing at batch-preparation scale.
+  static const Tensor gi = [] {
+    Xoshiro256ss rng(10);
+    std::vector<std::int64_t> ids(20000);
+    for (auto& v : ids) {
+      v = static_cast<std::int64_t>(bounded_rand(rng, 24576));
+    }
+    return Tensor::from_vector<std::int64_t>(
+        ids, {static_cast<std::int64_t>(ids.size())});
+  }();
+  es.push_back({"gather_rows_20kx128", [] { sink(ops::gather_rows(sx, gi)); }});
+  static const Tensor scat_src = Tensor::uniform({20000, 128}, 11, -1, 1);
+  es.push_back({"scatter_add_rows_20kx128", [] {
+                  Tensor dst = Tensor::zeros({24576, 128}, DType::kF32);
+                  ops::scatter_add_rows_(dst, gi, scat_src);
+                  sink(dst);
+                }});
+
+  // Elementwise / reduction ops at hidden-activation scale.
+  static const Tensor ea = Tensor::uniform({8192, 256}, 12, -1, 1);
+  static const Tensor eb = Tensor::uniform({8192, 256}, 13, -1, 1);
+  static const Tensor ebias = Tensor::uniform({256}, 14, -1, 1);
+  es.push_back({"add_8kx256", [] { sink(ops::add(ea, eb)); }});
+  es.push_back({"relu_8kx256", [] { sink(ops::relu(ea)); }});
+  es.push_back({"axpy_8kx256", [] {
+                  Tensor acc = ea.clone();
+                  ops::axpy_(acc, eb, 0.9);
+                  sink(acc);
+                }});
+  es.push_back({"add_row_broadcast_8kx256",
+                [] { sink(ops::add_row_broadcast(ea, ebias)); }});
+  es.push_back({"sum_rows_8kx256", [] { sink(ops::sum_rows(ea)); }});
+  static const Tensor logits = Tensor::uniform({8192, 48}, 15, -4, 4);
+  es.push_back({"log_softmax_rows_8kx48",
+                [] { sink(ops::log_softmax_rows(logits)); }});
+  es.push_back({"argmax_rows_8kx48", [] { sink(ops::argmax_rows(logits)); }});
+  return es;
+}
+
+std::vector<Measurement> measure(int reps) {
+  ThreadPool p1(1), p4(4), p8(8);
+  std::vector<Measurement> out;
+  for (const Entry& e : build_entries()) {
+    Measurement m;
+    m.name = e.name;
+    ops::set_kernel_kind(ops::KernelKind::kRef);
+    ops::set_kernel_pool(&p1);
+    m.ref_ms = time_min_ms(e.run, reps);
+    ops::set_kernel_kind(ops::KernelKind::kOpt);
+    m.opt1_ms = time_min_ms(e.run, reps);
+    ops::set_kernel_pool(&p4);
+    m.opt4_ms = time_min_ms(e.run, reps);
+    ops::set_kernel_pool(&p8);
+    m.opt8_ms = time_min_ms(e.run, reps);
+    out.push_back(m);
+    std::cerr << "  " << m.name << ": ref " << m.ref_ms << " ms, opt "
+              << m.opt1_ms << " / " << m.opt4_ms << " / " << m.opt8_ms
+              << " ms (1/4/8 thr) — speedup x" << m.speedup1() << " / x"
+              << m.speedup4() << " / x" << m.speedup8() << "\n";
+  }
+  ops::set_kernel_pool(nullptr);
+  ops::set_kernel_kind(ops::KernelKind::kOpt);
+  return out;
+}
+
+int emit(const std::vector<Measurement>& ms, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "bench_gate: cannot write " << path << "\n";
+    return 1;
+  }
+  os << "{\n  \"schema\": \"salient-bench-kernels-v1\",\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    const Measurement& m = ms[i];
+    os << "    {\"name\": \"" << m.name << "\", \"ref_ms\": " << m.ref_ms
+       << ", \"opt1_ms\": " << m.opt1_ms << ", \"opt4_ms\": " << m.opt4_ms
+       << ", \"opt8_ms\": " << m.opt8_ms
+       << ", \"speedup1\": " << m.speedup1()
+       << ", \"speedup4\": " << m.speedup4()
+       << ", \"speedup8\": " << m.speedup8() << "}"
+       << (i + 1 < ms.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::cerr << "bench_gate: wrote " << path << " (" << ms.size()
+            << " entries)\n";
+  return 0;
+}
+
+int check(const std::vector<Measurement>& ms, const std::string& path,
+          double tolerance) {
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "bench_gate: cannot open baseline " << path << "\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << is.rdbuf();
+  json::Value doc;
+  std::string error;
+  if (!json::parse(buf.str(), doc, error) || !doc.is_object()) {
+    std::cerr << "bench_gate: baseline is not valid JSON: " << error << "\n";
+    return 1;
+  }
+  const json::Value* entries = doc.find("entries");
+  if (entries == nullptr || !entries->is_array()) {
+    std::cerr << "bench_gate: baseline lacks \"entries\" array\n";
+    return 1;
+  }
+  int failures = 0;
+  for (const Measurement& m : ms) {
+    const json::Value* base = nullptr;
+    for (const json::Value& e : entries->array) {
+      const json::Value* n = e.is_object() ? e.find("name") : nullptr;
+      if (n != nullptr && n->is_string() && n->string == m.name) {
+        base = &e;
+        break;
+      }
+    }
+    if (base == nullptr) {
+      std::cerr << "bench_gate: FAIL " << m.name
+                << ": missing from baseline (refresh BENCH_kernels.json)\n";
+      ++failures;
+      continue;
+    }
+    struct Axis { const char* key; double measured; };
+    const Axis axes[] = {{"speedup1", m.speedup1()},
+                         {"speedup8", m.speedup8()}};
+    for (const Axis& ax : axes) {
+      const json::Value* b = base->find(ax.key);
+      if (b == nullptr || !b->is_number()) continue;
+      const double floor = b->number * tolerance;
+      if (ax.measured < floor) {
+        std::cerr << "bench_gate: FAIL " << m.name << " " << ax.key << " x"
+                  << ax.measured << " < baseline x" << b->number
+                  << " * tolerance " << tolerance << "\n";
+        ++failures;
+      }
+    }
+    // Absolute backstop, machine-independent: the optimized kernel must
+    // never be more than 2x slower than the reference.
+    if (m.speedup1() < 0.5) {
+      std::cerr << "bench_gate: FAIL " << m.name
+                << ": optimized kernel is >2x slower than reference (x"
+                << m.speedup1() << ")\n";
+      ++failures;
+    }
+  }
+  if (failures != 0) {
+    std::cerr << "bench_gate: " << failures << " regression(s)\n";
+    return 1;
+  }
+  std::cout << "bench_gate: OK — " << ms.size()
+            << " kernels within tolerance " << tolerance << " of baseline\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string emit_path, baseline_path;
+  bool smoke = false;
+  double tolerance = 0.35;
+  bool tolerance_set = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--emit") == 0 && i + 1 < argc) {
+      emit_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::atof(argv[++i]);
+      tolerance_set = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::cerr << "usage: bench_gate (--emit out.json | --baseline in.json)"
+                   " [--smoke] [--tolerance F]\n";
+      return 1;
+    }
+  }
+  if (emit_path.empty() == baseline_path.empty()) {
+    std::cerr << "bench_gate: exactly one of --emit / --baseline required\n";
+    return 1;
+  }
+  // Smoke mode trades repetitions for runtime and loosens the tolerance so
+  // CI only trips on order-of-magnitude regressions.
+  const int reps = smoke ? 3 : 7;
+  if (smoke && !tolerance_set) tolerance = 0.25;
+  std::cerr << "bench_gate: measuring (" << (smoke ? "smoke" : "full")
+            << ", min of " << reps << ")\n";
+  const std::vector<Measurement> ms = measure(reps);
+  return emit_path.empty() ? check(ms, baseline_path, tolerance)
+                           : emit(ms, emit_path);
+}
