@@ -63,6 +63,10 @@ class DmaEngine {
 
  private:
   DmaConfig config_;
+  // Concurrency: no mutex on purpose. config_ is immutable after
+  // construction and the counters are independent atomics (relaxed adds,
+  // monotonic reads), so there is no multi-field invariant for a capability
+  // to protect and nothing for -Wthread-safety to check here.
   std::atomic<std::size_t> bytes_{0};
   std::atomic<std::int64_t> busy_ns_{0};
 };

@@ -12,18 +12,18 @@ namespace salient {
 Event::Event() : state_(std::make_shared<State>()) {}
 
 bool Event::query() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  LockGuard lock(state_->mu);
   return state_->done;
 }
 
 void Event::synchronize() const {
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->cv.wait(lock, [this] { return state_->done; });
+  UniqueLock lock(state_->mu);
+  while (!state_->done) state_->cv.wait(lock);
 }
 
 void Event::signal() const {
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    LockGuard lock(state_->mu);
     state_->done = true;
   }
   state_->cv.notify_all();
@@ -34,7 +34,7 @@ Stream::Stream(std::string name)
 
 Stream::~Stream() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -43,7 +43,7 @@ Stream::~Stream() {
 
 void Stream::enqueue(std::function<void()> fn, const char* label) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     work_.push_back({std::move(fn), label});
     ++enqueued_;
   }
@@ -61,17 +61,16 @@ void Stream::wait(Event e) {
 }
 
 void Stream::synchronize() {
-  std::uint64_t target;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    target = enqueued_;
-  }
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this, target] { return completed_ >= target; });
+  // One critical section end to end (the annotation sweep flagged the old
+  // shape, which dropped and re-took mu_ between reading enqueued_ and
+  // waiting — correct but needlessly racy-looking and twice the lock work).
+  UniqueLock lock(mu_);
+  const std::uint64_t target = enqueued_;
+  while (completed_ < target) cv_.wait(lock);
 }
 
 double Stream::busy_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return busy_seconds_;
 }
 
@@ -82,12 +81,9 @@ void Stream::loop() {
   for (;;) {
     WorkItem item;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !work_.empty(); });
-      if (work_.empty()) {
-        if (stop_) return;
-        continue;
-      }
+      UniqueLock lock(mu_);
+      while (!stop_ && work_.empty()) cv_.wait(lock);
+      if (work_.empty()) return;  // stop requested and queue drained
       item = std::move(work_.front());
       work_.pop_front();
     }
@@ -114,7 +110,7 @@ void Stream::loop() {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      LockGuard lock(mu_);
       busy_seconds_ += t.seconds();
       ++completed_;
     }

@@ -9,14 +9,14 @@
 // the necessary data is transferred."
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
+
+#include "util/thread_annotations.h"
 
 namespace salient {
 
@@ -34,9 +34,9 @@ class Event {
  private:
   friend class Stream;
   struct State {
-    mutable std::mutex mu;
-    mutable std::condition_variable cv;
-    bool done = false;
+    Mutex mu;
+    CondVar cv;
+    bool done GUARDED_BY(mu) = false;
   };
   void signal() const;
   std::shared_ptr<State> state_;
@@ -80,14 +80,14 @@ class Stream {
     const char* label = nullptr;  // static string; traced when non-null
   };
 
-  std::string name_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<WorkItem> work_;
-  std::uint64_t enqueued_ = 0;
-  std::uint64_t completed_ = 0;
-  double busy_seconds_ = 0;
-  bool stop_ = false;
+  std::string name_;  // immutable after construction
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<WorkItem> work_ GUARDED_BY(mu_);
+  std::uint64_t enqueued_ GUARDED_BY(mu_) = 0;
+  std::uint64_t completed_ GUARDED_BY(mu_) = 0;
+  double busy_seconds_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

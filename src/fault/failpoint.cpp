@@ -67,7 +67,7 @@ bool Failpoint::should_fire() {
   }
   bool fire = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     if (spec_.mode == TriggerMode::kOff) return false;  // disarmed racily
     const std::uint64_t hit = hits_.fetch_add(1, std::memory_order_relaxed) + 1;
     switch (spec_.mode) {
@@ -99,7 +99,7 @@ bool Failpoint::should_fire() {
 }
 
 void Failpoint::arm(const TriggerSpec& spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   spec_ = spec;
   rng_ = Xoshiro256ss(spec.seed);
   hits_.store(0, std::memory_order_relaxed);
@@ -122,7 +122,7 @@ Registry::Registry() {
 }
 
 Failpoint& Registry::failpoint(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = points_.find(name);
   if (it == points_.end()) {
     it = points_.emplace(name, std::make_unique<Failpoint>(name)).first;
@@ -149,7 +149,7 @@ void Registry::configure_from_spec(const std::string& spec) {
 void Registry::disarm_all() {
   std::vector<Failpoint*> points;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     points.reserve(points_.size());
     for (auto& [name, fp] : points_) points.push_back(fp.get());
   }
@@ -157,7 +157,7 @@ void Registry::disarm_all() {
 }
 
 std::string Registry::dump() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::ostringstream os;
   for (const auto& [name, fp] : points_) {
     os << name << " " << (fp->armed() ? "armed" : "off") << " hits="

@@ -32,10 +32,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace salient::fault {
 
@@ -125,9 +125,9 @@ class Failpoint {
   std::atomic<double> arg_{0.0};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> fires_{0};
-  std::mutex mu_;  // guards spec_/rng_ and the armed-path counter updates
-  TriggerSpec spec_;
-  Xoshiro256ss rng_{1};
+  Mutex mu_;  // guards spec_/rng_ and the armed-path counter updates
+  TriggerSpec spec_ GUARDED_BY(mu_);
+  Xoshiro256ss rng_ GUARDED_BY(mu_){1};
 };
 
 /// Process-global name -> failpoint registry (intentionally leaked, like the
@@ -156,8 +156,8 @@ class Registry {
  private:
   Registry();
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Failpoint>> points_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Failpoint>> points_ GUARDED_BY(mu_);
 };
 
 /// RAII test helper: disarms every failpoint on construction and again on

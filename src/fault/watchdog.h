@@ -10,14 +10,13 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "fault/failpoint.h"
+#include "util/thread_annotations.h"
 
 namespace salient::fault {
 
@@ -26,10 +25,15 @@ class Watchdog {
   explicit Watchdog(std::chrono::milliseconds deadline,
                     std::string what = "chaos run")
       : what_(std::move(what)), thread_([this, deadline] {
-          std::unique_lock<std::mutex> lock(mu_);
-          if (cv_.wait_for(lock, deadline, [this] { return disarmed_; })) {
-            return;  // section completed in time
+          const auto deadline_tp = std::chrono::steady_clock::now() + deadline;
+          UniqueLock lock(mu_);
+          while (!disarmed_) {
+            if (cv_.wait_until(lock, deadline_tp) ==
+                std::cv_status::timeout) {
+              break;
+            }
           }
+          if (disarmed_) return;  // section completed in time
           std::fprintf(stderr,
                        "[watchdog] '%s' did not complete within deadline — "
                        "likely deadlock/wedge. Failpoint state:\n%s",
@@ -49,7 +53,7 @@ class Watchdog {
   /// Mark the guarded section complete; the watchdog stands down.
   void disarm() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      LockGuard lock(mu_);
       disarmed_ = true;
     }
     cv_.notify_all();
@@ -57,9 +61,9 @@ class Watchdog {
 
  private:
   std::string what_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool disarmed_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  bool disarmed_ GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

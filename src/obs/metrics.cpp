@@ -76,7 +76,7 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   Entry& e = entries_[name];
   if (e.gauge || e.histogram) {
     throw std::invalid_argument("Registry: '" + name +
@@ -87,7 +87,7 @@ Counter& Registry::counter(const std::string& name) {
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   Entry& e = entries_[name];
   if (e.counter || e.histogram) {
     throw std::invalid_argument("Registry: '" + name +
@@ -99,7 +99,7 @@ Gauge& Registry::gauge(const std::string& name) {
 
 Histogram& Registry::histogram(const std::string& name,
                                std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   Entry& e = entries_[name];
   if (e.counter || e.gauge) {
     throw std::invalid_argument("Registry: '" + name +
@@ -110,7 +110,7 @@ Histogram& Registry::histogram(const std::string& name,
 }
 
 std::string Registry::dump_text() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::ostringstream os;
   for (const auto& [name, e] : entries_) {  // std::map: already name-sorted
     if (e.counter) {
@@ -136,7 +136,7 @@ std::string Registry::dump_text() const {
 }
 
 void Registry::write_json(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::string out = "{\n";
   bool first = true;
   for (const auto& [name, e] : entries_) {
@@ -181,7 +181,7 @@ bool Registry::write_json_file(const std::string& path) const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   for (auto& [name, e] : entries_) {
     if (e.counter) e.counter->reset();
     if (e.gauge) e.gauge->reset();

@@ -31,12 +31,12 @@ void ThreadBuffer::append(const TraceEvent& e) {
 }
 
 void ThreadBuffer::set_name(std::string name) {
-  std::lock_guard<std::mutex> lock(name_mu_);
+  LockGuard lock(name_mu_);
   name_ = std::move(name);
 }
 
 std::string ThreadBuffer::name() const {
-  std::lock_guard<std::mutex> lock(name_mu_);
+  LockGuard lock(name_mu_);
   return name_;
 }
 
@@ -52,7 +52,7 @@ TraceRecorder& TraceRecorder::global() {
 detail::ThreadBuffer& TraceRecorder::local_buffer() {
   thread_local detail::ThreadBuffer* tls = nullptr;
   if (tls == nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     const int tid = static_cast<int>(buffers_.size()) + 1;
     buffers_.push_back(std::make_unique<detail::ThreadBuffer>(tid));
     tls = buffers_.back().get();
@@ -70,14 +70,14 @@ void TraceRecorder::set_thread_name(std::string name) {
 }
 
 const char* TraceRecorder::intern(const std::string& s) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   interned_.push_back(std::make_unique<std::string>(s));
   return interned_.back()->c_str();
 }
 
 std::vector<CollectedEvent> TraceRecorder::collect() const {
   std::vector<CollectedEvent> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   for (const auto& buf : buffers_) {
     const std::size_t n = buf->size();
     const std::string name = buf->name();
@@ -93,14 +93,14 @@ std::vector<CollectedEvent> TraceRecorder::collect() const {
 }
 
 std::size_t TraceRecorder::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::size_t n = 0;
   for (const auto& buf : buffers_) n += buf->dropped();
   return n;
 }
 
 void TraceRecorder::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   for (const auto& buf : buffers_) buf->clear();
 }
 

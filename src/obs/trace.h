@@ -36,10 +36,11 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace salient::obs {
 
@@ -124,11 +125,14 @@ class ThreadBuffer {
   };
 
   int tid_;
+  // count_/dropped_/chunks_ are the lock-free append path: single-writer
+  // atomics with acquire/release publication, deliberately outside any
+  // capability. Only the (cold) track name is mutex-guarded.
   std::atomic<std::size_t> count_{0};
   std::atomic<std::size_t> dropped_{0};
   std::atomic<Chunk*> chunks_[kMaxChunks] = {};
-  mutable std::mutex name_mu_;
-  std::string name_;
+  mutable Mutex name_mu_;
+  std::string name_ GUARDED_BY(name_mu_);
 };
 
 }  // namespace detail
@@ -186,9 +190,9 @@ class TraceRecorder {
 
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;  // guards buffers_ registration and interned_
-  std::vector<std::unique_ptr<detail::ThreadBuffer>> buffers_;
-  std::vector<std::unique_ptr<std::string>> interned_;
+  mutable Mutex mu_;  // guards buffers_ registration and interned_
+  std::vector<std::unique_ptr<detail::ThreadBuffer>> buffers_ GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<std::string>> interned_ GUARDED_BY(mu_);
 };
 
 /// RAII guard recording one kComplete span from construction to destruction.

@@ -18,14 +18,13 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/thread_annotations.h"
 
 namespace salient {
 
@@ -72,18 +71,18 @@ class PinnedPool {
   const PinnedPoolConfig& config() const { return config_; }
 
  private:
-  /// Take a recycled buffer of `bucket` bytes if one is idle (caller holds
-  /// `mu_`).
-  std::optional<StoragePtr> take_idle(std::size_t bucket);
+  /// Take a recycled buffer of `bucket` bytes if one is idle.
+  std::optional<StoragePtr> take_idle(std::size_t bucket) REQUIRES(mu_);
 
   PinnedPoolConfig config_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_released_;
-  std::unordered_map<std::size_t, std::vector<StoragePtr>> free_by_size_;
-  std::size_t allocs_ = 0;
-  std::size_t allocated_bytes_ = 0;
-  std::size_t backpressure_waits_ = 0;
-  std::size_t overshoots_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_released_;
+  std::unordered_map<std::size_t, std::vector<StoragePtr>> free_by_size_
+      GUARDED_BY(mu_);
+  std::size_t allocs_ GUARDED_BY(mu_) = 0;
+  std::size_t allocated_bytes_ GUARDED_BY(mu_) = 0;
+  std::size_t backpressure_waits_ GUARDED_BY(mu_) = 0;
+  std::size_t overshoots_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace salient

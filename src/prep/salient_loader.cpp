@@ -60,7 +60,7 @@ SalientLoader::SalientLoader(const Dataset& dataset,
                   std::min(n, (b + 1) * config_.batch_size)});
   }
   const int workers = std::max(1, config_.num_workers);
-  std::lock_guard<std::mutex> lock(workers_mu_);
+  LockGuard lock(workers_mu_);
   workers_.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
@@ -75,7 +75,7 @@ SalientLoader::~SalientLoader() {
   for (;;) {
     std::vector<std::thread> threads;
     {
-      std::lock_guard<std::mutex> lock(workers_mu_);
+      LockGuard lock(workers_mu_);
       threads.swap(workers_);
     }
     if (threads.empty()) break;
@@ -95,7 +95,7 @@ void SalientLoader::enqueue_desc(const BatchDesc& desc) {
 }
 
 void SalientLoader::respawn_worker(int worker_index) {
-  std::lock_guard<std::mutex> lock(workers_mu_);
+  LockGuard lock(workers_mu_);
   if (output_queue_.closed()) return;  // shutting down: no replacement
   worker_deaths_.fetch_add(1, std::memory_order_relaxed);
   static obs::Counter& m_deaths =

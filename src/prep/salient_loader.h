@@ -21,7 +21,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
@@ -97,6 +96,8 @@ class SalientLoader {
   std::shared_ptr<const FeatureCache> cache_;
   std::vector<NodeId> epoch_nodes_;
   std::int64_t num_batches_ = 0;
+  /// Confined to the consumer thread (only next() touches it) — a contract
+  /// the capability analysis cannot express, so it stays unannotated.
   std::int64_t delivered_ = 0;
 
   MpmcQueue<BatchDesc> input_queue_;
@@ -105,8 +106,8 @@ class SalientLoader {
   /// on an empty input queue, which can be a transient (injected) miss.
   std::atomic<std::int64_t> pending_{0};
   std::atomic<std::int64_t> worker_deaths_{0};
-  std::mutex workers_mu_;  // guards workers_ against respawn during join
-  std::vector<std::thread> workers_;
+  Mutex workers_mu_;  // serializes respawn against the destructor's join
+  std::vector<std::thread> workers_ GUARDED_BY(workers_mu_);
 };
 
 }  // namespace salient

@@ -9,6 +9,10 @@
 //
 // Instrumented through obs: serve.admitted / serve.shed counters and a
 // serve.queue_depth gauge.
+//
+// Concurrency: no mutex of its own — admission control composes the
+// annotated BlockingQueue (util/blocking_queue.h) with independent atomic
+// counters, so every guarded field lives behind that queue's capability.
 #pragma once
 
 #include <atomic>

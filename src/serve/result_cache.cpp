@@ -16,8 +16,10 @@ std::optional<std::int64_t> ResultCache::lookup(NodeId v) {
     m_misses.add();
     return std::nullopt;
   }
-  const std::uint64_t cur = generation();
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
+  // Load the generation under mu_: a pre-lock read could race invalidate()
+  // and return a prediction from a generation the caller already retired.
+  const std::uint64_t cur = gen_.load(std::memory_order_acquire);
   auto it = map_.find(v);
   if (it == map_.end()) {
     m_misses.add();
@@ -36,8 +38,12 @@ std::optional<std::int64_t> ResultCache::lookup(NodeId v) {
 }
 
 void ResultCache::insert(NodeId v, std::int64_t pred, std::uint64_t gen) {
-  if (capacity_ == 0 || gen != generation()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return;
+  LockGuard lock(mu_);
+  // Same discipline as lookup(): the staleness check must share the critical
+  // section with the map write, or an insert racing invalidate() can admit
+  // an entry for a generation that was just retired.
+  if (gen != gen_.load(std::memory_order_acquire)) return;
   auto it = map_.find(v);
   if (it != map_.end()) {
     it->second.pred = pred;
@@ -56,11 +62,15 @@ void ResultCache::insert(NodeId v, std::int64_t pred, std::uint64_t gen) {
 
 std::uint64_t ResultCache::invalidate() {
   // Entries are evicted lazily on the next touch; only the generation moves.
+  // Bumping under mu_ orders the bump against in-flight lookup()/insert()
+  // critical sections: once invalidate() returns, no later lookup can serve
+  // and no later insert can admit a prediction from the retired generation.
+  LockGuard lock(mu_);
   return gen_.fetch_add(1, std::memory_order_acq_rel) + 1;
 }
 
 std::int64_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return static_cast<std::int64_t>(map_.size());
 }
 

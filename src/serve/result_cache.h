@@ -14,11 +14,11 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
 #include "graph/csr.h"
+#include "util/thread_annotations.h"
 
 namespace salient::serve {
 
@@ -55,10 +55,14 @@ class ResultCache {
   };
 
   std::int64_t capacity_ = 0;
+  /// Atomic so generation() can answer without the lock, but lookup()/
+  /// insert() must (re)load it *inside* mu_: reading it before locking lets
+  /// an invalidate() slip in between, serving/admitting a prediction from a
+  /// generation that was already retired (see tests/test_serve.cpp).
   std::atomic<std::uint64_t> gen_{0};
-  mutable std::mutex mu_;
-  std::list<NodeId> lru_;  // front = most recently used
-  std::unordered_map<NodeId, Entry> map_;
+  mutable Mutex mu_;
+  std::list<NodeId> lru_ GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<NodeId, Entry> map_ GUARDED_BY(mu_);
 };
 
 }  // namespace salient::serve

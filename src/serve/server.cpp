@@ -120,7 +120,7 @@ std::uint64_t InferenceServer::notify_model_updated() {
 }
 
 void InferenceServer::shutdown() {
-  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  LockGuard lock(shutdown_mu_);
   if (shut_down_.exchange(true)) return;
   // Tear down front to back: each stage drains its input queue, exits, and
   // only then is the next stage's input closed — nothing in flight is lost.

@@ -165,7 +165,10 @@ class InferenceServer {
   std::vector<std::thread> prep_threads_;
   std::thread device_thread_;
   std::atomic<bool> shut_down_{false};
-  std::mutex shutdown_mu_;
+  /// Serializes concurrent shutdown() calls; the threads/queues it covers
+  /// are otherwise construction-immutable, so only the teardown sequence
+  /// (join + close ordering) needs the capability.
+  Mutex shutdown_mu_;
 };
 
 }  // namespace salient::serve

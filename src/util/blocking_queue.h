@@ -2,15 +2,18 @@
 // prepared-batch *output* side of the loaders, where the consumer (the main
 // training thread) wants to block until a batch is ready. The *input* side of
 // SALIENT's loader uses the lock-free MpmcQueue, as in the paper.
+//
+// Locking discipline is machine-checked: every guarded field carries
+// GUARDED_BY(mu_) and a Clang -Wthread-safety build rejects undisciplined
+// access (docs/STATIC_ANALYSIS.md).
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 
 #include "fault/failpoint.h"
+#include "util/thread_annotations.h"
 
 namespace salient {
 
@@ -41,9 +44,8 @@ class BlockingQueue {
 #if defined(SALIENT_FAILPOINTS_ENABLED)
     if (push_wedge_) fault::maybe_wedge(*push_wedge_);
 #endif
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_not_full_.wait(lock,
-                      [this] { return closed_ || items_.size() < capacity_; });
+    UniqueLock lock(mu_);
+    while (!closed_ && items_.size() >= capacity_) cv_not_full_.wait(lock);
     if (closed_) return false;
     items_.push_back(std::move(value));
     cv_not_empty_.notify_one();
@@ -54,7 +56,7 @@ class BlockingQueue {
   /// queue is full or closed. This is the admission-control primitive — a
   /// producer that must not stall behind a slow consumer sheds instead.
   bool try_push(T& value) {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(value));
     cv_not_empty_.notify_one();
@@ -69,9 +71,14 @@ class BlockingQueue {
 #if defined(SALIENT_FAILPOINTS_ENABLED)
     if (pop_wedge_) fault::maybe_wedge(*pop_wedge_);
 #endif
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_not_empty_.wait_for(lock, timeout,
-                           [this] { return closed_ || !items_.empty(); });
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    UniqueLock lock(mu_);
+    while (!closed_ && items_.empty()) {
+      if (cv_not_empty_.wait_until(lock, deadline) ==
+          std::cv_status::timeout) {
+        break;
+      }
+    }
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
@@ -85,8 +92,8 @@ class BlockingQueue {
 #if defined(SALIENT_FAILPOINTS_ENABLED)
     if (pop_wedge_) fault::maybe_wedge(*pop_wedge_);
 #endif
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    UniqueLock lock(mu_);
+    while (!closed_ && items_.empty()) cv_not_empty_.wait(lock);
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
@@ -96,31 +103,31 @@ class BlockingQueue {
 
   /// Close the queue: producers fail, consumers drain then get nullopt.
   void close() {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     closed_ = true;
     cv_not_empty_.notify_all();
     cv_not_full_.notify_all();
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return items_.size();
   }
 
   std::size_t capacity() const { return capacity_; }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return closed_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_not_full_;
-  std::condition_variable cv_not_empty_;
-  std::deque<T> items_;
-  std::size_t capacity_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_not_full_;
+  CondVar cv_not_empty_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  std::size_t capacity_;  // immutable after construction
+  bool closed_ GUARDED_BY(mu_) = false;
 #if defined(SALIENT_FAILPOINTS_ENABLED)
   fault::Failpoint* push_wedge_ = nullptr;
   fault::Failpoint* pop_wedge_ = nullptr;

@@ -1,0 +1,194 @@
+// Compile-time concurrency verification (docs/STATIC_ANALYSIS.md).
+//
+// Two pieces, both zero-cost at run time:
+//
+//   1. The standard Clang capability-analysis macros (Hutchins et al.,
+//      "C/C++ Thread Safety Analysis"): GUARDED_BY declares which mutex
+//      protects a field, REQUIRES/ACQUIRE/RELEASE declare a function's
+//      locking contract, and a Clang build with -Wthread-safety (CI runs it
+//      as -Werror=thread-safety -Werror=thread-safety-beta) rejects any
+//      access that violates the declared discipline — at compile time, for
+//      every interleaving, unlike TSan which only sees the schedules a test
+//      happens to execute. Under GCC (or with
+//      SALIENT_NO_THREAD_SAFETY_ANALYSIS defined) every macro expands to
+//      nothing.
+//
+//   2. Annotated drop-in wrappers over the std primitives: salient::Mutex,
+//      salient::CondVar, salient::LockGuard, salient::UniqueLock. The std
+//      types cannot carry capability attributes, so all library code outside
+//      src/util/ must use these wrappers — a rule tools/salient_lint.cpp
+//      enforces (`naked-mutex`). The wrappers add no state and no virtual
+//      calls; optimized builds compile them to the exact std operations.
+//
+// Annotation conventions used across the repo:
+//   * every mutex-protected field carries GUARDED_BY(mu_);
+//   * private helpers that expect the caller to hold the lock carry
+//     REQUIRES(mu_) instead of re-locking;
+//   * condition-variable predicate waits are written as explicit
+//     `while (!pred) cv.wait(lock);` loops — a predicate lambda would be
+//     analyzed as a separate unlocked function and rejected;
+//   * escapes from the analysis (TS_NO_ANALYSIS) must explain themselves
+//     with an inline comment; there are currently none in the tree.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// The attribute carrier: Clang-only, and explicitly silenceable for exotic
+// toolchains that define __clang__ without supporting the analysis.
+#if defined(__clang__) && !defined(SALIENT_NO_THREAD_SAFETY_ANALYSIS)
+#define SALIENT_TS_ATTR(x) __attribute__((x))
+#else
+#define SALIENT_TS_ATTR(x)  // expands to nothing outside Clang
+#endif
+
+// The standard macro vocabulary (names follow the Clang documentation's
+// mutex.h so diagnostics read like the upstream examples). Guarded with
+// ifndef so a TU that also sees another library's copy does not redefine.
+#ifndef CAPABILITY
+#define CAPABILITY(x) SALIENT_TS_ATTR(capability(x))
+#endif
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY SALIENT_TS_ATTR(scoped_lockable)
+#endif
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) SALIENT_TS_ATTR(guarded_by(x))
+#endif
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) SALIENT_TS_ATTR(pt_guarded_by(x))
+#endif
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) SALIENT_TS_ATTR(acquired_before(__VA_ARGS__))
+#endif
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) SALIENT_TS_ATTR(acquired_after(__VA_ARGS__))
+#endif
+#ifndef REQUIRES
+#define REQUIRES(...) SALIENT_TS_ATTR(requires_capability(__VA_ARGS__))
+#endif
+#ifndef REQUIRES_SHARED
+#define REQUIRES_SHARED(...) \
+  SALIENT_TS_ATTR(requires_shared_capability(__VA_ARGS__))
+#endif
+#ifndef ACQUIRE
+#define ACQUIRE(...) SALIENT_TS_ATTR(acquire_capability(__VA_ARGS__))
+#endif
+#ifndef ACQUIRE_SHARED
+#define ACQUIRE_SHARED(...) \
+  SALIENT_TS_ATTR(acquire_shared_capability(__VA_ARGS__))
+#endif
+#ifndef RELEASE
+#define RELEASE(...) SALIENT_TS_ATTR(release_capability(__VA_ARGS__))
+#endif
+#ifndef RELEASE_SHARED
+#define RELEASE_SHARED(...) \
+  SALIENT_TS_ATTR(release_shared_capability(__VA_ARGS__))
+#endif
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) SALIENT_TS_ATTR(try_acquire_capability(__VA_ARGS__))
+#endif
+#ifndef EXCLUDES
+#define EXCLUDES(...) SALIENT_TS_ATTR(locks_excluded(__VA_ARGS__))
+#endif
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) SALIENT_TS_ATTR(assert_capability(x))
+#endif
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) SALIENT_TS_ATTR(lock_returned(x))
+#endif
+#ifndef TS_NO_ANALYSIS
+#define TS_NO_ANALYSIS SALIENT_TS_ATTR(no_thread_safety_analysis)
+#endif
+
+namespace salient {
+
+class CondVar;
+class LockGuard;
+class UniqueLock;
+
+/// std::mutex carrying the `capability` attribute, so fields can declare
+/// GUARDED_BY(mu_) and functions REQUIRES(mu_). Library code outside
+/// src/util/ must use this instead of std::mutex (lint rule `naked-mutex`).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class LockGuard;
+  friend class UniqueLock;
+  std::mutex mu_;
+};
+
+/// std::lock_guard analogue: scope-locks a Mutex, never unlocks early.
+class SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock analogue for condition-variable waits. Always holds the
+/// lock for its full scope (CondVar::wait releases/reacquires internally,
+/// which is invisible to — and sound for — the capability analysis).
+class SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) ACQUIRE(mu) : lk_(mu.mu_) {}
+  ~UniqueLock() RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// std::condition_variable over salient::Mutex (via UniqueLock).
+///
+/// Predicate waits must be explicit loops at the call site:
+///   UniqueLock lock(mu_);
+///   while (!ready_) cv_.wait(lock);
+/// A predicate lambda (std-style `cv.wait(lock, [&]{ return ready_; })`)
+/// would be analyzed as a separate function that reads guarded state with no
+/// capability held, so the wrapper deliberately does not offer that overload.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(UniqueLock& lk) { cv_.wait(lk.lk_); }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(UniqueLock& lk,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lk.lk_, d);
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      UniqueLock& lk, const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lk.lk_, tp);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace salient

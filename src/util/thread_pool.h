@@ -7,15 +7,15 @@
 // a lock-free queue (see prep/salient_loader.h), mirroring the paper's design.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace salient {
 
@@ -49,11 +49,11 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  // written only during construction
+  Mutex mu_;
+  CondVar cv_;
+  std::queue<std::packaged_task<void()>> tasks_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace salient

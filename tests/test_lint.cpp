@@ -1,0 +1,209 @@
+// Tests for tools/salient_lint.cpp (docs/STATIC_ANALYSIS.md).
+//
+// Two layers:
+//   * fixture tests: a temp tree with one known-bad file per rule, checked
+//     through the real binary (argument parsing, exit codes, and output
+//     format are part of the contract — CI greps this output);
+//   * a live-tree self-check: the actual src/ must lint clean under the
+//     committed allowlist, with no unused allowlist entries. This is the
+//     same invocation as the `salient_lint_check` ctest, but run here too so
+//     a lint regression and its cause land in one gtest failure message.
+//
+// The binary/tree/allowlist paths arrive as compile definitions
+// (SALIENT_LINT_BIN etc., see tests/CMakeLists.txt), so the test is
+// location-independent.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+RunResult run_lint(const std::string& args) {
+  const std::string cmd = std::string(SALIENT_LINT_BIN) + " " + args + " 2>&1";
+  RunResult r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  std::array<char, 4096> buf;
+  std::size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    r.output.append(buf.data(), n);
+  }
+  const int status = pclose(pipe);
+  r.exit_code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+/// A scratch source tree under the test's working directory, torn down on
+/// destruction. Names are per-fixture, so tests cannot collide.
+class LintTree {
+ public:
+  explicit LintTree(const std::string& name)
+      : root_(fs::current_path() / ("lint_fixture_" + name)) {
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  ~LintTree() {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  void write(const std::string& rel, const std::string& content) {
+    const fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream(p) << content;
+  }
+
+  std::string root() const { return root_.string(); }
+
+ private:
+  fs::path root_;
+};
+
+TEST(LintCli, ListRulesAndUsage) {
+  const RunResult rules = run_lint("--list-rules");
+  EXPECT_EQ(rules.exit_code, 0);
+  for (const char* name :
+       {"naked-mutex", "nondeterminism", "stdout-logging", "sleep"}) {
+    EXPECT_NE(rules.output.find(name), std::string::npos) << rules.output;
+  }
+  EXPECT_EQ(run_lint("").exit_code, 2);
+  EXPECT_EQ(run_lint("--root /nonexistent-salient-lint-dir").exit_code, 2);
+}
+
+TEST(LintRules, NakedMutexFlaggedOutsideUtil) {
+  LintTree t("naked_mutex");
+  t.write("serve/bad.cpp",
+          "#include <mutex>\n"
+          "std::mutex m;\n"
+          "void f() { std::lock_guard<std::mutex> l(m); }\n");
+  const RunResult r = run_lint("--root " + t.root());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("[naked-mutex]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("serve/bad.cpp:2"), std::string::npos) << r.output;
+}
+
+TEST(LintRules, UtilIsExemptFromNakedMutex) {
+  LintTree t("util_exempt");
+  t.write("util/wrapper.h", "#include <mutex>\nstd::mutex m;\n");
+  const RunResult r = run_lint("--root " + t.root());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(LintRules, NondeterminismFlagged) {
+  LintTree t("nondet");
+  t.write("a.cpp",
+          "int f() { return rand(); }\n"
+          "unsigned g() { std::random_device rd; return rd(); }\n"
+          "long h() { return time(nullptr); }\n");
+  const RunResult r = run_lint("--root " + t.root());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("a.cpp:1"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("a.cpp:2"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("a.cpp:3"), std::string::npos) << r.output;
+}
+
+TEST(LintRules, TokenBoundariesAvoidFalsePositives) {
+  LintTree t("boundaries");
+  // Each of these contains a rule token as a substring of a longer
+  // identifier; none may be flagged.
+  t.write("clean.cpp",
+          "int bounded_rand();\n"
+          "int use() { return bounded_rand(); }\n"
+          "void fmt(char* b, unsigned long n) { snprintf(b, n, \"x\"); }\n"
+          "struct timer { long time_since_epoch(); };\n"
+          "int strandify();\n");
+  const RunResult r = run_lint("--root " + t.root());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(LintRules, CommentsAndStringsAreImmune) {
+  LintTree t("scrub");
+  t.write("doc.cpp",
+          "// std::mutex in a comment is fine, as is rand()\n"
+          "/* std::cout << \"hi\"; sleep_for(x); */\n"
+          "const char* s = \"std::mutex rand() printf( sleep_for(\";\n"
+          "const char* raw = R\"(std::condition_variable time(nullptr))\";\n"
+          "int live;\n");
+  const RunResult r = run_lint("--root " + t.root());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(LintRules, StdoutLoggingAndSleepFlagged) {
+  LintTree t("io_sleep");
+  t.write("b.cpp",
+          "#include <cstdio>\n"
+          "void log() { printf(\"x\"); }\n"
+          "void nap() { std::this_thread::sleep_for(d); }\n");
+  const RunResult r = run_lint("--root " + t.root());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("[stdout-logging]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("[sleep]"), std::string::npos) << r.output;
+}
+
+TEST(LintRules, FaultDirectoryMaySleep) {
+  LintTree t("fault_exempt");
+  t.write("fault/inject.cpp",
+          "void wedge() { std::this_thread::sleep_for(d); }\n");
+  const RunResult r = run_lint("--root " + t.root());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(LintAllowlist, SuppressesAndReportsUnused) {
+  LintTree t("allow");
+  t.write("x/a.cpp", "std::mutex m;\n");
+  t.write("allow.txt",
+          "naked-mutex x/a.cpp # wrapper-to-be\n"
+          "sleep x/never.cpp # stale entry\n");
+  const RunResult r =
+      run_lint("--root " + t.root() + " --allowlist " + t.root() +
+               "/allow.txt");
+  // The finding is suppressed (exit 0) but the stale entry is called out.
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("unused allowlist entry: sleep x/never.cpp"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(LintAllowlist, MalformedFileIsAnError) {
+  LintTree t("allow_bad");
+  t.write("a.cpp", "int x;\n");
+  t.write("bad.txt", "no-such-rule a.cpp # typo\n");
+  const RunResult r =
+      run_lint("--root " + t.root() + " --allowlist " + t.root() + "/bad.txt");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown rule"), std::string::npos) << r.output;
+}
+
+TEST(LintCli, FixSuggestionsNameTheReplacement) {
+  LintTree t("fixes");
+  t.write("a.cpp", "std::mutex m;\n");
+  const RunResult r = run_lint("--root " + t.root() + " --fix-suggestions");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("fix: "), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("thread_annotations.h"), std::string::npos)
+      << r.output;
+}
+
+// The committed tree must hold the bar the fixtures define: src/ lints clean
+// under the committed allowlist, and the allowlist carries no dead entries.
+TEST(LintLiveTree, SrcIsCleanUnderCommittedAllowlist) {
+  const RunResult r = run_lint(std::string("--root ") + SALIENT_LINT_SRC +
+                               " --allowlist " + SALIENT_LINT_ALLOWLIST);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("unused allowlist entry"), std::string::npos)
+      << r.output;
+}
+
+}  // namespace

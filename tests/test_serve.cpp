@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <future>
 #include <thread>
 #include <vector>
@@ -290,6 +291,50 @@ TEST(ResultCache, ZeroCapacityDisables) {
   cache.insert(1, 10, cache.generation());
   EXPECT_EQ(cache.lookup(1), std::nullopt);
   EXPECT_EQ(cache.size(), 0);
+}
+
+// Regression test for the generation/lock discipline (the annotation sweep
+// moved the generation check inside the cache mutex, and invalidate() now
+// bumps under it): once invalidate() has returned generation G, a lookup
+// that starts afterwards must never serve a prediction computed under a
+// generation below G. Predictions are tagged with the generation they were
+// inserted under, so a stale serve is directly observable.
+TEST(ResultCache, GenerationContractUnderConcurrentInvalidation) {
+  ResultCache cache(64);
+  constexpr NodeId kNode = 7;
+  std::atomic<bool> stop{false};
+  // Highest generation for which invalidate() has RETURNED — everything
+  // below it is retired and must never be served again.
+  std::atomic<std::uint64_t> retired_below{0};
+
+  std::thread invalidator([&] {
+    for (int i = 0; i < 1500; ++i) {
+      const std::uint64_t g = cache.invalidate();
+      retired_below.store(g, std::memory_order_release);
+      std::this_thread::yield();  // give the writer/reader a slice per gen
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint64_t g = cache.generation();
+      cache.insert(kNode, static_cast<std::int64_t>(g), g);
+    }
+  });
+
+  while (!stop.load(std::memory_order_acquire)) {
+    const std::uint64_t floor = retired_below.load(std::memory_order_acquire);
+    if (const auto pred = cache.lookup(kNode)) {
+      ASSERT_GE(static_cast<std::uint64_t>(*pred), floor)
+          << "served a prediction from a retired model generation";
+    }
+  }
+  invalidator.join();
+  writer.join();
+  // Quiescent sanity check: the hit path still works after the churn.
+  const std::uint64_t g = cache.generation();
+  cache.insert(kNode, static_cast<std::int64_t>(g), g);
+  EXPECT_EQ(cache.lookup(kNode), static_cast<std::int64_t>(g));
 }
 
 // --- End-to-end serving -----------------------------------------------------

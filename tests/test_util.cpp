@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <future>
 #include <set>
 #include <thread>
 #include <vector>
@@ -277,6 +278,32 @@ TEST(BlockingQueue, TryPopForDrainsThenReportsClosed) {
   WallTimer t;
   EXPECT_EQ(q.try_pop_for(std::chrono::seconds(10)), std::nullopt);
   EXPECT_LT(t.seconds(), 5.0);
+}
+
+// Regression test for the explicit wait-loop rewrite (the condition-variable
+// predicates became plain loops for the thread-safety analysis): close()
+// must not discard the backlog — consumers drain it, then see end-of-queue.
+TEST(BlockingQueue, PopDrainsBacklogAfterClose) {
+  BlockingQueue<int> q(8);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(q.push(i));
+  q.close();
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(q.pop(), i);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+// Same property for the thread pool's worker loop: destruction signals stop,
+// but tasks already queued still run before the workers exit.
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futs;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      futs.push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+    }
+  }  // ~ThreadPool joins the workers
+  for (auto& f : futs) f.get();  // a dropped task would hang/throw here
+  EXPECT_EQ(ran.load(), 64);
 }
 
 TEST(BlockingQueue, BoundedUnderSlowConsumer) {

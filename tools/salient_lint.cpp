@@ -1,0 +1,447 @@
+// salient_lint: token-level concurrency/determinism linter for src/.
+//
+// The clang thread-safety analysis (see docs/STATIC_ANALYSIS.md) proves
+// locking contracts, but only for code that uses the annotated primitives in
+// util/thread_annotations.h — a naked std::mutex is invisible to it. This
+// linter closes that hole, plus a few repo-specific discipline rules that
+// need no semantic analysis, so they run everywhere (any compiler, any
+// platform, < 100 ms) as the ctest `salient_lint_check`:
+//
+//   naked-mutex      std::mutex / std::lock_guard / std::unique_lock /
+//                    std::condition_variable & friends outside src/util —
+//                    use salient::Mutex/LockGuard/UniqueLock/CondVar so the
+//                    capability analysis can see the lock.
+//   nondeterminism   rand() / srand() / std::random_device / time(nullptr)
+//                    seeds — the repro pipeline must be deterministic
+//                    (paper §5.3 exact-result requirement); use
+//                    salient::Xoshiro256ss with an explicit seed.
+//   stdout-logging   std::cout / std::cerr / printf / fprintf / puts in
+//                    library code — report through obs/ metrics or return
+//                    errors; stdout belongs to tools and examples.
+//   sleep            sleep_for / sleep_until outside src/fault — sleeping
+//                    hides missing synchronization; wait on a CondVar with
+//                    a deadline. (fault/ injects stalls by design.)
+//
+// Matching is token-boundary-aware on comment- and string-scrubbed source,
+// so `snprintf(` does not trip `printf(`, `bounded_rand(` does not trip
+// `rand(`, and a rule named in a comment is not a finding.
+//
+// Usage:
+//   salient_lint --root <dir> [--allowlist <file>] [--fix-suggestions]
+//                [--list-rules]
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+//
+// Allowlist file: one `<rule> <path> # reason` per line, where <path> is
+// relative to --root with forward slashes. An entry suppresses every finding
+// of <rule> in that file; unused entries are reported (stderr) so the list
+// cannot rot. Policy in docs/STATIC_ANALYSIS.md: every entry needs a reason.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Pattern {
+  std::string text;       // the token sequence to find
+  bool call_only = false;  // require '(' (after spaces) following the match
+};
+
+struct Rule {
+  std::string name;
+  std::string summary;
+  std::string fix;                    // printed under --fix-suggestions
+  std::vector<Pattern> patterns;
+  std::vector<std::string> exempt_dirs;  // path prefixes relative to root
+};
+
+struct Finding {
+  std::string rule;
+  std::string file;  // relative to root
+  std::size_t line = 0;
+  std::string token;
+  std::string line_text;
+};
+
+const std::vector<Rule>& rules() {
+  static const std::vector<Rule> kRules = {
+      {"naked-mutex",
+       "raw standard-library synchronization primitive outside src/util",
+       "use salient::Mutex / LockGuard / UniqueLock / CondVar from "
+       "util/thread_annotations.h so -Wthread-safety can check the lock",
+       {{"std::mutex"},
+        {"std::recursive_mutex"},
+        {"std::timed_mutex"},
+        {"std::recursive_timed_mutex"},
+        {"std::shared_mutex"},
+        {"std::lock_guard"},
+        {"std::unique_lock"},
+        {"std::scoped_lock"},
+        {"std::shared_lock"},
+        {"std::condition_variable"},
+        {"std::condition_variable_any"}},
+       {"util/"}},
+      {"nondeterminism",
+       "unseeded / wall-clock randomness in a deterministic pipeline",
+       "use salient::Xoshiro256ss (util/rng.h) with an explicit seed; derive "
+       "per-worker seeds from the run seed",
+       {{"rand", true},
+        {"srand", true},
+        {"random_device"},
+        {"time()"},
+        {"time(nullptr)"},
+        {"time(NULL)"},
+        {"time(0)"}},
+       {}},
+      {"stdout-logging",
+       "direct console output from library code",
+       "report through obs/ (metrics, trace) or return the error to the "
+       "caller; console output belongs to tools/ and examples/",
+       {{"std::cout"},
+        {"std::cerr"},
+        {"printf", true},
+        {"fprintf", true},
+        {"puts", true},
+        {"putchar", true}},
+       {}},
+      {"sleep",
+       "thread sleep outside the fault-injection subsystem",
+       "wait on a salient::CondVar with a deadline (wait_until) — a sleep "
+       "that makes code correct is a missing synchronization",
+       {{"sleep_for", true}, {"sleep_until", true}, {"usleep", true}},
+       {"fault/"}},
+  };
+  return kRules;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Replace comments, string literals (incl. raw strings), and char literals
+/// with spaces, preserving byte offsets and newlines.
+std::string scrub(const std::string& src) {
+  std::string out = src;
+  enum class St { kCode, kLine, kBlock, kStr, kChar, kRaw };
+  St st = St::kCode;
+  std::string raw_delim;  // the )delim" terminator of the active raw string
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char n = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && n == '/') {
+          st = St::kLine;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && n == '*') {
+          st = St::kBlock;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && n == '"' &&
+                   (i == 0 || !ident_char(src[i - 1]))) {
+          // R"delim( ... )delim"
+          std::size_t p = i + 2;
+          while (p < src.size() && src[p] != '(') ++p;
+          raw_delim = ")" + src.substr(i + 2, p - (i + 2)) + "\"";
+          for (std::size_t k = i; k <= p && k < src.size(); ++k) {
+            if (out[k] != '\n') out[k] = ' ';
+          }
+          i = p;
+          st = St::kRaw;
+        } else if (c == '"') {
+          st = St::kStr;
+          out[i] = ' ';
+        } else if (c == '\'') {
+          st = St::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case St::kLine:
+        if (c == '\n') {
+          st = St::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case St::kBlock:
+        if (c == '*' && n == '/') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kStr:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (n != '\0' && n != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          out[i] = ' ';
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (n != '\0' && n != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          out[i] = ' ';
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kRaw:
+        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) out[i + k] = ' ';
+          i += raw_delim.size() - 1;
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+/// True when `text[pos .. pos+pat)` is a token-boundary match of `pat`.
+/// A preceding `::` is deliberately a match (std::this_thread::sleep_for
+/// must trip the sleep rule); a preceding identifier char is not
+/// (snprintf must not trip printf, bounded_rand must not trip rand).
+bool bounded_match(const std::string& text, std::size_t pos,
+                   const Pattern& pat) {
+  if (pos > 0 && ident_char(text[pos - 1])) return false;
+  std::size_t end = pos + pat.text.size();
+  if (!pat.text.empty() && ident_char(pat.text.back())) {
+    if (end < text.size() && ident_char(text[end])) return false;
+  }
+  if (pat.call_only) {
+    while (end < text.size() &&
+           (text[end] == ' ' || text[end] == '\t' || text[end] == '\n')) {
+      ++end;
+    }
+    if (end >= text.size() || text[end] != '(') return false;
+  }
+  return true;
+}
+
+std::size_t line_of(const std::string& text, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + static_cast<long>(pos),
+                            '\n'));
+}
+
+std::string line_text_at(const std::string& text, std::size_t pos) {
+  std::size_t b = text.rfind('\n', pos);
+  b = (b == std::string::npos) ? 0 : b + 1;
+  std::size_t e = text.find('\n', pos);
+  if (e == std::string::npos) e = text.size();
+  std::string s = text.substr(b, e - b);
+  const std::size_t first = s.find_first_not_of(" \t");
+  return first == std::string::npos ? std::string() : s.substr(first);
+}
+
+bool path_exempt(const std::string& rel, const Rule& rule) {
+  for (const auto& dir : rule.exempt_dirs) {
+    if (rel.rfind(dir, 0) == 0) return true;
+    if (rel.find("/" + dir) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void lint_file(const std::string& rel, const std::string& raw,
+               std::vector<Finding>& findings) {
+  const std::string code = scrub(raw);
+  for (const Rule& rule : rules()) {
+    if (path_exempt(rel, rule)) continue;
+    for (const Pattern& pat : rule.patterns) {
+      std::size_t pos = 0;
+      while ((pos = code.find(pat.text, pos)) != std::string::npos) {
+        if (bounded_match(code, pos, pat)) {
+          findings.push_back({rule.name, rel, line_of(code, pos), pat.text,
+                              line_text_at(raw, pos)});
+        }
+        pos += pat.text.size();
+      }
+    }
+  }
+}
+
+struct Allow {
+  std::string rule;
+  std::string path;
+  bool used = false;
+};
+
+// Parses `<rule> <path> [# reason]` lines; returns false on malformed input.
+bool load_allowlist(const std::string& file, std::vector<Allow>& out) {
+  std::ifstream in(file);
+  if (!in) return false;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ss(line);
+    Allow a;
+    if (!(ss >> a.rule)) continue;  // blank / comment-only line
+    if (!(ss >> a.path)) {
+      std::cerr << "salient_lint: " << file << ":" << lineno
+                << ": expected '<rule> <path> # reason'\n";
+      return false;
+    }
+    const auto& rs = rules();
+    const bool known =
+        std::any_of(rs.begin(), rs.end(),
+                    [&](const Rule& r) { return r.name == a.rule; });
+    if (!known) {
+      std::cerr << "salient_lint: " << file << ":" << lineno
+                << ": unknown rule '" << a.rule << "'\n";
+      return false;
+    }
+    out.push_back(a);
+  }
+  return true;
+}
+
+void list_rules() {
+  for (const Rule& r : rules()) {
+    std::cout << r.name << ": " << r.summary << "\n";
+    if (!r.exempt_dirs.empty()) {
+      std::cout << "  exempt:";
+      for (const auto& d : r.exempt_dirs) std::cout << " " << d;
+      std::cout << "\n";
+    }
+    std::cout << "  fix: " << r.fix << "\n";
+  }
+}
+
+const Rule* rule_by_name(const std::string& name) {
+  for (const Rule& r : rules()) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+int usage() {
+  std::cerr << "usage: salient_lint --root <dir> [--allowlist <file>]\n"
+               "                    [--fix-suggestions] [--list-rules]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string allowlist_file;
+  bool fix_suggestions = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist_file = argv[++i];
+    } else if (arg == "--fix-suggestions") {
+      fix_suggestions = true;
+    } else if (arg == "--list-rules") {
+      list_rules();
+      return 0;
+    } else {
+      return usage();
+    }
+  }
+  if (root.empty()) return usage();
+
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    std::cerr << "salient_lint: not a directory: " << root << "\n";
+    return 2;
+  }
+
+  std::vector<Allow> allows;
+  if (!allowlist_file.empty() && !load_allowlist(allowlist_file, allows)) {
+    return 2;
+  }
+
+  // Deterministic order: collect, then sort by relative path.
+  std::vector<std::string> files;
+  for (auto it = fs::recursive_directory_iterator(root, ec);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc") {
+      files.push_back(fs::relative(it->path(), root).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const auto& rel : files) {
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    if (!in) {
+      std::cerr << "salient_lint: cannot read " << rel << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    lint_file(rel, ss.str(), findings);
+  }
+
+  // Apply the allowlist (every entry suppresses one rule in one file).
+  std::vector<Finding> reported;
+  for (const auto& f : findings) {
+    bool suppressed = false;
+    for (auto& a : allows) {
+      if (a.rule == f.rule && a.path == f.file) {
+        a.used = true;
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) reported.push_back(f);
+  }
+  for (const auto& a : allows) {
+    if (!a.used) {
+      std::cerr << "salient_lint: warning: unused allowlist entry: " << a.rule
+                << " " << a.path << "\n";
+    }
+  }
+
+  for (const auto& f : reported) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] `" << f.token
+              << "`: " << f.line_text << "\n";
+    if (fix_suggestions) {
+      const Rule* r = rule_by_name(f.rule);
+      if (r != nullptr) std::cout << "  fix: " << r->fix << "\n";
+    }
+  }
+  if (!reported.empty()) {
+    std::cout << reported.size() << " finding"
+              << (reported.size() == 1 ? "" : "s") << " in " << files.size()
+              << " files\n";
+    return 1;
+  }
+  std::cout << "clean: " << files.size() << " files\n";
+  return 0;
+}
