@@ -38,6 +38,8 @@ options (all optional):
   --lr X              Adam learning rate                             [3e-3]
   --mode M            salient (pipelined) | baseline (blocking PyG)  [salient]
   --cache-pct P       device feature cache, percent of nodes         [0]
+  --cache-policy M    degree | presample | lru | auto (docs/CACHING.md)
+                                                                     [degree]
   --seed N            global seed                                    [1]
   --save PATH         write a checkpoint after training
   --load PATH         load a checkpoint before training
@@ -92,6 +94,14 @@ int main(int argc, char** argv) {
   cfg.num_workers = std::stoi(get("workers", "2"));
   cfg.lr = std::stod(get("lr", "3e-3"));
   cfg.seed = std::stoull(get("seed", "1"));
+  cfg.cache_percentage = std::stod(get("cache-pct", "0")) / 100.0;
+  cfg.cache_policy = get("cache-policy", "degree");
+  try {
+    parse_cache_policy(cfg.cache_policy);  // reject typos before building
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << " (try --help)\n";
+    return 1;
+  }
   cfg.trace_out = get("trace-out", "");
   cfg.metrics_out = get("metrics-out", "");
   const std::string mode = get("mode", "salient");
@@ -120,16 +130,9 @@ int main(int argc, char** argv) {
                 << cfg.dataset_scale << ")\n";
       sys = std::make_unique<System>(cfg);
     }
-    // cache percentage needs the node count, so resolve it post-build
-    const int cache_pct = std::stoi(get("cache-pct", "0"));
-    if (cache_pct > 0) {
-      SystemConfig tuned = cfg;
-      tuned.feature_cache_nodes =
-          cache_pct * sys->dataset().graph.num_nodes() / 100;
-      Dataset copy = sys->dataset();
-      sys = std::make_unique<System>(std::move(copy), tuned);
-      std::cout << "device feature cache: " << tuned.feature_cache_nodes
-                << " nodes\n";
+    if (const auto& cache = sys->trainer().feature_cache()) {
+      std::cout << "device feature cache: " << cache->capacity()
+                << " nodes, policy " << cache->policy_name() << "\n";
     }
     std::cout << "model " << cfg.arch << " ("
               << sys->model()->num_parameters() << " parameters), mode "

@@ -5,7 +5,10 @@
 // then a mid-flight model update invalidating the result cache.
 //
 //   ./serve_demo [--qps=200] [--slo-ms=50] [--max-batch=256] [--cache-mb=2]
-//                [--seconds=3] [--trace-out=<path>] [--metrics-out=<path>]
+//                [--cache-pct=0.05] [--cache-policy=presample] [--seconds=3]
+//                [--trace-out=<path>] [--metrics-out=<path>]
+// --cache-pct + --cache-policy let the server build its own policy-driven
+// feature cache (docs/CACHING.md) instead of the --cache-mb degree cache.
 #include <chrono>
 #include <cstdlib>
 #include <iomanip>
@@ -22,7 +25,8 @@ int main(int argc, char** argv) {
   using namespace salient;
   using Clock = std::chrono::steady_clock;
 
-  double qps = 200, slo_ms = 50, cache_mb = 2, seconds = 3;
+  double qps = 200, slo_ms = 50, cache_mb = 2, seconds = 3, cache_pct = 0;
+  std::string cache_policy = "degree";
   std::int64_t max_batch = 256;
   SystemConfig cfg;
   for (int i = 1; i < argc; ++i) {
@@ -36,6 +40,8 @@ int main(int argc, char** argv) {
     else if (const char* v = num("slo-ms")) slo_ms = std::atof(v);
     else if (const char* v = num("max-batch")) max_batch = std::atoll(v);
     else if (const char* v = num("cache-mb")) cache_mb = std::atof(v);
+    else if (const char* v = num("cache-pct")) cache_pct = std::atof(v);
+    else if (const char* v = num("cache-policy")) cache_policy = v;
     else if (const char* v = num("seconds")) seconds = std::atof(v);
     else { std::cerr << "unknown flag: " << arg << "\n"; return 2; }
   }
@@ -58,7 +64,12 @@ int main(int argc, char** argv) {
   sc.batch.max_batch_nodes = max_batch;
   sc.slo_us = slo_ms * 1000.0;
   sc.result_cache_capacity = 4096;
-  if (cache_mb > 0) {
+  if (cache_pct > 0) {
+    // Policy-driven cache built by the server itself (presample warmup
+    // samples the test split, matching the traffic below).
+    sc.cache_policy = parse_cache_policy(cache_policy);
+    sc.cache_percentage = cache_pct;
+  } else if (cache_mb > 0) {
     const auto cache_nodes = std::min<std::int64_t>(
         static_cast<std::int64_t>(cache_mb * 1e6 /
                                   (static_cast<double>(ds.feature_dim) * 4.0)),
@@ -68,6 +79,10 @@ int main(int argc, char** argv) {
               << cache_mb << " MB)\n";
   }
   serve::InferenceServer server(ds, sys.model(), sys.device(), sc);
+  if (const auto& cache = server.config().feature_cache; cache && cache_pct > 0) {
+    std::cout << "feature cache: " << cache->capacity() << " nodes, policy "
+              << cache->policy_name() << "\n";
+  }
 
   // Open-loop traffic with Zipf-ish popularity: a few nodes are requested
   // over and over (what the result cache exploits).

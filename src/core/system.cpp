@@ -70,6 +70,8 @@ void System::build() {
   tc.execution = config_.execution;
   tc.lr = config_.lr;
   tc.feature_cache_nodes = config_.feature_cache_nodes;
+  tc.loader.cache_policy = parse_cache_policy(config_.cache_policy);
+  tc.loader.cache_percentage = config_.cache_percentage;
   trainer_ = std::make_unique<Trainer>(dataset_, model_, *device_, tc);
 }
 

@@ -135,13 +135,20 @@ DeviceBatch DeviceSim::transfer_batch_cached(const PreparedBatch& batch,
   Event copies_done = copy_.record();
   compute_.wait(copies_done);
   const auto num_rows = static_cast<std::int64_t>(plan.from_cache.size());
-  const std::int64_t f = cache.features().defined() && cache.capacity() > 0
-                             ? cache.features().size(1)
-                             : batch.x.size(1);
+  // Hit rows come from the plan's snapshot (dynamic policies) or the cache's
+  // immutable resident matrix (static policies).
+  const std::int64_t f =
+      plan.hit_rows.defined()
+          ? plan.hit_rows.size(1)
+          : (cache.features().defined() && cache.capacity() > 0
+                 ? cache.features().size(1)
+                 : batch.x.size(1));
   out.x_f32 = Tensor({num_rows, f}, DType::kF32);
   Tensor x_f32_dev = out.x_f32;
   const Tensor cache_feats = cache.features();
   // Copy the plan by value: the caller's plan may die before the stream runs.
+  // For dynamic policies this also keeps the hit-row snapshot alive, so later
+  // evictions cannot corrupt this in-flight batch.
   auto plan_copy = std::make_shared<CachePlan>(plan);
   compute_.enqueue([missing_dev, x_f32_dev, cache_feats, plan_copy,
                     f]() mutable {
@@ -151,14 +158,15 @@ DeviceBatch DeviceSim::transfer_batch_cached(const PreparedBatch& batch,
       missing_f32 = Tensor(missing_dev.shape(), DType::kF32);
       convert_features(missing_dev, missing_f32);
     }
+    const Tensor& hits =
+        plan_copy->hit_rows.defined() ? plan_copy->hit_rows : cache_feats;
     float* dst = x_f32_dev.data<float>();
     const std::size_t row_bytes = static_cast<std::size_t>(f) * sizeof(float);
     for (std::size_t i = 0; i < plan_copy->from_cache.size(); ++i) {
       const std::int64_t src_row = plan_copy->source[i];
-      const float* src =
-          plan_copy->from_cache[i]
-              ? cache_feats.data<float>() + src_row * f
-              : missing_f32.data<float>() + src_row * f;
+      const float* src = plan_copy->from_cache[i]
+                             ? hits.data<float>() + src_row * f
+                             : missing_f32.data<float>() + src_row * f;
       std::memcpy(dst + static_cast<std::int64_t>(i) * f, src, row_bytes);
     }
   }, "dev.assemble_cached");

@@ -1,0 +1,134 @@
+// Flat concurrent frequency table for pre-sampling access estimation.
+//
+// The presample cache policy (prep/cache_policy.h, docs/CACHING.md) runs K
+// warmup sampling epochs and counts how often each vertex appears in an
+// MFG's input set. FGNN keeps these counts in a GPU frequency hashmap and
+// GNNLab in a parallel CPU hash table; this is the same structure for this
+// repository's CPU pipeline: a fixed-capacity open-addressing ("flat") hash
+// table whose key slots are claimed with a CAS and whose counts are relaxed
+// atomic adds, so warmup workers count concurrently without locks.
+//
+// Determinism: the *map* this table represents (key -> count) depends only
+// on the multiset of add() calls, never on thread interleaving — CAS
+// claiming permutes which physical slot a key lands in, but each key's
+// count is a commutative sum of atomic adds. items() therefore returns a
+// scheduling-independent result, which is what makes presample cache
+// placement reproducible across pool sizes (tests/test_cache_policy.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace salient {
+
+/// Fixed-capacity concurrent open-addressing counter table, keyed by
+/// non-negative 64-bit ids (vertex ids). Lock-free: inserts claim a slot
+/// with a single CAS, counts accumulate with relaxed atomic adds.
+class FrequencyTable {
+ public:
+  /// Sentinel stored in unclaimed key slots.
+  static constexpr std::int64_t kEmpty = -1;
+
+  /// Build a table able to hold `max_keys` distinct keys. The slot array is
+  /// sized to the next power of two >= 2*max_keys, keeping the load factor
+  /// <= 0.5 so linear probes stay short.
+  explicit FrequencyTable(std::int64_t max_keys) {
+    std::int64_t want = std::max<std::int64_t>(max_keys, 1) * 2;
+    slots_ = 1;
+    while (slots_ < want) slots_ <<= 1;
+    mask_ = slots_ - 1;
+    keys_ = std::make_unique<std::atomic<std::int64_t>[]>(
+        static_cast<std::size_t>(slots_));
+    counts_ = std::make_unique<std::atomic<std::int64_t>[]>(
+        static_cast<std::size_t>(slots_));
+    for (std::int64_t i = 0; i < slots_; ++i) {
+      keys_[static_cast<std::size_t>(i)].store(kEmpty,
+                                               std::memory_order_relaxed);
+      counts_[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Add `n` to `key`'s count, inserting the key on first sight. Thread-safe
+  /// and wait-free in the common (already-inserted) case. Throws
+  /// std::length_error if more distinct keys than `max_keys` are inserted
+  /// (the table never resizes — size it from |V|).
+  void add(std::int64_t key, std::int64_t n = 1) {
+    std::size_t i = probe_start(key);
+    for (std::int64_t step = 0; step < slots_; ++step) {
+      std::int64_t k = keys_[i].load(std::memory_order_acquire);
+      if (k == kEmpty) {
+        std::int64_t expected = kEmpty;
+        if (keys_[i].compare_exchange_strong(expected, key,
+                                             std::memory_order_acq_rel)) {
+          distinct_.fetch_add(1, std::memory_order_relaxed);
+          k = key;
+        } else {
+          k = expected;  // another thread claimed the slot; re-examine it
+        }
+      }
+      if (k == key) {
+        counts_[i].fetch_add(n, std::memory_order_relaxed);
+        return;
+      }
+      i = (i + 1) & static_cast<std::size_t>(mask_);
+    }
+    throw std::length_error("FrequencyTable: table full");
+  }
+
+  /// `key`'s accumulated count (0 when never inserted). Safe concurrently
+  /// with add(), in which case it returns a recent value.
+  std::int64_t count(std::int64_t key) const {
+    std::size_t i = probe_start(key);
+    for (std::int64_t step = 0; step < slots_; ++step) {
+      const std::int64_t k = keys_[i].load(std::memory_order_acquire);
+      if (k == kEmpty) return 0;
+      if (k == key) return counts_[i].load(std::memory_order_relaxed);
+      i = (i + 1) & static_cast<std::size_t>(mask_);
+    }
+    return 0;
+  }
+
+  /// Number of distinct keys inserted so far.
+  std::int64_t distinct() const {
+    return distinct_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of every (key, count) pair, in unspecified order. Call after
+  /// the concurrent phase; the contents are deterministic as a map (see the
+  /// file comment) even though the order is not — sort before comparing.
+  std::vector<std::pair<std::int64_t, std::int64_t>> items() const {
+    std::vector<std::pair<std::int64_t, std::int64_t>> out;
+    out.reserve(static_cast<std::size_t>(distinct()));
+    for (std::int64_t i = 0; i < slots_; ++i) {
+      const std::int64_t k =
+          keys_[static_cast<std::size_t>(i)].load(std::memory_order_acquire);
+      if (k != kEmpty) {
+        out.emplace_back(k, counts_[static_cast<std::size_t>(i)].load(
+                                std::memory_order_relaxed));
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::size_t probe_start(std::int64_t key) const {
+    // SplitMix64-style finalizer: spreads dense vertex ids across the table.
+    auto x = static_cast<std::uint64_t>(key) + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x & static_cast<std::uint64_t>(mask_));
+  }
+
+  std::int64_t slots_ = 0;
+  std::int64_t mask_ = 0;
+  std::unique_ptr<std::atomic<std::int64_t>[]> keys_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> counts_;
+  std::atomic<std::int64_t> distinct_{0};
+};
+
+}  // namespace salient

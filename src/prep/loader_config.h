@@ -4,10 +4,24 @@
 #include <cstdint>
 #include <vector>
 
+#include "prep/cache_policy.h"
+
+/// \file
+/// \brief Shared configuration for the batch-preparation loaders
+/// (BaselineLoader, SalientLoader) and their device feature cache.
+
 namespace salient {
 
+/// Knobs shared by every batch-preparation loader. One LoaderConfig
+/// describes the sampling shape of a workload (batch size, fanouts,
+/// parallelism, seeding) plus the device feature cache it should run
+/// against; Trainer and InferenceServer derive their cache's
+/// CachePolicyConfig from these fields so warmup sampling matches the real
+/// workload (docs/CACHING.md).
 struct LoaderConfig {
+  /// Destination nodes per mini-batch.
   std::int64_t batch_size = 1024;
+  /// Per-layer sampling fanouts, outermost (input) layer first.
   std::vector<std::int64_t> fanouts{15, 10, 5};
   /// Number of preparation workers: multiprocessing DataLoader workers for
   /// the baseline, shared-memory C++ threads for SALIENT.
@@ -18,7 +32,20 @@ struct LoaderConfig {
   /// per-batch RNG is seeded by mix(seed, batch index), so the sampled MFGs
   /// are identical regardless of worker count and scheduling.
   std::uint64_t seed = 1;
+  /// Shuffle the seed-node order each epoch.
   bool shuffle = true;
+
+  /// Device feature-cache placement policy (the `--cache-policy` CLI knob;
+  /// see CachePolicyKind and docs/CACHING.md). Only consulted when a cache
+  /// is enabled (cache_percentage > 0 or an owner-provided capacity).
+  CachePolicyKind cache_policy = CachePolicyKind::kDegree;
+  /// Device feature-cache capacity as a fraction of |V| in [0, 1]
+  /// (the `--cache-pct` CLI knob). 0 disables the cache unless the owner
+  /// specifies an absolute capacity (e.g. TrainConfig::feature_cache_nodes).
+  double cache_percentage = 0.0;
+  /// Presample policy: warmup sampling epochs K (>= 1; see
+  /// CachePolicyConfig::presample_epochs).
+  int presample_epochs = 2;
 };
 
 }  // namespace salient

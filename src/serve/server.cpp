@@ -77,6 +77,24 @@ InferenceServer::InferenceServer(const Dataset& dataset,
       device_in_(config_.stage_queue_capacity) {
   prep_in_.set_fault_site("serve_prep");
   device_in_.set_fault_site("serve_device");
+  if (!config_.feature_cache && config_.cache_percentage > 0) {
+    // Build the server's own cache; warmup sampling mirrors the serving
+    // workload (test-split seeds, serve fanouts and batch cap).
+    CachePolicyConfig policy;
+    policy.kind = config_.cache_policy;
+    policy.presample_epochs = config_.presample_epochs;
+    policy.presample_workers = config_.num_prep_workers;
+    policy.presample_seeds = PresampleSeeds::kTest;
+    policy.fanouts = config_.fanouts;
+    policy.batch_size =
+        std::max<std::int64_t>(1, config_.batch.max_batch_nodes);
+    policy.seed = config_.seed;
+    const auto capacity = static_cast<std::int64_t>(
+        config_.cache_percentage *
+        static_cast<double>(dataset.graph.num_nodes()));
+    config_.feature_cache =
+        std::make_shared<const FeatureCache>(dataset, capacity, policy);
+  }
   model_->train(false);
   batcher_thread_ = std::thread([this] { batcher_loop(); });
   const int workers = std::max(1, config_.num_prep_workers);

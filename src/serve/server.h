@@ -58,8 +58,18 @@ struct ServeConfig {
   int pipeline_depth = 2;
   /// LRU entries of recent per-node predictions; 0 disables the cache.
   std::int64_t result_cache_capacity = 0;
-  /// Optional device-resident feature cache shared with training (§8).
+  /// Optional device-resident feature cache shared with training (§8). When
+  /// null and cache_percentage > 0, the server builds its own cache from
+  /// cache_policy/cache_percentage below.
   std::shared_ptr<const FeatureCache> feature_cache;
+  /// Placement policy for a server-built feature cache (docs/CACHING.md).
+  /// Presample warmup seeds from the test split — the serving workload.
+  CachePolicyKind cache_policy = CachePolicyKind::kDegree;
+  /// Capacity of a server-built feature cache as a fraction of |V| in
+  /// [0, 1]; 0 leaves the cache to `feature_cache` (possibly disabled).
+  double cache_percentage = 0.0;
+  /// Presample warmup epochs for a server-built cache.
+  int presample_epochs = 2;
   /// Latency target for the serve.slo.{ok,miss} counters, microseconds.
   double slo_us = 50'000;
   /// Seed of the per-batch sampling RNG (mixed with the batch sequence

@@ -1,5 +1,6 @@
 #include "train/trainer.h"
 
+#include <algorithm>
 #include <atomic>
 #include <deque>
 
@@ -20,9 +21,24 @@ Trainer::Trainer(const Dataset& dataset, std::shared_ptr<nn::GnnModel> model,
       config_(std::move(config)),
       optimizer_(model_->parameters(), config_.lr),
       pool_(std::make_shared<PinnedPool>()) {
-  if (config_.feature_cache_nodes > 0) {
-    cache_ = std::make_shared<const FeatureCache>(
-        dataset_, config_.feature_cache_nodes);
+  const auto pct_nodes = static_cast<std::int64_t>(
+      config_.loader.cache_percentage *
+      static_cast<double>(dataset_.graph.num_nodes()));
+  const std::int64_t cache_nodes =
+      std::max(config_.feature_cache_nodes, pct_nodes);
+  if (cache_nodes > 0) {
+    // The warmup/probe sampling of the presample and auto policies mirrors
+    // the training workload: same fanouts, batch size, and seed family.
+    CachePolicyConfig policy;
+    policy.kind = config_.loader.cache_policy;
+    policy.presample_epochs = config_.loader.presample_epochs;
+    policy.presample_workers = config_.loader.num_workers;
+    policy.presample_seeds = PresampleSeeds::kTrain;
+    policy.fanouts = config_.loader.fanouts;
+    policy.batch_size = config_.loader.batch_size;
+    policy.seed = config_.loader.seed;
+    cache_ = std::make_shared<const FeatureCache>(dataset_, cache_nodes,
+                                                  policy);
   }
 }
 

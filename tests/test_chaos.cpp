@@ -36,6 +36,8 @@
 #include "graph/dataset.h"
 #include "nn/models.h"
 #include "obs/metrics.h"
+#include "prep/cache_policy.h"
+#include "prep/feature_cache.h"
 #include "prep/salient_loader.h"
 #include "serve/server.h"
 #include "util/blocking_queue.h"
@@ -345,6 +347,43 @@ TEST(ChaosTraining, RandomizedSchedulesNeverLoseOrDuplicateBatches) {
     expect_exactly_once(r, num_batches);
     EXPECT_EQ(r.hash_by_index, baseline.hash_by_index) << "seed " << seed;
   }
+}
+
+TEST(ChaosPresample, AbortedWarmupDegradesToDegreeDeterministically) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ScopedDisarm guard;
+  Watchdog wd(std::chrono::milliseconds(60000), "presample abort chaos");
+  const Dataset& ds = chaos_dataset();
+  CachePolicyConfig cfg;
+  cfg.kind = CachePolicyKind::kPresample;
+  cfg.fanouts = {6, 4};
+  cfg.batch_size = 128;
+  cfg.seed = 7;
+  cfg.presample_workers = 0;  // serial warmup: partial counts are scripted
+
+  // Immediate abort: zero batches counted, so the all-zero frequency
+  // ranking degrades to exactly the degree policy's pinned set — an
+  // interrupted warmup never pins arbitrary rows.
+  Registry::global().configure("prep.cache.presample.abort",
+                               TriggerSpec::always());
+  const FeatureCache interrupted(ds, 250, cfg);
+  CachePolicyConfig deg = cfg;
+  deg.kind = CachePolicyKind::kDegree;
+  const FeatureCache degree(ds, 250, deg);
+  EXPECT_EQ(interrupted.resident_nodes(), degree.resident_nodes());
+  EXPECT_GE(obs::Registry::global().counter("prep.presample.aborts").value(),
+            1);
+
+  // Mid-warmup abort: re-arming the same spec replays the same partial
+  // counting, so the pinned set is identical run to run — and differs from
+  // the plain degree fallback (some frequency signal survived).
+  Registry::global().configure("prep.cache.presample.abort",
+                               TriggerSpec::nth(3));
+  const FeatureCache partial1(ds, 250, cfg);
+  Registry::global().configure("prep.cache.presample.abort",
+                               TriggerSpec::nth(3));
+  const FeatureCache partial2(ds, 250, cfg);
+  EXPECT_EQ(partial1.resident_nodes(), partial2.resident_nodes());
 }
 
 TEST(ChaosDma, TransientTransferErrorsRetryLosslessly) {

@@ -1,0 +1,174 @@
+// Markdown cross-reference checker behind the `docs_link_check` ctest gate.
+//
+// The docs tree leans hard on relative links (README -> docs/*, docs/* ->
+// each other, docs -> EXPERIMENTS.md); a renamed or dropped file silently
+// strands every reference to it. This tool makes that a build failure:
+//
+//   doc_linkcheck --root <repo-root> <markdown files, root-relative...>
+//                 [--require <file.md=target.md>]...
+//
+// For every inline markdown link `[text](target)` outside fenced code
+// blocks it checks that a relative `target` resolves to an existing file
+// under the root (external schemes and pure-anchor links are skipped;
+// `#anchor` suffixes are stripped before resolution). Each `--require
+// A=B` additionally asserts that file A contains at least one link
+// resolving to file B — the mandatory cross-references (e.g. README must
+// link docs/CACHING.md) stay mandatory.
+//
+// Pure standard library, like salient_lint: it must build and run even
+// when the salient libraries do not.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Link {
+  std::string target;  // raw target text from the markdown
+  int line = 0;
+};
+
+bool is_external(const std::string& target) {
+  return target.find("://") != std::string::npos ||
+         target.rfind("mailto:", 0) == 0;
+}
+
+// Strip the anchor (and any ` "title"` suffix) from a link target.
+std::string target_path(const std::string& target) {
+  std::string t = target.substr(0, target.find('#'));
+  const auto space = t.find(' ');
+  if (space != std::string::npos) t = t.substr(0, space);
+  return t;
+}
+
+// Inline links on one line: every `[text](target)` occurrence. Reference
+// -style links are not used in this repo's docs.
+void scan_line(const std::string& line, int line_no, std::vector<Link>& out) {
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] != '[') continue;
+    const auto close = line.find(']', i + 1);
+    if (close == std::string::npos) break;
+    if (close + 1 >= line.size() || line[close + 1] != '(') continue;
+    const auto end = line.find(')', close + 2);
+    if (end == std::string::npos) continue;
+    out.push_back({line.substr(close + 2, end - close - 2), line_no});
+    i = end;
+  }
+}
+
+std::vector<Link> scan_file(const fs::path& path, bool& ok) {
+  std::ifstream in(path);
+  std::vector<Link> links;
+  if (!in) {
+    std::cerr << "doc_linkcheck: cannot open " << path.string() << "\n";
+    ok = false;
+    return links;
+  }
+  std::string line;
+  int line_no = 0;
+  bool in_fence = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t");
+    if (first != std::string::npos && line.compare(first, 3, "```") == 0) {
+      in_fence = !in_fence;
+      continue;
+    }
+    if (!in_fence) scan_line(line, line_no, links);
+  }
+  return links;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::vector<std::string> files;
+  std::vector<std::pair<std::string, std::string>> required;  // file -> target
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--require" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::cerr << "doc_linkcheck: --require expects FILE=TARGET, got '"
+                  << spec << "'\n";
+        return 2;
+      }
+      required.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "doc_linkcheck: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "usage: doc_linkcheck --root DIR FILE.md... "
+                 "[--require FILE.md=TARGET.md]...\n";
+    return 2;
+  }
+
+  bool ok = true;
+  int checked = 0;
+  // file (as given) -> set of link targets resolved to root-relative form.
+  std::vector<std::pair<std::string, std::set<std::string>>> resolved;
+  for (const auto& file : files) {
+    const fs::path path = root / file;
+    auto& targets =
+        resolved.emplace_back(file, std::set<std::string>{}).second;
+    for (const auto& link : scan_file(path, ok)) {
+      const std::string rel = target_path(link.target);
+      if (is_external(link.target) || rel.empty()) continue;
+      ++checked;
+      const fs::path dest = rel[0] == '/'
+                                ? root / rel.substr(1)
+                                : path.parent_path() / rel;
+      if (!fs::exists(dest)) {
+        std::cerr << file << ":" << link.line << ": broken link '"
+                  << link.target << "' (resolved to "
+                  << dest.lexically_normal().string() << ")\n";
+        ok = false;
+        continue;
+      }
+      targets.insert(
+          fs::relative(fs::weakly_canonical(dest), fs::weakly_canonical(root))
+              .generic_string());
+    }
+  }
+
+  for (const auto& [file, want] : required) {
+    bool found = false;
+    bool scanned = false;
+    for (const auto& [name, targets] : resolved) {
+      if (name != file) continue;
+      scanned = true;
+      found = targets.count(want) != 0;
+    }
+    if (!scanned) {
+      std::cerr << "doc_linkcheck: --require names " << file
+                << ", which is not in the checked file list\n";
+      ok = false;
+    } else if (!found) {
+      std::cerr << file << ": missing required cross-reference to " << want
+                << "\n";
+      ok = false;
+    }
+  }
+
+  if (ok) {
+    std::cout << "doc_linkcheck: " << files.size() << " files, " << checked
+              << " relative links, " << required.size()
+              << " required cross-references — all good\n";
+  }
+  return ok ? 0 : 1;
+}
