@@ -18,6 +18,30 @@ std::vector<std::int64_t> parse_fanouts(const std::string& text) {
   return out;
 }
 
+std::vector<std::int64_t> parse_int_list(const std::string& text) {
+  std::vector<std::int64_t> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    out.push_back(std::stoll(item));
+  }
+  if (out.empty()) throw std::invalid_argument("parse_int_list: empty list");
+  return out;
+}
+
+std::vector<double> parse_double_list(const std::string& text) {
+  std::vector<double> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    out.push_back(std::stod(item));
+  }
+  if (out.empty()) throw std::invalid_argument("parse_double_list: empty list");
+  return out;
+}
+
 bool parse_obs_flag(const std::string& arg, SystemConfig& config) {
   constexpr std::string_view kTrace = "--trace-out=";
   constexpr std::string_view kMetrics = "--metrics-out=";

@@ -61,6 +61,14 @@ struct SystemConfig {
 /// Parse "a,b,c" into a fanout list (helper for example/bench CLIs).
 std::vector<std::int64_t> parse_fanouts(const std::string& text);
 
+/// Parse "a,b,c" into integers (CLI sweep lists; empty items are skipped).
+/// \throws std::invalid_argument when no value survives.
+std::vector<std::int64_t> parse_int_list(const std::string& text);
+
+/// Parse "a,b,c" into doubles (CLI sweep lists; empty items are skipped).
+/// \throws std::invalid_argument when no value survives.
+std::vector<double> parse_double_list(const std::string& text);
+
 /// Recognize the observability CLI flags (--trace-out=<path>,
 /// --metrics-out=<path>) and apply them to `config`. Returns true when `arg`
 /// was consumed; examples call this before their positional parsing so every

@@ -1,0 +1,386 @@
+#include "dist/cluster/cluster_trainer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "dist/allreduce.h"
+#include "fault/failpoint.h"
+#include "nn/loss.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "prep/slicing.h"
+#include "sampling/distributed.h"
+#include "sampling/fast_sampler.h"
+#include "tensor/ops.h"
+#include "util/half.h"
+#include "util/timer.h"
+
+namespace salient::dist {
+
+namespace {
+
+/// One node's in-flight state for the current global step. Written by the
+/// owning node thread in phases A/C; read (and its staging filled) by the
+/// rank-0 thread in the serial network phase B — the barriers between the
+/// phases are the synchronization.
+struct StepState {
+  std::int64_t rows = 0;      ///< this node's chunk of the global batch
+  double loss_weight = 0;     ///< rows / global batch rows
+  double loss = 0;            ///< this node's mean chunk loss
+  Mfg mfg;
+  RemotePlan rp;
+  Tensor x;                   ///< [num_input, F] f32, assembled per source
+  Tensor y;                   ///< [rows] i64 labels
+  std::vector<Half> stage;    ///< fetched remote rows, wire precision (f16)
+};
+
+}  // namespace
+
+ClusterTrainer::ClusterTrainer(const Dataset& dataset, ClusterConfig config)
+    : dataset_(dataset),
+      config_(std::move(config)),
+      partition_(build_cluster_partition(dataset.graph, config_.partition)),
+      net_(config_.partition.num_nodes, config_.net) {
+  if (config_.batch_size < 1) {
+    throw std::invalid_argument("cluster: batch_size must be >= 1");
+  }
+  // The caches must estimate the trainer's own workload: same fanouts,
+  // global batch size and seed family, whatever the caller put in `cache`.
+  config_.cache.fanouts = config_.fanouts;
+  config_.cache.batch_size = config_.batch_size;
+  config_.cache.seed = config_.seed;
+
+  const int world = config_.partition.num_nodes;
+  node_clock_.assign(static_cast<std::size_t>(world), 0.0);
+  for (int p = 0; p < world; ++p) {
+    // Identical model seed => identical initial parameters on every node.
+    models_.push_back(nn::make_model(config_.arch, config_.model));
+    optimizers_.push_back(std::make_unique<optim::Adam>(
+        models_.back()->parameters(), config_.lr));
+    caches_.push_back(std::make_unique<RemoteFeatureCache>(
+        dataset_, partition_, p, config_.cache));
+  }
+}
+
+ClusterEpochResult ClusterTrainer::train_epoch(int epoch) {
+  const int world = num_nodes();
+  const auto worldz = static_cast<std::size_t>(world);
+  static obs::Counter& m_node_retries =
+      obs::Registry::global().counter("dist.node.retries");
+  static obs::Counter& m_stragglers =
+      obs::Registry::global().counter("dist.node.stragglers");
+
+  ClusterEpochResult result;
+  result.epoch = epoch;
+  WallTimer wall;
+
+  // Same epoch-seed derivation and shuffle as the single-node trainer
+  // (train/trainer.cpp + prep/salient_loader.cpp) — the parity anchor.
+  const std::uint64_t epoch_seed =
+      config_.seed * 0x10001ull + static_cast<std::uint64_t>(epoch) + 1;
+  std::vector<NodeId> order = dataset_.train_idx;
+  schedule_shuffle(order, epoch_seed);
+  const auto total = static_cast<std::int64_t>(order.size());
+  const std::int64_t batch = config_.batch_size;
+  const std::int64_t num_steps = (total + batch - 1) / batch;
+  if (num_steps == 0) {
+    throw std::invalid_argument("cluster: dataset has no training nodes");
+  }
+
+  const std::size_t bytes0 = net_.bytes_on_wire();
+  const std::int64_t msgs0 = net_.messages();
+  const std::int64_t retr0 = net_.retries();
+  const double sim0 =
+      *std::max_element(node_clock_.begin(), node_clock_.end());
+
+  const std::int64_t feat_dim = dataset_.feature_dim;
+  const Half* feat = dataset_.features.data<Half>();
+  std::size_t param_count = 0;
+  for (const auto& p : models_[0]->parameters()) {
+    param_count += static_cast<std::size_t>(p.data().numel());
+  }
+
+  RingAllreduce allreduce(world);
+  std::barrier<> bar(world);
+  std::vector<StepState> st(worldz);
+  std::vector<std::exception_ptr> errors(worldz);
+  std::atomic<bool> abort{false};
+  std::atomic<std::int64_t> node_retries{0};
+  std::vector<double> node_secs(worldz, 0.0);
+  double loss_sum = 0;
+
+  auto node_body = [&](int rank) {
+    const auto rankz = static_cast<std::size_t>(rank);
+    auto& model = *models_[rankz];
+    auto& opt = *optimizers_[rankz];
+    model.train(true);
+    FastSampler sampler(dataset_.graph, config_.fanouts);
+    auto params = model.parameters();
+    const RemoteFeatureCache& rcache = *caches_[rankz];
+
+    for (std::int64_t b = 0; b < num_steps; ++b) {
+      WallTimer t;
+      StepState& s = st[rankz];
+      const std::int64_t lo = b * batch;
+      const std::int64_t hi = std::min(total, lo + batch);
+      const std::int64_t global_rows = hi - lo;
+      const ChunkRange chunk = chunk_range(global_rows, world, rank);
+
+      // -- Phase A: sample + plan + local/cached feature assembly. A fired
+      // `dist.node.fail` discards the attempt's work (the simulated node
+      // crash) and redoes it — resampling is deterministic, so recovery is
+      // lossless. The retry budget is bounded; exhaustion aborts the epoch.
+      bool ok = false;
+      for (int attempt = 0; attempt <= config_.max_step_retries && !ok;
+           ++attempt) {
+        SALIENT_FAILPOINT_WEDGE("dist.node.slow");
+        s = StepState{};
+        s.rows = chunk.size();
+        s.loss_weight = static_cast<double>(s.rows) /
+                        static_cast<double>(global_rows);
+        if (s.rows > 0) {
+          s.mfg = sampler.sample(
+              {order.data() + lo + chunk.begin,
+               static_cast<std::size_t>(chunk.size())},
+              schedule_mix_seed(epoch_seed, b * world + rank));
+          s.rp = rcache.plan(s.mfg);
+          const std::int64_t in = s.mfg.num_input_nodes();
+          s.x = Tensor({in, feat_dim}, DType::kF32);
+          float* xd = s.x.data<float>();
+          // Cache hits are already device precision (f32).
+          const FeatureCache& cache = rcache.cache();
+          const float* hit_src =
+              cache.dynamic_policy()
+                  ? (s.rp.plan.hit_rows.numel() > 0
+                         ? s.rp.plan.hit_rows.data<float>()
+                         : nullptr)
+                  : (cache.capacity() > 0 ? cache.features().data<float>()
+                                          : nullptr);
+          for (std::size_t i = 0; i < s.rp.plan.from_cache.size(); ++i) {
+            if (!s.rp.plan.from_cache[i]) continue;
+            std::memcpy(
+                xd + static_cast<std::int64_t>(i) * feat_dim,
+                hit_src + s.rp.plan.source[i] * feat_dim,
+                static_cast<std::size_t>(feat_dim) * sizeof(float));
+          }
+          // Locally-owned rows: sliced from this node's feature shard and
+          // converted f16->f32 per row (elementwise, so bitwise identical
+          // to the single-node whole-matrix conversion).
+          for (const std::int64_t i : s.rp.local_rows) {
+            half_to_float_n(
+                feat + s.mfg.n_ids[static_cast<std::size_t>(i)] * feat_dim,
+                xd + i * feat_dim, feat_dim);
+          }
+          s.y = Tensor({s.mfg.batch_size}, DType::kI64);
+          slice_labels(dataset_.labels,
+                       {s.mfg.n_ids.data(),
+                        static_cast<std::size_t>(s.mfg.batch_size)},
+                       s.y);
+          std::int64_t fetch_rows = 0;
+          for (const auto& f : s.rp.fetches) {
+            fetch_rows += static_cast<std::int64_t>(f.rows.size());
+          }
+          s.stage.resize(static_cast<std::size_t>(fetch_rows * feat_dim));
+        }
+        if (SALIENT_FAILPOINT("dist.node.fail")) {
+          node_retries.fetch_add(1, std::memory_order_relaxed);
+          m_node_retries.add();
+          continue;
+        }
+        ok = true;
+      }
+      if (!ok) {
+        errors[rankz] = std::make_exception_ptr(ClusterError(
+            "cluster: node " + std::to_string(rank) + " failed step " +
+            std::to_string(b) + " after " +
+            std::to_string(config_.max_step_retries) + " retries"));
+      }
+      node_secs[rankz] += t.seconds();
+      bar.arrive_and_wait();
+
+      // -- Phase B: rank 0 serially moves every node's remote-miss rows
+      // over the modelled interconnect in (destination, owner) order, so
+      // the simulated clocks are deterministic regardless of thread
+      // scheduling. Payloads travel in wire precision (f16).
+      if (rank == 0) {
+        for (const auto& e : errors) {
+          if (e) abort.store(true, std::memory_order_relaxed);
+        }
+        if (!abort.load(std::memory_order_relaxed)) {
+          try {
+            std::vector<Half> scratch;
+            for (int p = 0; p < world; ++p) {
+              StepState& sp = st[static_cast<std::size_t>(p)];
+              std::int64_t off = 0;
+              for (const auto& f : sp.rp.fetches) {
+                const auto rows = static_cast<std::int64_t>(f.rows.size());
+                scratch.resize(static_cast<std::size_t>(rows * feat_dim));
+                for (std::int64_t k = 0; k < rows; ++k) {
+                  std::memcpy(
+                      scratch.data() + k * feat_dim,
+                      feat + sp.mfg.n_ids[static_cast<std::size_t>(
+                                 f.rows[static_cast<std::size_t>(k)])] *
+                                 feat_dim,
+                      static_cast<std::size_t>(feat_dim) * sizeof(Half));
+                }
+                const std::size_t nb =
+                    static_cast<std::size_t>(rows * feat_dim) * sizeof(Half);
+                node_clock_[static_cast<std::size_t>(p)] = net_.transfer(
+                    f.owner, p, scratch.data(),
+                    sp.stage.data() + off * feat_dim, nb,
+                    node_clock_[static_cast<std::size_t>(p)]);
+                off += rows;
+                result.remote_rows_fetched += rows;
+                result.remote_feature_bytes += nb;
+              }
+              result.remote_hits += sp.rp.remote_hits;
+              result.remote_misses += sp.rp.remote_misses;
+            }
+          } catch (...) {
+            errors[0] = std::current_exception();
+            abort.store(true, std::memory_order_relaxed);
+          }
+        }
+      }
+      bar.arrive_and_wait();
+      if (abort.load(std::memory_order_relaxed)) break;
+
+      // -- Phase C: convert the fetched rows, train on the chunk, average
+      // gradients across nodes (weighted so the global update equals the
+      // gradient of the whole batch's mean loss), and step.
+      t.reset();
+      {
+        std::int64_t off = 0;
+        float* xd = s.rows > 0 ? s.x.data<float>() : nullptr;
+        for (const auto& f : s.rp.fetches) {
+          for (const std::int64_t i : f.rows) {
+            half_to_float_n(s.stage.data() + off * feat_dim,
+                            xd + i * feat_dim, feat_dim);
+            ++off;
+          }
+        }
+      }
+      double loss = 0;
+      if (s.rows > 0) {
+        Variable x(s.x, /*requires_grad=*/false);
+        Variable logp = model.forward(x, s.mfg);
+        Variable l = nn::nll_loss(logp, s.y);
+        model.zero_grad();
+        l.backward();
+        loss = static_cast<double>(l.data().data<float>()[0]);
+      } else {
+        model.zero_grad();  // zero contribution to the averaged gradient
+      }
+      s.loss = loss;
+      if (world > 1) {
+        // Weight so the all-reduce *mean* equals the global-batch gradient:
+        // sum_p (rows_p/B) * grad_p = (1/world) * sum_p flat_p.
+        const auto scale = static_cast<float>(
+            static_cast<double>(s.rows) * static_cast<double>(world) /
+            static_cast<double>(global_rows));
+        std::size_t flat_size = 0;
+        for (const auto& p : params) {
+          flat_size += static_cast<std::size_t>(p.data().numel());
+        }
+        std::vector<float> flat(flat_size, 0.0f);
+        std::size_t off = 0;
+        for (const auto& p : params) {
+          const auto n = static_cast<std::size_t>(p.data().numel());
+          if (p.grad().defined()) {
+            const float* g = p.grad().data<float>();
+            for (std::size_t i = 0; i < n; ++i) flat[off + i] = g[i] * scale;
+          }
+          off += n;
+        }
+        allreduce.run(rank, flat);
+        off = 0;
+        for (auto& p : params) {
+          const auto n = static_cast<std::size_t>(p.data().numel());
+          Tensor g(p.data().shape(), DType::kF32);
+          std::copy(flat.begin() + static_cast<std::ptrdiff_t>(off),
+                    flat.begin() + static_cast<std::ptrdiff_t>(off + n),
+                    g.data<float>());
+          p.zero_grad();
+          p.accumulate_grad(g);
+          off += n;
+        }
+      }
+      opt.step();
+      node_secs[rankz] += t.seconds();
+      bar.arrive_and_wait();
+
+      // -- Step accounting (rank 0): batch-weighted loss, plus one ring
+      // all-reduce pass charged to the simulated network.
+      if (rank == 0) {
+        double step_loss = 0;
+        for (const StepState& sp : st) {
+          step_loss += sp.loss_weight * sp.loss;
+        }
+        loss_sum += step_loss;
+        if (world > 1) {
+          const double begin =
+              *std::max_element(node_clock_.begin(), node_clock_.end());
+          const double end =
+              net_.allreduce_time(param_count * sizeof(float), begin);
+          std::fill(node_clock_.begin(), node_clock_.end(), end);
+        }
+      }
+      bar.arrive_and_wait();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(worldz);
+  for (int p = 0; p < world; ++p) threads.emplace_back(node_body, p);
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  result.wall_seconds = wall.seconds();
+  result.num_steps = num_steps;
+  result.mean_loss = loss_sum / static_cast<double>(num_steps);
+  result.node_retries = node_retries.load();
+  result.wire_bytes = net_.bytes_on_wire() - bytes0;
+  result.net_messages = net_.messages() - msgs0;
+  result.net_retries = net_.retries() - retr0;
+  result.sim_net_seconds =
+      *std::max_element(node_clock_.begin(), node_clock_.end()) - sim0;
+  result.node_seconds = node_secs;
+
+  // Epoch-level straggler detection: relative to the median node, with an
+  // absolute floor so tiny runs on a loaded host are not misflagged.
+  // Lower-middle median: with an even node count the upper-middle element
+  // can be the straggler itself (e.g. 2 nodes), which would mask it.
+  std::vector<double> sorted = node_secs;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[(sorted.size() - 1) / 2];
+  for (int p = 0; p < world; ++p) {
+    const double secs = node_secs[static_cast<std::size_t>(p)];
+    if (secs > config_.straggler_factor * median &&
+        secs > config_.straggler_min_seconds) {
+      result.stragglers.push_back(p);
+    }
+  }
+  m_stragglers.add(static_cast<std::int64_t>(result.stragglers.size()));
+  return result;
+}
+
+bool ClusterTrainer::replicas_in_sync() const {
+  if (models_.size() < 2) return true;
+  const auto ref = models_[0]->parameters();
+  for (std::size_t r = 1; r < models_.size(); ++r) {
+    const auto params = models_[r]->parameters();
+    if (params.size() != ref.size()) return false;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (!allclose(params[i].data(), ref[i].data(), 0.0, 0.0)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace salient::dist

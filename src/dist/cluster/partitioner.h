@@ -1,0 +1,112 @@
+// Cluster-level graph partitioning with halo-vertex ownership maps
+// (docs/DISTRIBUTED.md).
+//
+// The single-machine partitioners in graph/partition.h answer "which part
+// does vertex v belong to?". A simulated cluster needs more: every node must
+// know which vertices it *owns* (their feature rows live in its share of the
+// partitioned feature store), which remote vertices its owned neighborhood
+// touches (its *halo* — the candidates for remote fetches and for the
+// replication cache), and, symmetrically, which of its owned vertices other
+// nodes will ask it for (its per-peer *boundary*). This header derives those
+// maps from either assignment strategy and exposes the invariants the test
+// suite checks: unique ownership, symmetric halo/boundary views, and full
+// coverage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/partition.h"
+
+/// \file
+/// \brief Cluster partition: per-node owned/halo/boundary vertex maps derived
+/// from a graph partition assignment (docs/DISTRIBUTED.md).
+
+namespace salient::dist {
+
+/// Which assignment strategy builds the underlying vertex->node map.
+enum class PartitionStrategy : std::uint8_t {
+  /// Uniform hash assignment (graph/partition.h partition_random): the
+  /// no-structure baseline. Balanced in expectation, maximal edge cut.
+  kHash,
+  /// Locality-aware Linear Deterministic Greedy streaming assignment
+  /// (partition_ldg, Stanton & Kliot): hubs placed first anchor their
+  /// communities, cutting the cross-node halo substantially.
+  kGreedy,
+};
+
+/// Parse a strategy name ("hash", "greedy").
+/// \throws std::invalid_argument on an unknown name.
+PartitionStrategy parse_partition_strategy(const std::string& name);
+
+/// The canonical lower-case name of `strategy` (inverse of
+/// parse_partition_strategy).
+const char* partition_strategy_name(PartitionStrategy strategy);
+
+/// Configuration for build_cluster_partition().
+struct ClusterPartitionConfig {
+  /// Number of simulated cluster nodes (>= 1).
+  int num_nodes = 2;
+  /// Assignment strategy deriving the vertex->node map.
+  PartitionStrategy strategy = PartitionStrategy::kGreedy;
+  /// Seed for the hash strategy (ignored by greedy, which is deterministic).
+  std::uint64_t seed = 1;
+  /// Greedy strategy: parts may exceed the ideal size by this factor.
+  double capacity_slack = 1.05;
+};
+
+/// A graph partitioned across N simulated cluster nodes, with the per-node
+/// ownership maps a distributed training loop needs.
+///
+/// Invariants (asserted by tests/test_cluster.cpp):
+///  * every vertex appears in exactly one node's `owned` list;
+///  * `halo[p]` holds exactly the remote vertices adjacent to p's owned set;
+///  * the halo/boundary views are symmetric: vertex v owned by q appears in
+///    `halo[p]` if and only if it appears in `boundary[q][p]`;
+///  * all per-node vertex lists are sorted ascending (deterministic layout).
+struct ClusterPartition {
+  /// Number of cluster nodes (the partition count).
+  int num_nodes = 1;
+  /// The underlying vertex->node assignment.
+  GraphPartition assignment;
+  /// Per node: the vertices whose feature rows it owns, sorted ascending.
+  std::vector<std::vector<NodeId>> owned;
+  /// Per node: remote vertices adjacent to at least one owned vertex,
+  /// sorted ascending. These are the vertices one-hop expansions reach;
+  /// deeper multi-hop expansions may touch remote vertices beyond the halo.
+  std::vector<std::vector<NodeId>> halo;
+  /// boundary[q][p]: vertices owned by node q that node p's halo contains
+  /// (i.e. q-owned vertices adjacent to p's owned set), sorted ascending.
+  /// boundary[q][q] is empty.
+  std::vector<std::vector<std::vector<NodeId>>> boundary;
+
+  /// The node owning vertex `v`.
+  std::int32_t owner_of(NodeId v) const { return assignment.part_of(v); }
+
+  /// Total halo vertices summed over nodes (the replication pressure the
+  /// remote-feature cache relieves).
+  std::int64_t total_halo() const;
+
+  /// Fraction of graph edges whose endpoints live on different nodes.
+  double edge_cut() const { return edge_cut_; }
+
+  /// Largest owned set divided by the ideal size (1.0 = perfectly balanced).
+  double balance() const { return balance_; }
+
+  /// Check every structural invariant listed above against `graph`.
+  bool valid(const CsrGraph& graph) const;
+
+  /// \cond INTERNAL
+  double edge_cut_ = 0.0;
+  double balance_ = 1.0;
+  /// \endcond
+};
+
+/// Partition `graph` across `config.num_nodes` simulated nodes and derive
+/// the owned/halo/boundary maps. Deterministic in (graph, config).
+/// \throws std::invalid_argument when config.num_nodes < 1.
+ClusterPartition build_cluster_partition(const CsrGraph& graph,
+                                         const ClusterPartitionConfig& config);
+
+}  // namespace salient::dist

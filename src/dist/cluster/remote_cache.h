@@ -1,0 +1,123 @@
+// Per-node replication cache of remote vertex features (docs/DISTRIBUTED.md).
+//
+// In the partitioned cluster each node stores only the feature rows of the
+// vertices it owns, so every sampled batch needs the features of remote
+// vertices fetched over the interconnect — the cross-node traffic SALIENT++
+// identifies as the distributed bottleneck. This cache keeps the *hot*
+// remote features replicated locally, and — the SALIENT++ idea — drives
+// which those are from neighborhood-expansion frequency estimates computed
+// by presampling the node's own slice of the training schedule, rather than
+// from recency. It is a thin partition-aware layer over the single-node
+// FeatureCache/CachePolicy machinery (prep/cache_policy.h): the policies
+// here restrict candidacy to remote vertices and delegate everything else,
+// which is exactly the reuse that interface was built for.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/cluster/partitioner.h"
+#include "prep/feature_cache.h"
+
+/// \file
+/// \brief The per-node remote-feature replication cache and its per-batch
+/// fetch plan (docs/DISTRIBUTED.md).
+
+namespace salient::dist {
+
+/// Configuration of one node's remote-feature cache.
+struct RemoteCacheConfig {
+  /// Placement policy. kDegree and kPresample pin statically over remote
+  /// candidates; kLru admits remote misses dynamically; kAuto falls back to
+  /// kPresample (the auto probe measures single-node hit rate, which is the
+  /// wrong objective here).
+  CachePolicyKind policy = CachePolicyKind::kPresample;
+  /// Cache capacity as a fraction of |V| in [0, 1] per node.
+  double cache_percentage = 0.0;
+  /// Absolute per-node capacity override; the effective capacity is
+  /// max(capacity_nodes, cache_percentage * |V|), clamped to the node's
+  /// remote-vertex count.
+  std::int64_t capacity_nodes = 0;
+  /// Presample policy: warmup epochs K (>= 1) over the node's slice of the
+  /// cluster training schedule.
+  int presample_epochs = 2;
+  /// Sampling fanouts of the target workload, outermost first.
+  std::vector<std::int64_t> fanouts{15, 10, 5};
+  /// Global (cluster-wide) mini-batch size of the target workload.
+  std::int64_t batch_size = 1024;
+  /// Base seed of the target workload (the ClusterTrainer's loader seed);
+  /// warmup epochs derive per-epoch seeds from it exactly like training.
+  std::uint64_t seed = 1;
+};
+
+/// One per-owner remote fetch of a batch's missing rows.
+struct RemoteFetch {
+  /// The node owning the fetched rows.
+  int owner = 0;
+  /// Ascending row indices into the MFG's input set (mfg.n_ids).
+  std::vector<std::int64_t> rows;
+};
+
+/// A partition-aware transfer plan for one mini-batch: every input row is
+/// either owned locally, replicated in the remote cache, or listed in a
+/// per-owner fetch.
+struct RemotePlan {
+  /// The underlying cache classification (hits serve from the cache).
+  CachePlan plan;
+  /// Ascending row indices owned by this node (sliced from the local
+  /// feature-store shard).
+  std::vector<std::int64_t> local_rows;
+  /// Per-owner fetches of the remote misses, ascending owner order; owners
+  /// with no missing rows are omitted.
+  std::vector<RemoteFetch> fetches;
+  /// Remote input rows served from the replication cache.
+  std::int64_t remote_hits = 0;
+  /// Remote input rows that must cross the interconnect.
+  std::int64_t remote_misses = 0;
+
+  /// Remote rows in this batch (hits + misses).
+  std::int64_t remote_rows() const { return remote_hits + remote_misses; }
+  /// Fraction of remote rows served locally (0 when the batch has none).
+  double remote_hit_rate() const {
+    const auto r = remote_rows();
+    return r > 0 ? static_cast<double>(remote_hits) / static_cast<double>(r)
+                 : 0.0;
+  }
+};
+
+/// One cluster node's replication cache of remote vertex features.
+///
+/// Construction may be expensive (the presample policy runs its warmup
+/// sampling epochs); plan() is cheap and thread-safe. Capacity 0 is a valid
+/// always-fetch cache, which is how the uncached baseline is modelled.
+class RemoteFeatureCache {
+ public:
+  /// Build node `node`'s cache over `dataset` under `partition`. Both are
+  /// borrowed and must outlive the cache.
+  /// \throws std::invalid_argument on an out-of-range node or a config the
+  /// underlying policy rejects.
+  RemoteFeatureCache(const Dataset& dataset, const ClusterPartition& partition,
+                     int node, const RemoteCacheConfig& config);
+
+  /// Classify a sampled batch: cache hits, locally owned rows, and the
+  /// per-owner remote fetch lists. Counts the cluster-wide
+  /// `dist.cache.row_{hits,misses}` metrics (remote rows only).
+  RemotePlan plan(const Mfg& mfg) const;
+
+  /// The underlying feature cache (resident rows, f32 feature matrix).
+  const FeatureCache& cache() const { return cache_; }
+  /// Effective capacity in rows (after clamping).
+  std::int64_t capacity() const { return cache_.capacity(); }
+  /// The governing policy's canonical name.
+  const char* policy_name() const { return cache_.policy_name(); }
+  /// The node this cache belongs to.
+  int node() const { return node_; }
+
+ private:
+  const ClusterPartition* partition_;  ///< borrowed; outlives the cache
+  int node_ = 0;
+  std::int64_t num_remote_ = 0;  ///< remote-vertex count (capacity clamp)
+  FeatureCache cache_;
+};
+
+}  // namespace salient::dist

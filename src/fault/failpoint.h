@@ -25,7 +25,9 @@
 //
 // Naming convention (docs/TESTING.md): `<subsystem>.<site>[.<fault>]`, e.g.
 // dma.h2d, pinned.exhausted, prep.worker.die, serve.prep.fail,
-// queue.<name>.wedge, mpmc.<name>.pop_empty.
+// queue.<name>.wedge, mpmc.<name>.pop_empty; the cluster fault sites
+// (docs/DISTRIBUTED.md) are dist.net.drop, dist.net.degrade,
+// dist.node.fail and dist.node.slow.
 #pragma once
 
 #include <atomic>

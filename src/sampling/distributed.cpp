@@ -57,4 +57,37 @@ double estimate_sampling_comm_fraction(const CsrGraph& graph,
   return measured > 0 ? sum / measured : 0.0;
 }
 
+ChunkRange chunk_range(std::int64_t rows, int num_nodes, int node) {
+  const auto world = static_cast<std::int64_t>(std::max(1, num_nodes));
+  const auto rank = static_cast<std::int64_t>(node);
+  const std::int64_t base = rows / world;
+  const std::int64_t rem = rows % world;
+  const std::int64_t begin = rank * base + std::min(rank, rem);
+  return {begin, begin + base + (rank < rem ? 1 : 0)};
+}
+
+std::uint64_t schedule_mix_seed(std::uint64_t seed, std::int64_t index) {
+  SplitMix64 sm(seed ^
+                (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(index + 1)));
+  return sm.next();
+}
+
+void schedule_shuffle(std::vector<NodeId>& nodes, std::uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  for (std::size_t i = nodes.size(); i > 1; --i) {
+    std::swap(nodes[i - 1], nodes[bounded_rand(rng, i)]);
+  }
+}
+
+std::vector<std::vector<std::int64_t>> group_rows_by_owner(
+    const Mfg& mfg, const GraphPartition& p) {
+  std::vector<std::vector<std::int64_t>> rows(
+      static_cast<std::size_t>(std::max(1, p.num_parts)));
+  for (std::size_t i = 0; i < mfg.n_ids.size(); ++i) {
+    rows[static_cast<std::size_t>(p.part_of(mfg.n_ids[i]))].push_back(
+        static_cast<std::int64_t>(i));
+  }
+  return rows;
+}
+
 }  // namespace salient

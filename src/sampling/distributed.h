@@ -30,4 +30,44 @@ double estimate_sampling_comm_fraction(const CsrGraph& graph,
                                        std::int64_t batch_size,
                                        int num_batches, std::uint64_t seed);
 
+/// A contiguous sub-range [begin, end) of a mini-batch's rows.
+struct ChunkRange {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+
+  std::int64_t size() const { return end - begin; }
+  bool empty() const { return end <= begin; }
+};
+
+/// Balanced contiguous split of `rows` batch rows across `num_nodes` cluster
+/// nodes: node `node` receives rows [begin, end) with sizes differing by at
+/// most one (the first rows % num_nodes nodes take the extra row). At
+/// num_nodes == 1 the range is the whole batch, which is what lets a 1-node
+/// cluster replay the single-node loader's batches exactly
+/// (docs/DISTRIBUTED.md). Deterministic; both the ClusterTrainer's runtime
+/// schedule and the remote presample warmup use it so frequency estimation
+/// sees the true per-node workload.
+ChunkRange chunk_range(std::int64_t rows, int num_nodes, int node);
+
+/// The loaders' per-batch seed mixing (prep/salient_loader.cpp): SplitMix64
+/// over seed ^ golden-ratio * (index + 1). The cluster trainer seeds chunk
+/// (batch, node) pairs with index = batch * num_nodes + node, which at one
+/// node collapses to the single-node loader's per-batch seed — the keystone
+/// of the 1-node bitwise-parity guarantee (docs/DISTRIBUTED.md). The remote
+/// presample warmup uses the same mixing so it counts the exact expansions
+/// training will sample.
+std::uint64_t schedule_mix_seed(std::uint64_t seed, std::int64_t index);
+
+/// The loaders' deterministic epoch shuffle (Fisher-Yates over
+/// Xoshiro256ss(seed)); same algorithm and seeding as SalientLoader, for the
+/// same parity reason as schedule_mix_seed.
+void schedule_shuffle(std::vector<NodeId>& nodes, std::uint64_t seed);
+
+/// Group an MFG's input rows by owning partition: result[q] holds the
+/// ascending row indices i (into mfg.n_ids) with p.part_of(n_ids[i]) == q.
+/// The per-owner fetch lists a distributed feature loader would issue when
+/// nothing is cached; tests cross-check RemoteFeatureCache plans against it.
+std::vector<std::vector<std::int64_t>> group_rows_by_owner(
+    const Mfg& mfg, const GraphPartition& p);
+
 }  // namespace salient

@@ -56,6 +56,16 @@ inline constexpr std::int64_t kParallelGrain = 1 << 14;
 /// True when `work` clears the grain and the kernel pool has >1 worker.
 bool use_parallel(std::int64_t work);
 
+/// Minimum *output columns* for column-decomposed reductions (sum_rows) to
+/// parallelize. Those kernels split the output vector across threads and
+/// sweep every input row, so a narrow output (e.g. 256 floats = 16 cache
+/// lines shared by 8 threads over thousands of row passes) false-shares its
+/// way to a slowdown regardless of total work — the BENCH_kernels
+/// sum_rows_8kx256 regression. Below this width the reduction runs serial;
+/// above it each thread owns >= ~2 KB of the output and sharing is confined
+/// to block boundaries.
+inline constexpr std::int64_t kReduceColumnGrain = 4096;
+
 /// Run fn over [0, n) — chunked on the kernel pool when `work` clears the
 /// cost heuristic, serially otherwise. fn receives (begin, end). fn must be
 /// safe to run from pool workers and must write disjoint outputs per index

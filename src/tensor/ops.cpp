@@ -244,9 +244,13 @@ Tensor sum_rows(const Tensor& x) {
   Tensor out({n}, x.dtype());
   // Parallel decomposition is by output column so each po[j] is owned by
   // one thread and accumulated in ascending-row order — the same order as
-  // the serial loop, keeping the result bitwise identical.
+  // the serial loop, keeping the result bitwise identical. A narrow output
+  // stays serial (kReduceColumnGrain): every row pass rewrites the whole
+  // output vector, so threads sharing its few cache lines false-share it
+  // into a slowdown however large m is.
   auto run = [&](const auto* px, auto* po) {
-    run_indexed(n, m * n, [&](std::int64_t jb, std::int64_t je) {
+    run_indexed(n, n < kReduceColumnGrain ? 0 : m * n,
+                [&](std::int64_t jb, std::int64_t je) {
       for (std::int64_t i = 0; i < m; ++i) {
         for (std::int64_t j = jb; j < je; ++j) po[j] += px[i * n + j];
       }

@@ -30,6 +30,7 @@
 
 #include "device/device_sim.h"
 #include "device/dma.h"
+#include "dist/cluster/cluster_trainer.h"
 #include "device/stream.h"
 #include "fault/failpoint.h"
 #include "fault/watchdog.h"
@@ -494,6 +495,129 @@ TEST(ChaosServe, RandomFaultsDegradeGracefullyAndDrainOnShutdown) {
   EXPECT_EQ(ok + shed + failed, kRequests);
   EXPECT_GT(ok, 0) << "degradation must not be total";
   EXPECT_GT(failed, 0) << "the prep-fault schedule should have fired";
+}
+
+// --- cluster chaos: link/node faults on the simulated cluster ---------------
+// (src/dist/cluster/; failpoints dist.net.drop, dist.net.degrade,
+// dist.node.fail, dist.node.slow — see docs/DISTRIBUTED.md)
+
+dist::ClusterConfig chaos_cluster_config() {
+  const Dataset& ds = chaos_dataset();
+  dist::ClusterConfig cc;
+  cc.partition.num_nodes = 2;
+  cc.partition.seed = 5;
+  cc.cache.cache_percentage = 0.05;
+  cc.cache.presample_epochs = 1;
+  cc.model.in_channels = ds.feature_dim;
+  cc.model.hidden_channels = 24;
+  cc.model.out_channels = ds.num_classes;
+  cc.model.num_layers = 2;
+  cc.model.seed = 9;
+  cc.fanouts = {6, 4};
+  cc.batch_size = 256;
+  cc.seed = 33;
+  return cc;
+}
+
+/// One fresh 2-node epoch under whatever failpoint schedule is armed.
+dist::ClusterEpochResult run_cluster_epoch() {
+  dist::ClusterTrainer t(chaos_dataset(), chaos_cluster_config());
+  return t.train_epoch(0);
+}
+
+TEST(ChaosCluster, DroppedMessagesRetryWithoutChangingResults) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ScopedDisarm guard;
+  Watchdog wd(std::chrono::milliseconds(120000), "cluster drop chaos");
+
+  const auto baseline = run_cluster_epoch();
+  ASSERT_GT(baseline.remote_feature_bytes, 0u);
+  ASSERT_EQ(baseline.net_retries, 0);
+
+  // Every 3rd message attempt is dropped: each drop is retried within the
+  // interconnect's bounded budget, charged wire time + backoff, and the
+  // payload is committed only on the delivered attempt — so the training
+  // outcome and the delivered traffic are identical to the clean run.
+  Registry::global().configure("dist.net.drop", TriggerSpec::every(3));
+  const auto dropped = run_cluster_epoch();
+  EXPECT_GT(dropped.net_retries, 0) << "the schedule should have dropped";
+  EXPECT_EQ(dropped.mean_loss, baseline.mean_loss)
+      << "message drops must be lossless";
+  EXPECT_EQ(dropped.remote_feature_bytes, baseline.remote_feature_bytes);
+  EXPECT_EQ(dropped.wire_bytes, baseline.wire_bytes);
+  EXPECT_GT(dropped.sim_net_seconds, baseline.sim_net_seconds)
+      << "retries must cost simulated time";
+}
+
+TEST(ChaosCluster, UndeliverableMessageRaisesNetError) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ScopedDisarm guard;
+  Watchdog wd(std::chrono::milliseconds(120000), "cluster drop exhaustion");
+  Registry::global().configure("dist.net.drop", TriggerSpec::always());
+  EXPECT_THROW(run_cluster_epoch(), dist::NetError);
+}
+
+TEST(ChaosCluster, DegradedLinksSlowTheEpochButChangeNothingElse) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ScopedDisarm guard;
+  Watchdog wd(std::chrono::milliseconds(120000), "cluster degrade chaos");
+
+  const auto baseline = run_cluster_epoch();
+  // Quarter-bandwidth links on every message.
+  Registry::global().configure("dist.net.degrade",
+                               TriggerSpec::always().with_arg(4));
+  const auto degraded = run_cluster_epoch();
+  EXPECT_EQ(degraded.mean_loss, baseline.mean_loss);
+  EXPECT_EQ(degraded.remote_feature_bytes, baseline.remote_feature_bytes);
+  EXPECT_EQ(degraded.net_retries, 0);
+  EXPECT_GT(degraded.sim_net_seconds, baseline.sim_net_seconds)
+      << "a degraded link must only cost simulated bandwidth";
+}
+
+TEST(ChaosCluster, FailedNodeStepRetriesLosslessly) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ScopedDisarm guard;
+  Watchdog wd(std::chrono::milliseconds(120000), "cluster node-fail chaos");
+
+  const auto baseline = run_cluster_epoch();
+  // The 2nd step attempt anywhere in the cluster fails once; the node
+  // redoes the step (deterministic resampling => identical batch).
+  Registry::global().configure("dist.node.fail", TriggerSpec::nth(2));
+  const auto failed = run_cluster_epoch();
+  EXPECT_EQ(failed.node_retries, 1);
+  EXPECT_EQ(failed.mean_loss, baseline.mean_loss)
+      << "a retried node step must be lossless";
+  EXPECT_EQ(failed.remote_feature_bytes, baseline.remote_feature_bytes);
+}
+
+TEST(ChaosCluster, PermanentNodeFailureRaisesClusterError) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ScopedDisarm guard;
+  Watchdog wd(std::chrono::milliseconds(120000), "cluster node loss");
+  Registry::global().configure("dist.node.fail", TriggerSpec::always());
+  EXPECT_THROW(run_cluster_epoch(), dist::ClusterError);
+}
+
+TEST(ChaosCluster, WedgedNodeIsFlaggedAsStraggler) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ScopedDisarm guard;
+  Watchdog wd(std::chrono::milliseconds(120000), "cluster straggler chaos");
+
+  // Wedge one step attempt for 0.6 s — far above both the absolute floor
+  // (0.25 s) and factor x median of this tiny epoch — on whichever node
+  // takes the first hit. Exactly that node must be flagged.
+  Registry::global().configure("dist.node.slow",
+                               TriggerSpec::nth(1).with_arg(600000));
+  const auto wedged = run_cluster_epoch();
+  ASSERT_EQ(wedged.stragglers.size(), 1u);
+  const int slow = wedged.stragglers[0];
+  EXPECT_GT(wedged.node_seconds[static_cast<std::size_t>(slow)], 0.6);
+  EXPECT_EQ(wedged.node_retries, 0);
+
+  // A clean epoch of the same shape flags nobody.
+  Registry::global().disarm_all();
+  const auto clean = run_cluster_epoch();
+  EXPECT_TRUE(clean.stragglers.empty());
 }
 
 }  // namespace
