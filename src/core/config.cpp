@@ -42,6 +42,17 @@ std::vector<double> parse_double_list(const std::string& text) {
   return out;
 }
 
+std::vector<std::int64_t> parse_nonneg_int_list(const std::string& text) {
+  std::vector<std::int64_t> out = parse_int_list(text);
+  for (const std::int64_t v : out) {
+    if (v < 0) {
+      throw std::invalid_argument("parse_nonneg_int_list: negative value " +
+                                  std::to_string(v));
+    }
+  }
+  return out;
+}
+
 bool parse_obs_flag(const std::string& arg, SystemConfig& config) {
   constexpr std::string_view kTrace = "--trace-out=";
   constexpr std::string_view kMetrics = "--metrics-out=";

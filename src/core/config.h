@@ -69,6 +69,11 @@ std::vector<std::int64_t> parse_int_list(const std::string& text);
 /// \throws std::invalid_argument when no value survives.
 std::vector<double> parse_double_list(const std::string& text);
 
+/// Parse "a,b,c" into non-negative integers (CLI sweep lists whose domain
+/// forbids negatives, e.g. pipeline depths; empty items are skipped).
+/// \throws std::invalid_argument when no value survives or any is negative.
+std::vector<std::int64_t> parse_nonneg_int_list(const std::string& text);
+
 /// Recognize the observability CLI flags (--trace-out=<path>,
 /// --metrics-out=<path>) and apply them to `config`. Returns true when `arg`
 /// was consumed; examples call this before their positional parsing so every

@@ -23,20 +23,173 @@ namespace salient::dist {
 
 namespace {
 
-/// One node's in-flight state for the current global step. Written by the
-/// owning node thread in phases A/C; read (and its staging filled) by the
-/// rank-0 thread in the serial network phase B — the barriers between the
-/// phases are the synchronization.
+/// One node's in-flight state for one global batch. Written by the owning
+/// node thread when the batch is prepared and trained; read (and its staging
+/// buffer targeted by posted fetches) by the rank-0 thread in the serialized
+/// network phase — the step barriers are the synchronization.
 struct StepState {
   std::int64_t rows = 0;      ///< this node's chunk of the global batch
   double loss_weight = 0;     ///< rows / global batch rows
   double loss = 0;            ///< this node's mean chunk loss
+  double train_sim = 0;       ///< modelled compute seconds of this chunk
   Mfg mfg;
   RemotePlan rp;
   Tensor x;                   ///< [num_input, F] f32, assembled per source
   Tensor y;                   ///< [rows] i64 labels
   std::vector<Half> stage;    ///< fetched remote rows, wire precision (f16)
+
+  // Pipelined bookkeeping (idle on the bulk-synchronous path):
+  std::int64_t batch_index = -1;   ///< global batch this ring slot holds
+  std::vector<FetchId> fetch_ids;  ///< posted fetches not yet waited on
+  double issue = 0;                ///< sim time the fetches were posted
+  double ready = 0;                ///< sim time the last fetch completes
 };
+
+/// Phase-A work for one (node, batch) chunk: sample, plan against the remote
+/// cache, assemble the f32 input matrix from cache hits and locally-owned
+/// rows, slice labels, and size the staging buffer for the remote fetches.
+/// The assembly order is fixed, so every step protocol produces identical
+/// bits for identical (seed, chunk).
+void prepare_chunk(StepState& s, const Dataset& dataset, const Half* feat,
+                   std::int64_t feat_dim, FastSampler& sampler,
+                   const RemoteFeatureCache& rcache,
+                   const std::vector<NodeId>& order, std::int64_t lo,
+                   const ChunkRange& chunk, std::int64_t global_rows,
+                   std::uint64_t sample_seed, double train_us_per_row) {
+  s.rows = chunk.size();
+  s.loss_weight =
+      static_cast<double>(s.rows) / static_cast<double>(global_rows);
+  if (s.rows <= 0) return;
+  s.mfg = sampler.sample(
+      {order.data() + lo + chunk.begin, static_cast<std::size_t>(chunk.size())},
+      sample_seed);
+  s.rp = rcache.plan(s.mfg);
+  const std::int64_t in = s.mfg.num_input_nodes();
+  s.train_sim = train_us_per_row * 1e-6 * static_cast<double>(in);
+  s.x = Tensor({in, feat_dim}, DType::kF32);
+  float* xd = s.x.data<float>();
+  // Cache hits are already device precision (f32).
+  const FeatureCache& cache = rcache.cache();
+  const float* hit_src =
+      cache.dynamic_policy()
+          ? (s.rp.plan.hit_rows.numel() > 0 ? s.rp.plan.hit_rows.data<float>()
+                                            : nullptr)
+          : (cache.capacity() > 0 ? cache.features().data<float>() : nullptr);
+  for (std::size_t i = 0; i < s.rp.plan.from_cache.size(); ++i) {
+    if (!s.rp.plan.from_cache[i]) continue;
+    std::memcpy(xd + static_cast<std::int64_t>(i) * feat_dim,
+                hit_src + s.rp.plan.source[i] * feat_dim,
+                static_cast<std::size_t>(feat_dim) * sizeof(float));
+  }
+  // Locally-owned rows: sliced from this node's feature shard and converted
+  // f16->f32 per row (elementwise, so bitwise identical to the single-node
+  // whole-matrix conversion).
+  for (const std::int64_t i : s.rp.local_rows) {
+    half_to_float_n(feat + s.mfg.n_ids[static_cast<std::size_t>(i)] * feat_dim,
+                    xd + i * feat_dim, feat_dim);
+  }
+  s.y = Tensor({s.mfg.batch_size}, DType::kI64);
+  slice_labels(
+      dataset.labels,
+      {s.mfg.n_ids.data(), static_cast<std::size_t>(s.mfg.batch_size)}, s.y);
+  std::int64_t fetch_rows = 0;
+  for (const auto& f : s.rp.fetches) {
+    fetch_rows += static_cast<std::int64_t>(f.rows.size());
+  }
+  s.stage.resize(static_cast<std::size_t>(fetch_rows * feat_dim));
+}
+
+/// Convert a chunk's fetched remote rows (f16 staging, committed by the
+/// interconnect) into the f32 input matrix, in fetch order.
+void convert_fetched_rows(StepState& s, std::int64_t feat_dim) {
+  std::int64_t off = 0;
+  float* xd = s.rows > 0 ? s.x.data<float>() : nullptr;
+  for (const auto& f : s.rp.fetches) {
+    for (const std::int64_t i : f.rows) {
+      half_to_float_n(s.stage.data() + off * feat_dim, xd + i * feat_dim,
+                      feat_dim);
+      ++off;
+    }
+  }
+}
+
+/// Phase-C training math for one chunk: forward/backward, weighted gradient
+/// all-reduce (so the mean update equals the global-batch gradient), and the
+/// optimizer step. Identical between step protocols — this is what makes
+/// losses bitwise depth-invariant.
+void train_chunk(StepState& s, nn::GnnModel& model,
+                 std::vector<Variable>& params, optim::Adam& opt,
+                 RingAllreduce& allreduce, int rank, int world,
+                 std::int64_t global_rows) {
+  double loss = 0;
+  if (s.rows > 0) {
+    Variable x(s.x, /*requires_grad=*/false);
+    Variable logp = model.forward(x, s.mfg);
+    Variable l = nn::nll_loss(logp, s.y);
+    model.zero_grad();
+    l.backward();
+    loss = static_cast<double>(l.data().data<float>()[0]);
+  } else {
+    model.zero_grad();  // zero contribution to the averaged gradient
+  }
+  s.loss = loss;
+  if (world > 1) {
+    // Weight so the all-reduce *mean* equals the global-batch gradient:
+    // sum_p (rows_p/B) * grad_p = (1/world) * sum_p flat_p.
+    const auto scale =
+        static_cast<float>(static_cast<double>(s.rows) *
+                           static_cast<double>(world) /
+                           static_cast<double>(global_rows));
+    std::size_t flat_size = 0;
+    for (const auto& p : params) {
+      flat_size += static_cast<std::size_t>(p.data().numel());
+    }
+    std::vector<float> flat(flat_size, 0.0f);
+    std::size_t off = 0;
+    for (const auto& p : params) {
+      const auto n = static_cast<std::size_t>(p.data().numel());
+      if (p.grad().defined()) {
+        const float* g = p.grad().data<float>();
+        for (std::size_t i = 0; i < n; ++i) flat[off + i] = g[i] * scale;
+      }
+      off += n;
+    }
+    allreduce.run(rank, flat);
+    off = 0;
+    for (auto& p : params) {
+      const auto n = static_cast<std::size_t>(p.data().numel());
+      Tensor g(p.data().shape(), DType::kF32);
+      std::copy(flat.begin() + static_cast<std::ptrdiff_t>(off),
+                flat.begin() + static_cast<std::ptrdiff_t>(off + n),
+                g.data<float>());
+      p.zero_grad();
+      p.accumulate_grad(g);
+      off += n;
+    }
+  }
+  opt.step();
+}
+
+/// Epoch-level straggler detection: relative to the median node, with an
+/// absolute floor so tiny runs on a loaded host are not misflagged.
+/// Lower-middle median: with an even node count the upper-middle element can
+/// be the straggler itself (e.g. 2 nodes), which would mask it.
+void flag_stragglers(const ClusterConfig& config,
+                     const std::vector<double>& node_secs,
+                     ClusterEpochResult& result) {
+  static obs::Counter& m_stragglers =
+      obs::Registry::global().counter("dist.node.stragglers");
+  std::vector<double> sorted = node_secs;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[(sorted.size() - 1) / 2];
+  for (std::size_t p = 0; p < node_secs.size(); ++p) {
+    if (node_secs[p] > config.straggler_factor * median &&
+        node_secs[p] > config.straggler_min_seconds) {
+      result.stragglers.push_back(static_cast<int>(p));
+    }
+  }
+  m_stragglers.add(static_cast<std::int64_t>(result.stragglers.size()));
+}
 
 }  // namespace
 
@@ -47,6 +200,13 @@ ClusterTrainer::ClusterTrainer(const Dataset& dataset, ClusterConfig config)
       net_(config_.partition.num_nodes, config_.net) {
   if (config_.batch_size < 1) {
     throw std::invalid_argument("cluster: batch_size must be >= 1");
+  }
+  if (config_.pipeline_depth < 0) {
+    throw std::invalid_argument("cluster: pipeline_depth must be >= 0");
+  }
+  if (config_.sim_train_us_per_input_row < 0) {
+    throw std::invalid_argument(
+        "cluster: sim_train_us_per_input_row must be >= 0");
   }
   // The caches must estimate the trainer's own workload: same fanouts,
   // global batch size and seed family, whatever the caller put in `cache`.
@@ -66,16 +226,28 @@ ClusterTrainer::ClusterTrainer(const Dataset& dataset, ClusterConfig config)
   }
 }
 
+void ClusterTrainer::set_timeline(sim::Timeline* timeline) {
+  timeline_ = timeline;
+  net_.set_timeline(timeline);
+}
+
 ClusterEpochResult ClusterTrainer::train_epoch(int epoch) {
+  static obs::Gauge& m_depth =
+      obs::Registry::global().gauge("dist.pipeline.depth");
+  m_depth.set(static_cast<double>(config_.pipeline_depth));
+  if (config_.pipeline_depth == 0) return train_epoch_bulk(epoch);
+  return train_epoch_pipelined(epoch);
+}
+
+ClusterEpochResult ClusterTrainer::train_epoch_bulk(int epoch) {
   const int world = num_nodes();
   const auto worldz = static_cast<std::size_t>(world);
   static obs::Counter& m_node_retries =
       obs::Registry::global().counter("dist.node.retries");
-  static obs::Counter& m_stragglers =
-      obs::Registry::global().counter("dist.node.stragglers");
 
   ClusterEpochResult result;
   result.epoch = epoch;
+  result.pipeline_depth = 0;
   WallTimer wall;
 
   // Same epoch-seed derivation and shuffle as the single-node trainer
@@ -94,6 +266,7 @@ ClusterEpochResult ClusterTrainer::train_epoch(int epoch) {
   const std::size_t bytes0 = net_.bytes_on_wire();
   const std::int64_t msgs0 = net_.messages();
   const std::int64_t retr0 = net_.retries();
+  const double busy0 = net_.busy_seconds();
   const double sim0 =
       *std::max_element(node_clock_.begin(), node_clock_.end());
 
@@ -139,53 +312,10 @@ ClusterEpochResult ClusterTrainer::train_epoch(int epoch) {
            ++attempt) {
         SALIENT_FAILPOINT_WEDGE("dist.node.slow");
         s = StepState{};
-        s.rows = chunk.size();
-        s.loss_weight = static_cast<double>(s.rows) /
-                        static_cast<double>(global_rows);
-        if (s.rows > 0) {
-          s.mfg = sampler.sample(
-              {order.data() + lo + chunk.begin,
-               static_cast<std::size_t>(chunk.size())},
-              schedule_mix_seed(epoch_seed, b * world + rank));
-          s.rp = rcache.plan(s.mfg);
-          const std::int64_t in = s.mfg.num_input_nodes();
-          s.x = Tensor({in, feat_dim}, DType::kF32);
-          float* xd = s.x.data<float>();
-          // Cache hits are already device precision (f32).
-          const FeatureCache& cache = rcache.cache();
-          const float* hit_src =
-              cache.dynamic_policy()
-                  ? (s.rp.plan.hit_rows.numel() > 0
-                         ? s.rp.plan.hit_rows.data<float>()
-                         : nullptr)
-                  : (cache.capacity() > 0 ? cache.features().data<float>()
-                                          : nullptr);
-          for (std::size_t i = 0; i < s.rp.plan.from_cache.size(); ++i) {
-            if (!s.rp.plan.from_cache[i]) continue;
-            std::memcpy(
-                xd + static_cast<std::int64_t>(i) * feat_dim,
-                hit_src + s.rp.plan.source[i] * feat_dim,
-                static_cast<std::size_t>(feat_dim) * sizeof(float));
-          }
-          // Locally-owned rows: sliced from this node's feature shard and
-          // converted f16->f32 per row (elementwise, so bitwise identical
-          // to the single-node whole-matrix conversion).
-          for (const std::int64_t i : s.rp.local_rows) {
-            half_to_float_n(
-                feat + s.mfg.n_ids[static_cast<std::size_t>(i)] * feat_dim,
-                xd + i * feat_dim, feat_dim);
-          }
-          s.y = Tensor({s.mfg.batch_size}, DType::kI64);
-          slice_labels(dataset_.labels,
-                       {s.mfg.n_ids.data(),
-                        static_cast<std::size_t>(s.mfg.batch_size)},
-                       s.y);
-          std::int64_t fetch_rows = 0;
-          for (const auto& f : s.rp.fetches) {
-            fetch_rows += static_cast<std::int64_t>(f.rows.size());
-          }
-          s.stage.resize(static_cast<std::size_t>(fetch_rows * feat_dim));
-        }
+        prepare_chunk(s, dataset_, feat, feat_dim, sampler, rcache, order, lo,
+                      chunk, global_rows,
+                      schedule_mix_seed(epoch_seed, b * world + rank),
+                      config_.sim_train_us_per_input_row);
         if (SALIENT_FAILPOINT("dist.node.fail")) {
           node_retries.fetch_add(1, std::memory_order_relaxed);
           m_node_retries.add();
@@ -253,74 +383,25 @@ ClusterEpochResult ClusterTrainer::train_epoch(int epoch) {
       // gradients across nodes (weighted so the global update equals the
       // gradient of the whole batch's mean loss), and step.
       t.reset();
-      {
-        std::int64_t off = 0;
-        float* xd = s.rows > 0 ? s.x.data<float>() : nullptr;
-        for (const auto& f : s.rp.fetches) {
-          for (const std::int64_t i : f.rows) {
-            half_to_float_n(s.stage.data() + off * feat_dim,
-                            xd + i * feat_dim, feat_dim);
-            ++off;
-          }
-        }
-      }
-      double loss = 0;
-      if (s.rows > 0) {
-        Variable x(s.x, /*requires_grad=*/false);
-        Variable logp = model.forward(x, s.mfg);
-        Variable l = nn::nll_loss(logp, s.y);
-        model.zero_grad();
-        l.backward();
-        loss = static_cast<double>(l.data().data<float>()[0]);
-      } else {
-        model.zero_grad();  // zero contribution to the averaged gradient
-      }
-      s.loss = loss;
-      if (world > 1) {
-        // Weight so the all-reduce *mean* equals the global-batch gradient:
-        // sum_p (rows_p/B) * grad_p = (1/world) * sum_p flat_p.
-        const auto scale = static_cast<float>(
-            static_cast<double>(s.rows) * static_cast<double>(world) /
-            static_cast<double>(global_rows));
-        std::size_t flat_size = 0;
-        for (const auto& p : params) {
-          flat_size += static_cast<std::size_t>(p.data().numel());
-        }
-        std::vector<float> flat(flat_size, 0.0f);
-        std::size_t off = 0;
-        for (const auto& p : params) {
-          const auto n = static_cast<std::size_t>(p.data().numel());
-          if (p.grad().defined()) {
-            const float* g = p.grad().data<float>();
-            for (std::size_t i = 0; i < n; ++i) flat[off + i] = g[i] * scale;
-          }
-          off += n;
-        }
-        allreduce.run(rank, flat);
-        off = 0;
-        for (auto& p : params) {
-          const auto n = static_cast<std::size_t>(p.data().numel());
-          Tensor g(p.data().shape(), DType::kF32);
-          std::copy(flat.begin() + static_cast<std::ptrdiff_t>(off),
-                    flat.begin() + static_cast<std::ptrdiff_t>(off + n),
-                    g.data<float>());
-          p.zero_grad();
-          p.accumulate_grad(g);
-          off += n;
-        }
-      }
-      opt.step();
+      convert_fetched_rows(s, feat_dim);
+      train_chunk(s, model, params, opt, allreduce, rank, world, global_rows);
       node_secs[rankz] += t.seconds();
       bar.arrive_and_wait();
 
-      // -- Step accounting (rank 0): batch-weighted loss, plus one ring
-      // all-reduce pass charged to the simulated network.
+      // -- Step accounting (rank 0): batch-weighted loss, the modelled
+      // compute cost of every chunk (serialized after its fetches — the
+      // bulk-synchronous critical path), plus one ring all-reduce pass
+      // charged to the simulated network.
       if (rank == 0) {
         double step_loss = 0;
         for (const StepState& sp : st) {
           step_loss += sp.loss_weight * sp.loss;
         }
         loss_sum += step_loss;
+        for (int p = 0; p < world; ++p) {
+          node_clock_[static_cast<std::size_t>(p)] +=
+              st[static_cast<std::size_t>(p)].train_sim;
+        }
         if (world > 1) {
           const double begin =
               *std::max_element(node_clock_.begin(), node_clock_.end());
@@ -348,25 +429,298 @@ ClusterEpochResult ClusterTrainer::train_epoch(int epoch) {
   result.wire_bytes = net_.bytes_on_wire() - bytes0;
   result.net_messages = net_.messages() - msgs0;
   result.net_retries = net_.retries() - retr0;
-  result.sim_net_seconds =
+  result.sim_net_seconds = net_.busy_seconds() - busy0;
+  result.sim_epoch_seconds =
       *std::max_element(node_clock_.begin(), node_clock_.end()) - sim0;
   result.node_seconds = node_secs;
+  flag_stragglers(config_, node_secs, result);
+  return result;
+}
 
-  // Epoch-level straggler detection: relative to the median node, with an
-  // absolute floor so tiny runs on a loaded host are not misflagged.
-  // Lower-middle median: with an even node count the upper-middle element
-  // can be the straggler itself (e.g. 2 nodes), which would mask it.
-  std::vector<double> sorted = node_secs;
-  std::sort(sorted.begin(), sorted.end());
-  const double median = sorted[(sorted.size() - 1) / 2];
-  for (int p = 0; p < world; ++p) {
-    const double secs = node_secs[static_cast<std::size_t>(p)];
-    if (secs > config_.straggler_factor * median &&
-        secs > config_.straggler_min_seconds) {
-      result.stragglers.push_back(p);
-    }
+ClusterEpochResult ClusterTrainer::train_epoch_pipelined(int epoch) {
+  const int world = num_nodes();
+  const auto worldz = static_cast<std::size_t>(world);
+  const int depth = config_.pipeline_depth;
+  const int slots = depth + 1;
+  static obs::Counter& m_node_retries =
+      obs::Registry::global().counter("dist.node.retries");
+  static obs::Counter& m_stall_ms =
+      obs::Registry::global().counter("dist.pipeline.stall_ms");
+  static obs::Counter& m_overlap_ms =
+      obs::Registry::global().counter("dist.net.overlap_saved_ms");
+
+  ClusterEpochResult result;
+  result.epoch = epoch;
+  result.pipeline_depth = depth;
+  WallTimer wall;
+
+  const std::uint64_t epoch_seed =
+      config_.seed * 0x10001ull + static_cast<std::uint64_t>(epoch) + 1;
+  std::vector<NodeId> order = dataset_.train_idx;
+  schedule_shuffle(order, epoch_seed);
+  const auto total = static_cast<std::int64_t>(order.size());
+  const std::int64_t batch = config_.batch_size;
+  const std::int64_t num_steps = (total + batch - 1) / batch;
+  if (num_steps == 0) {
+    throw std::invalid_argument("cluster: dataset has no training nodes");
   }
-  m_stragglers.add(static_cast<std::int64_t>(result.stragglers.size()));
+
+  const std::size_t bytes0 = net_.bytes_on_wire();
+  const std::int64_t msgs0 = net_.messages();
+  const std::int64_t retr0 = net_.retries();
+  const double busy0 = net_.busy_seconds();
+  const double sim0 =
+      *std::max_element(node_clock_.begin(), node_clock_.end());
+
+  const std::int64_t feat_dim = dataset_.feature_dim;
+  const Half* feat = dataset_.features.data<Half>();
+  std::size_t param_count = 0;
+  for (const auto& p : models_[0]->parameters()) {
+    param_count += static_cast<std::size_t>(p.data().numel());
+  }
+
+  RingAllreduce allreduce(world);
+  std::barrier<> bar(world);
+  // The micro-pipeline: a ring of depth+1 in-flight batches per node. Batch
+  // j lives in slot j % slots; by the time slot j % slots is reused (batch
+  // j + depth + 1 prepared at step j + 1) batch j has finished training.
+  std::vector<std::vector<StepState>> ring(worldz);
+  for (auto& r : ring) r.resize(static_cast<std::size_t>(slots));
+  std::vector<std::exception_ptr> errors(worldz);
+  std::atomic<bool> abort{false};
+  std::atomic<std::int64_t> node_retries{0};
+  std::vector<double> node_secs(worldz, 0.0);
+  double loss_sum = 0;
+
+  // Virtual-clock bookkeeping, written only in the serialized rank-0
+  // phases: the previous step's allreduce end (the earliest a node may
+  // start anything new) and the current batch's compute start per node.
+  std::vector<double> prev_ar_end = node_clock_;
+  std::vector<double> compute_start(worldz, 0.0);
+  double stall_sum = 0;
+  double overlap_sum = 0;
+
+  // Post batch j's remote fetches for every node in deterministic
+  // (destination, owner) order, at per-node issue time `issue[p]`. Payload
+  // rows are staged from the owner's shard and snapshotted by the
+  // interconnect; completion events land in the batch's StepState.
+  std::vector<Half> scratch;
+  const auto post_batch = [&](std::int64_t j,
+                              const std::vector<double>& issue) {
+    for (int p = 0; p < world; ++p) {
+      StepState& s =
+          ring[static_cast<std::size_t>(p)][static_cast<std::size_t>(
+              j % slots)];
+      s.issue = issue[static_cast<std::size_t>(p)];
+      s.ready = s.issue;
+      std::int64_t off = 0;
+      for (const auto& f : s.rp.fetches) {
+        const auto rows = static_cast<std::int64_t>(f.rows.size());
+        scratch.resize(static_cast<std::size_t>(rows * feat_dim));
+        for (std::int64_t k = 0; k < rows; ++k) {
+          std::memcpy(scratch.data() + k * feat_dim,
+                      feat + s.mfg.n_ids[static_cast<std::size_t>(
+                                 f.rows[static_cast<std::size_t>(k)])] *
+                                 feat_dim,
+                      static_cast<std::size_t>(feat_dim) * sizeof(Half));
+        }
+        const std::size_t nb =
+            static_cast<std::size_t>(rows * feat_dim) * sizeof(Half);
+        const PostedFetch posted =
+            net_.post_fetch(f.owner, p, scratch.data(),
+                            s.stage.data() + off * feat_dim, nb, s.issue);
+        s.fetch_ids.push_back(posted.id);
+        s.ready = std::max(s.ready, posted.completion);
+        off += rows;
+        result.remote_rows_fetched += rows;
+        result.remote_feature_bytes += nb;
+      }
+      result.remote_hits += s.rp.remote_hits;
+      result.remote_misses += s.rp.remote_misses;
+    }
+  };
+
+  auto node_body = [&](int rank) {
+    const auto rankz = static_cast<std::size_t>(rank);
+    auto& model = *models_[rankz];
+    auto& opt = *optimizers_[rankz];
+    model.train(true);
+    FastSampler sampler(dataset_.graph, config_.fanouts);
+    auto params = model.parameters();
+    const RemoteFeatureCache& rcache = *caches_[rankz];
+
+    // Drain this node's posted-but-unwaited fetches so an aborted epoch
+    // leaves no in-flight messages behind (their completions are already
+    // modelled; waiting just commits or discards the payloads).
+    const auto drain_in_flight = [&] {
+      for (auto& s : ring[rankz]) {
+        for (const FetchId id : s.fetch_ids) {
+          try {
+            net_.wait_fetch(id);
+          } catch (...) {
+            // Unknown-handle races cannot happen (handles are node-owned);
+            // nothing else throws. Draining must never mask the root error.
+          }
+        }
+        s.fetch_ids.clear();
+      }
+    };
+
+    for (std::int64_t b = 0; b < num_steps; ++b) {
+      WallTimer t;
+      // Batches entering the window this step: the whole initial window
+      // [0, depth] at step 0, then just batch b + depth.
+      const ChunkRange admit = pipeline_admit_range(b, depth, num_steps);
+
+      // -- Phase A: sample + plan + assemble every batch entering the
+      // pipeline window, exactly one batch ahead of training in steady
+      // state. `dist.node.fail` discards the attempt's freshly prepared
+      // batches (the simulated node crash) and redoes them — no fetches
+      // have been posted for them yet, so recovery is lossless.
+      bool ok = false;
+      for (int attempt = 0; attempt <= config_.max_step_retries && !ok;
+           ++attempt) {
+        SALIENT_FAILPOINT_WEDGE("dist.node.slow");
+        for (std::int64_t j = admit.begin; j < admit.end; ++j) {
+          StepState& s = ring[rankz][static_cast<std::size_t>(j % slots)];
+          s = StepState{};
+          s.batch_index = j;
+          const std::int64_t lo = j * batch;
+          const std::int64_t hi = std::min(total, lo + batch);
+          const std::int64_t global_rows = hi - lo;
+          const ChunkRange chunk = chunk_range(global_rows, world, rank);
+          prepare_chunk(s, dataset_, feat, feat_dim, sampler, rcache, order,
+                        lo, chunk, global_rows,
+                        schedule_mix_seed(epoch_seed, j * world + rank),
+                        config_.sim_train_us_per_input_row);
+        }
+        if (SALIENT_FAILPOINT("dist.node.fail")) {
+          node_retries.fetch_add(1, std::memory_order_relaxed);
+          m_node_retries.add();
+          continue;
+        }
+        ok = true;
+      }
+      if (!ok) {
+        errors[rankz] = std::make_exception_ptr(ClusterError(
+            "cluster: node " + std::to_string(rank) + " failed step " +
+            std::to_string(b) + " after " +
+            std::to_string(config_.max_step_retries) + " retries"));
+      }
+      node_secs[rankz] += t.seconds();
+      bar.arrive_and_wait();
+
+      // -- Phase B (rank 0, serialized): advance the virtual clock. Batch
+      // b's compute start is gated on its completion events; the entering
+      // batches' fetches are posted at that compute start — on the wire
+      // while batch b trains, which is the overlap this protocol exists
+      // for. Posting order is deterministic (batch, destination, owner).
+      if (rank == 0) {
+        for (const auto& e : errors) {
+          if (e) abort.store(true, std::memory_order_relaxed);
+        }
+        if (!abort.load(std::memory_order_relaxed)) {
+          try {
+            if (b == 0) {
+              // Pipeline fill: batch 0's fetches are posted at the epoch
+              // base clock; once its compute start is known the rest of
+              // the initial window posts there.
+              post_batch(0, prev_ar_end);
+            }
+            for (int p = 0; p < world; ++p) {
+              const auto pz = static_cast<std::size_t>(p);
+              const StepState& s =
+                  ring[pz][static_cast<std::size_t>(b % slots)];
+              compute_start[pz] = std::max(prev_ar_end[pz], s.ready);
+              const double stall = compute_start[pz] - prev_ar_end[pz];
+              const double span = s.ready - s.issue;
+              stall_sum += stall;
+              overlap_sum += std::max(0.0, span - stall);
+              m_stall_ms.add(static_cast<std::int64_t>(stall * 1e3));
+              m_overlap_ms.add(
+                  static_cast<std::int64_t>(std::max(0.0, span - stall) * 1e3));
+            }
+            for (std::int64_t j = std::max<std::int64_t>(1, admit.begin);
+                 j < admit.end; ++j) {
+              post_batch(j, compute_start);
+            }
+          } catch (...) {
+            errors[0] = std::current_exception();
+            abort.store(true, std::memory_order_relaxed);
+          }
+        }
+      }
+      bar.arrive_and_wait();
+      if (abort.load(std::memory_order_relaxed)) {
+        drain_in_flight();
+        break;
+      }
+
+      // -- Phase C: wait batch b's completion events (committing the
+      // fetched payloads), convert, train, allreduce, step — the training
+      // math is shared with the bulk path, so losses are depth-invariant.
+      t.reset();
+      StepState& s = ring[rankz][static_cast<std::size_t>(b % slots)];
+      for (const FetchId id : s.fetch_ids) net_.wait_fetch(id);
+      s.fetch_ids.clear();
+      convert_fetched_rows(s, feat_dim);
+      train_chunk(s, model, params, opt, allreduce, rank, world,
+                  std::min(total, (b + 1) * batch) - b * batch);
+      node_secs[rankz] += t.seconds();
+      bar.arrive_and_wait();
+
+      // -- Step accounting (rank 0): batch-weighted loss, per-node compute
+      // spans on the virtual clock, one ring all-reduce pass at the step
+      // boundary (unchanged from bulk — the optimizer math depends on it).
+      if (rank == 0) {
+        double step_loss = 0;
+        for (int p = 0; p < world; ++p) {
+          const auto pz = static_cast<std::size_t>(p);
+          const StepState& sp = ring[pz][static_cast<std::size_t>(b % slots)];
+          step_loss += sp.loss_weight * sp.loss;
+          node_clock_[pz] = compute_start[pz] + sp.train_sim;
+          if (timeline_ != nullptr && sp.train_sim > 0) {
+            timeline_->add("node" + std::to_string(p) + ".compute",
+                           "batch" + std::to_string(b), -1, compute_start[pz],
+                           node_clock_[pz]);
+          }
+        }
+        loss_sum += step_loss;
+        if (world > 1) {
+          const double begin =
+              *std::max_element(node_clock_.begin(), node_clock_.end());
+          const double end =
+              net_.allreduce_time(param_count * sizeof(float), begin);
+          std::fill(node_clock_.begin(), node_clock_.end(), end);
+        }
+        prev_ar_end = node_clock_;
+      }
+      bar.arrive_and_wait();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(worldz);
+  for (int p = 0; p < world; ++p) threads.emplace_back(node_body, p);
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  result.wall_seconds = wall.seconds();
+  result.num_steps = num_steps;
+  result.mean_loss = loss_sum / static_cast<double>(num_steps);
+  result.node_retries = node_retries.load();
+  result.wire_bytes = net_.bytes_on_wire() - bytes0;
+  result.net_messages = net_.messages() - msgs0;
+  result.net_retries = net_.retries() - retr0;
+  result.sim_net_seconds = net_.busy_seconds() - busy0;
+  result.sim_epoch_seconds =
+      *std::max_element(node_clock_.begin(), node_clock_.end()) - sim0;
+  result.stall_seconds = stall_sum;
+  result.overlap_saved_seconds = overlap_sum;
+  result.node_seconds = node_secs;
+  flag_stragglers(config_, node_secs, result);
   return result;
 }
 

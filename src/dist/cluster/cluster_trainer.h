@@ -1,21 +1,29 @@
-// Bulk-synchronous multi-node cluster training simulation
-// (docs/DISTRIBUTED.md; the SALIENT++ direction of ROADMAP item 1).
+// Multi-node cluster training simulation (docs/DISTRIBUTED.md; the
+// SALIENT++ direction of ROADMAP item 1).
 //
 // Every cluster node is a thread owning a replica of the model, its
 // partition shard of the feature store, and a RemoteFeatureCache of hot
 // remote rows. Each global mini-batch of the epoch-shuffled training
 // schedule is split into per-node contiguous chunks (sampling/distributed.h
-// chunk_range); a step runs in three phases separated by barriers:
+// chunk_range). Two step protocols share identical training math:
 //
-//   A (parallel)  sample the chunk, plan it against the remote cache, slice
-//                 locally-owned rows and cache hits into the f32 batch
-//                 matrix;
-//   B (serial)    move every node's remote-miss rows over the modelled
-//                 Interconnect in deterministic rank order, advancing the
-//                 per-node simulated clocks;
-//   C (parallel)  convert the fetched rows, run forward/backward, average
-//                 gradients with the real ring all-reduce (charged to the
-//                 simulated network as one ring pass), and step.
+//   pipeline_depth == 0 — the bulk-synchronous protocol: every step runs
+//   sample -> fetch -> train in whole-phase barriers, so interconnect
+//   fetches sit on the simulated critical path;
+//
+//   pipeline_depth >= 1 — the pipelined protocol (the SALIENT idea applied
+//   across nodes): each node keeps a bounded ring of depth+1 in-flight
+//   batches; batch k+depth is sampled and its remote fetches posted on the
+//   Interconnect (post_fetch) while batch k trains, and batch k's training
+//   starts from its per-batch completion events (wait_fetch) — mirroring
+//   the device-stream overlap in SalientLoader. The allreduce stays at step
+//   boundaries, so the optimizer math — and therefore every loss — is
+//   bitwise identical to the bulk-synchronous path at any depth.
+//
+// The virtual clock charges a deterministic modelled compute cost per batch
+// (sim_train_us_per_input_row), which is the window pipelining hides
+// fetches in: simulated epoch time drops while losses stay bitwise equal,
+// which is exactly what tools/dist_bench gates.
 //
 // A 1-node cluster degenerates to the single-node Trainer's exact schedule
 // (same epoch seeds, same shuffle, same per-batch sampler seeds, elementwise
@@ -68,6 +76,20 @@ struct ClusterConfig {
   double lr = 3e-3;
   /// Bounded per-step retries of a failed node step (`dist.node.fail`).
   int max_step_retries = 2;
+  /// Micro-pipeline prefetch depth per node: while batch k trains, batches
+  /// up to k+depth are sampled and their remote fetches posted on the
+  /// interconnect (at most depth+1 batches in flight per node). 0 selects
+  /// the bulk-synchronous protocol — exactly the barrier-phased step the
+  /// cluster shipped with. Any depth produces bitwise-identical losses;
+  /// only simulated epoch time changes. CLI form (tools/dist_bench):
+  /// --depths=<list>.
+  int pipeline_depth = 2;
+  /// Modelled training compute charged to the virtual clock, in
+  /// microseconds per MFG input row. Deterministic in the sampled batch, so
+  /// simulated epoch times are exactly reproducible; this is the compute
+  /// window overlapped fetches hide in. Applied identically to both step
+  /// protocols so their simulated epoch times are comparable.
+  double sim_train_us_per_input_row = 1.0;
   /// Straggler flagging: a node is flagged when its epoch work time exceeds
   /// straggler_factor * median(node times) ...
   double straggler_factor = 1.5;
@@ -83,8 +105,12 @@ struct ClusterError : std::runtime_error {
 /// Statistics of one synchronized cluster epoch.
 struct ClusterEpochResult {
   int epoch = 0;               ///< epoch index
+  int pipeline_depth = 0;      ///< step protocol the epoch ran under
   double wall_seconds = 0;     ///< host wall time of the epoch
-  double sim_net_seconds = 0;  ///< modelled interconnect time consumed
+  double sim_net_seconds = 0;  ///< interconnect busy seconds (sum per link)
+  double sim_epoch_seconds = 0;  ///< modelled epoch time (fetch+compute+ring)
+  double overlap_saved_seconds = 0;  ///< fetch time hidden behind compute
+  double stall_seconds = 0;    ///< compute stalled waiting on fetches
   double mean_loss = 0;        ///< batch-weighted mean training loss
   std::int64_t num_steps = 0;  ///< global synchronized steps
 
@@ -120,10 +146,18 @@ class ClusterTrainer {
   /// \throws std::invalid_argument on bad node counts or cache configs.
   ClusterTrainer(const Dataset& dataset, ClusterConfig config);
 
-  /// Run one synchronized epoch over the dataset's training split.
+  /// Run one synchronized epoch over the dataset's training split,
+  /// dispatching on `pipeline_depth`: 0 runs the bulk-synchronous protocol,
+  /// >= 1 the pipelined one. In-flight fetches are drained before either
+  /// path surfaces an error.
   /// \throws ClusterError when a node step exhausts its bounded retries and
   /// NetError when a message exhausts the interconnect's retry budget.
   ClusterEpochResult train_epoch(int epoch);
+
+  /// Attach a timeline: the interconnect records its message spans and the
+  /// pipelined trainer adds per-batch "node<p>.compute" spans (nullptr
+  /// detaches). The timeline must outlive the trainer or the next call.
+  void set_timeline(sim::Timeline* timeline);
 
   /// True when all replicas' parameters are exactly equal (the gradient
   /// averaging invariant; tests assert it after every epoch).
@@ -147,6 +181,11 @@ class ClusterTrainer {
   const ClusterConfig& config() const { return config_; }
 
  private:
+  /// The PR 7 barrier-phased step protocol (pipeline_depth == 0).
+  ClusterEpochResult train_epoch_bulk(int epoch);
+  /// The overlapped step protocol (pipeline_depth >= 1).
+  ClusterEpochResult train_epoch_pipelined(int epoch);
+
   const Dataset& dataset_;
   ClusterConfig config_;
   ClusterPartition partition_;
@@ -157,6 +196,7 @@ class ClusterTrainer {
   /// Per-node simulated clock (seconds); persists across epochs so link
   /// occupancy carries over like the Interconnect's NIC clocks.
   std::vector<double> node_clock_;
+  sim::Timeline* timeline_ = nullptr;  ///< borrowed; see set_timeline
 };
 
 }  // namespace salient::dist

@@ -28,8 +28,8 @@ double Interconnect::wire_seconds(std::size_t bytes,
   return static_cast<double>(bytes) * 8.0 / (gbps * 1e9);
 }
 
-double Interconnect::transfer(int src, int dst, const void* payload, void* out,
-                              std::size_t bytes, double start) {
+double Interconnect::model_message(int src, int dst, std::size_t bytes,
+                                   double start) {
   if (src < 0 || src >= num_nodes_ || dst < 0 || dst >= num_nodes_) {
     throw std::invalid_argument("interconnect: node out of range");
   }
@@ -39,7 +39,9 @@ double Interconnect::transfer(int src, int dst, const void* payload, void* out,
   static obs::Counter& m_retries = reg.counter("dist.net.retries");
 
   const std::size_t framed = bytes + config_.message_overhead_bytes;
-  LockGuard lock(mu_);
+  // Duplex occupancy: the message holds src's TX and dst's RX for its whole
+  // duration, but leaves src's RX and dst's TX free — opposite-direction
+  // messages between the same pair overlap.
   double begin = std::max({start, tx_free_[static_cast<std::size_t>(src)],
                            rx_free_[static_cast<std::size_t>(dst)]});
   double clock = begin;
@@ -68,17 +70,16 @@ double Interconnect::transfer(int src, int dst, const void* payload, void* out,
     break;
   }
   if (!delivered) {
+    busy_seconds_ += clock - begin;  // the failed attempts still burned wire
     throw NetError("interconnect: message " + std::to_string(src) + "->" +
                    std::to_string(dst) + " dropped after " +
                    std::to_string(attempts) + " attempts");
-  }
-  if (payload != nullptr && out != nullptr && bytes > 0) {
-    std::memcpy(out, payload, bytes);
   }
   tx_free_[static_cast<std::size_t>(src)] = clock;
   rx_free_[static_cast<std::size_t>(dst)] = clock;
   bytes_ += framed;
   ++messages_;
+  busy_seconds_ += clock - begin;
   m_bytes.add(static_cast<std::int64_t>(framed));
   m_messages.add();
   if (timeline_ != nullptr) {
@@ -86,6 +87,60 @@ double Interconnect::transfer(int src, int dst, const void* payload, void* out,
                    "msg" + std::to_string(src), -1, begin, clock);
   }
   return clock;
+}
+
+double Interconnect::transfer(int src, int dst, const void* payload, void* out,
+                              std::size_t bytes, double start) {
+  LockGuard lock(mu_);
+  const double clock = model_message(src, dst, bytes, start);
+  if (payload != nullptr && out != nullptr && bytes > 0) {
+    std::memcpy(out, payload, bytes);
+  }
+  return clock;
+}
+
+PostedFetch Interconnect::post_fetch(int src, int dst, const void* payload,
+                                     void* out, std::size_t bytes,
+                                     double start) {
+  LockGuard lock(mu_);
+  const double clock = model_message(src, dst, bytes, start);
+  Pending p;
+  p.out = out;
+  p.completion = clock;
+  if (payload != nullptr && out != nullptr && bytes > 0) {
+    // Snapshot now so the caller may reuse its staging buffer; the receiver
+    // sees the bytes only at wait_fetch, like a NIC receive ring.
+    const auto* first = static_cast<const unsigned char*>(payload);
+    p.data.assign(first, first + bytes);
+  }
+  const FetchId id = next_fetch_id_++;
+  pending_.emplace(id, std::move(p));
+  return {id, clock};
+}
+
+double Interconnect::wait_fetch(FetchId id) {
+  LockGuard lock(mu_);
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    throw std::invalid_argument("interconnect: unknown fetch handle " +
+                                std::to_string(id));
+  }
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  if (!p.data.empty()) {
+    std::memcpy(p.out, p.data.data(), p.data.size());
+  }
+  return p.completion;
+}
+
+std::int64_t Interconnect::pending_fetches() const {
+  LockGuard lock(mu_);
+  return static_cast<std::int64_t>(pending_.size());
+}
+
+double Interconnect::busy_seconds() const {
+  LockGuard lock(mu_);
+  return busy_seconds_;
 }
 
 double Interconnect::allreduce_time(std::size_t buffer_bytes, double start) {
@@ -109,6 +164,7 @@ double Interconnect::allreduce_time(std::size_t buffer_bytes, double start) {
     tx_free_[p] = end;
     rx_free_[p] = end;
   }
+  busy_seconds_ += end - begin;
   if (timeline_ != nullptr) {
     timeline_->add("net.allreduce", "ring", -1, begin, end);
   }

@@ -11,6 +11,14 @@
 // sleeping out wall time: a whole epoch-time-vs-cache-size sweep runs in
 // seconds and its simulated timings are exactly reproducible.
 //
+// Messages move either synchronously (transfer: model + commit in one call)
+// or asynchronously (post_fetch/wait_fetch: the timing is modelled and the
+// payload snapshotted at post, committed at wait) — the async form is what
+// the pipelined ClusterTrainer overlaps with training compute. Links are
+// full duplex: a node's TX and RX NICs are accounted independently, so
+// concurrent opposite-direction messages between two nodes take the time of
+// one, not two (tests/test_cluster.cpp pins this).
+//
 // Fault sites (src/fault/failpoint.h, armed by the chaos suite):
 //   * `dist.net.drop`    — the attempt's payload is lost on the wire; the
 //     message is retried with bounded backoff (the attempt's time is still
@@ -22,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/timeline.h"
@@ -56,6 +65,19 @@ struct NetError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Handle of an in-flight asynchronous fetch (post_fetch / wait_fetch).
+using FetchId = std::uint64_t;
+
+/// Result of posting an asynchronous fetch: the handle to wait on plus the
+/// message's modelled completion time on the virtual clock. The completion
+/// time is known at post — the model computes the whole timing up front —
+/// but the payload only becomes readable at wait_fetch, mirroring a real
+/// NIC's receive buffer.
+struct PostedFetch {
+  FetchId id = 0;        ///< pass to wait_fetch exactly once
+  double completion = 0; ///< simulated completion time (seconds)
+};
+
 /// N-node simulated network. Thread-safe; all timing state is guarded by an
 /// internal mutex. Simulated times are seconds on the caller's virtual
 /// clock: transfer() receives the sender's earliest-start time and returns
@@ -77,6 +99,37 @@ class Interconnect {
   /// \throws NetError when every attempt was dropped.
   double transfer(int src, int dst, const void* payload, void* out,
                   std::size_t bytes, double start);
+
+  /// Asynchronous form of transfer(): post `bytes` of `payload` from `src`
+  /// to `dst` starting no earlier than `start`, charging the same modelled
+  /// cost (latency + framed wire time, serialized on src's TX and dst's RX
+  /// NIC occupancy — the two directions of a link are duplex and never
+  /// contend with each other). The payload is snapshotted at post so the
+  /// caller may reuse its buffer, but it is committed into `out` only at
+  /// wait_fetch — the per-batch completion event the pipelined trainer
+  /// overlaps sampling and training against. Retries of dropped attempts
+  /// (`dist.net.drop`) happen inside the post, so a successfully posted
+  /// fetch always delivers the intact payload.
+  /// \throws NetError when every attempt was dropped (the model detects
+  /// undeliverability at post time because timing is precomputed).
+  PostedFetch post_fetch(int src, int dst, const void* payload, void* out,
+                         std::size_t bytes, double start);
+
+  /// Complete a posted fetch: commit its payload into the destination
+  /// buffer given at post_fetch and return the completion time. Consumes
+  /// the handle.
+  /// \throws std::invalid_argument on an unknown or already-waited handle.
+  double wait_fetch(FetchId id);
+
+  /// Number of posted fetches not yet waited on (the pipelined trainer
+  /// drains to zero even when a step fails mid-overlap).
+  std::int64_t pending_fetches() const;
+
+  /// Cumulative seconds the fabric spent busy moving messages (including
+  /// retried attempts and backoff) and running allreduce rings. Unlike the
+  /// per-node clocks this is a sum over links, so overlapped transfers on
+  /// different links each contribute their full duration.
+  double busy_seconds() const;
 
   /// Modelled completion time of a ring allreduce over `buffer_bytes` per
   /// node starting at `start`: 2*(N-1) pipeline steps of `buffer_bytes / N`
@@ -103,8 +156,23 @@ class Interconnect {
   void set_timeline(sim::Timeline* timeline);
 
  private:
+  /// A posted-but-not-yet-waited fetch: the payload snapshot and where to
+  /// commit it.
+  struct Pending {
+    std::vector<unsigned char> data;
+    void* out = nullptr;
+    double completion = 0;
+  };
+
   /// Seconds to move `bytes` at the (possibly degraded) link rate.
   double wire_seconds(std::size_t bytes, double degrade_factor) const;
+
+  /// Model one message on the virtual clock (NIC occupancy, drop retries,
+  /// metrics, timeline span, busy accounting) and return its completion
+  /// time. Shared by transfer() and post_fetch().
+  /// \throws NetError when every attempt was dropped.
+  double model_message(int src, int dst, std::size_t bytes, double start)
+      REQUIRES(mu_);
 
   const InterconnectConfig config_;
   const int num_nodes_;
@@ -115,6 +183,9 @@ class Interconnect {
   std::size_t bytes_ GUARDED_BY(mu_) = 0;
   std::int64_t messages_ GUARDED_BY(mu_) = 0;
   std::int64_t retries_ GUARDED_BY(mu_) = 0;
+  double busy_seconds_ GUARDED_BY(mu_) = 0;
+  FetchId next_fetch_id_ GUARDED_BY(mu_) = 1;
+  std::unordered_map<FetchId, Pending> pending_ GUARDED_BY(mu_);
   sim::Timeline* timeline_ GUARDED_BY(mu_) = nullptr;
 };
 

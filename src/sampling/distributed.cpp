@@ -1,6 +1,7 @@
 #include "sampling/distributed.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "sampling/fast_sampler.h"
 #include "util/rng.h"
@@ -77,6 +78,16 @@ void schedule_shuffle(std::vector<NodeId>& nodes, std::uint64_t seed) {
   for (std::size_t i = nodes.size(); i > 1; --i) {
     std::swap(nodes[i - 1], nodes[bounded_rand(rng, i)]);
   }
+}
+
+ChunkRange pipeline_admit_range(std::int64_t step, int depth,
+                                std::int64_t num_steps) {
+  if (step < 0 || depth < 0 || num_steps < 1) {
+    throw std::invalid_argument("pipeline_admit_range: bad step/depth/steps");
+  }
+  const std::int64_t last = std::min<std::int64_t>(step + depth, num_steps - 1);
+  const std::int64_t first = step == 0 ? 0 : step + depth;
+  return {first, std::max(first, last + 1)};
 }
 
 std::vector<std::vector<std::int64_t>> group_rows_by_owner(

@@ -70,4 +70,17 @@ void schedule_shuffle(std::vector<NodeId>& nodes, std::uint64_t seed);
 std::vector<std::vector<std::int64_t>> group_rows_by_owner(
     const Mfg& mfg, const GraphPartition& p);
 
+/// The batches a depth-bounded micro-pipeline admits at step `step` of an
+/// epoch with `num_steps` batches: step 0 fills the whole initial window
+/// [0, min(depth, num_steps-1)], every later step admits just the entering
+/// batch step + depth (empty once the epoch tail has nothing left). Summed
+/// over steps, every batch in [0, num_steps) is admitted exactly once, at
+/// the latest step that still keeps it `depth` batches ahead of training —
+/// the schedule both the pipelined ClusterTrainer and its property tests
+/// derive their in-flight windows from. depth == 0 degenerates to one batch
+/// per step (the bulk-synchronous schedule).
+/// \throws std::invalid_argument on negative step/depth or num_steps < 1.
+ChunkRange pipeline_admit_range(std::int64_t step, int depth,
+                                std::int64_t num_steps);
+
 }  // namespace salient

@@ -22,6 +22,7 @@
 // counters and seeds, never on wall time (see docs/TESTING.md).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <future>
 #include <map>
@@ -519,9 +520,19 @@ dist::ClusterConfig chaos_cluster_config() {
   return cc;
 }
 
-/// One fresh 2-node epoch under whatever failpoint schedule is armed.
+/// One fresh 2-node epoch under whatever failpoint schedule is armed, at
+/// the config's default pipeline depth (>= 1: faults land mid-overlap, with
+/// neighbouring batches' fetches already posted on the interconnect).
 dist::ClusterEpochResult run_cluster_epoch() {
   dist::ClusterTrainer t(chaos_dataset(), chaos_cluster_config());
+  return t.train_epoch(0);
+}
+
+/// Same epoch at an explicit pipeline depth (0 = bulk-synchronous).
+dist::ClusterEpochResult run_cluster_epoch_at_depth(int depth) {
+  dist::ClusterConfig cc = chaos_cluster_config();
+  cc.pipeline_depth = depth;
+  dist::ClusterTrainer t(chaos_dataset(), cc);
   return t.train_epoch(0);
 }
 
@@ -618,6 +629,106 @@ TEST(ChaosCluster, WedgedNodeIsFlaggedAsStraggler) {
   Registry::global().disarm_all();
   const auto clean = run_cluster_epoch();
   EXPECT_TRUE(clean.stragglers.empty());
+}
+
+TEST(ChaosCluster, RetriedPostedFetchDeliversIntactPayload) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ScopedDisarm guard;
+  Watchdog wd(std::chrono::milliseconds(120000), "async drop retry");
+
+  // Clean async baseline.
+  dist::InterconnectConfig cfg;
+  std::vector<char> payload(1 << 12);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>(i * 31 + 7);
+  }
+  std::vector<char> out(payload.size());
+  dist::Interconnect clean(2, cfg);
+  const auto clean_posted =
+      clean.post_fetch(0, 1, payload.data(), out.data(), payload.size(), 0.0);
+
+  // First attempt dropped, retry delivered: the posted fetch completes
+  // later (wire time of both attempts + backoff) but wait_fetch still
+  // commits the intact payload — a drop can never leave torn bytes.
+  Registry::global().configure("dist.net.drop", TriggerSpec::nth(1));
+  dist::Interconnect net(2, cfg);
+  std::fill(out.begin(), out.end(), 0);
+  const auto posted =
+      net.post_fetch(0, 1, payload.data(), out.data(), payload.size(), 0.0);
+  EXPECT_EQ(net.retries(), 1);
+  EXPECT_GT(posted.completion, clean_posted.completion)
+      << "the dropped attempt must cost simulated time";
+  EXPECT_DOUBLE_EQ(net.wait_fetch(posted.id), posted.completion);
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(net.pending_fetches(), 0);
+}
+
+TEST(ChaosCluster, PipelinedTrainerDrainsInFlightFetchesOnFailure) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ScopedDisarm guard;
+  Watchdog wd(std::chrono::milliseconds(120000), "pipeline drain on failure");
+
+  // No retry budget: the first dropped message is undeliverable, and it
+  // fires mid-overlap — fetches for the neighbouring in-flight batches are
+  // already posted when the epoch aborts. The trainer must drain them all
+  // before surfacing NetError, leaving nothing in flight.
+  dist::ClusterConfig cc = chaos_cluster_config();
+  cc.net.max_retries = 0;
+  ASSERT_GE(cc.pipeline_depth, 1);
+  Registry::global().configure("dist.net.drop", TriggerSpec::every(3));
+  dist::ClusterTrainer t(chaos_dataset(), cc);
+  EXPECT_THROW(t.train_epoch(0), dist::NetError);
+  EXPECT_EQ(t.interconnect().pending_fetches(), 0)
+      << "an aborted epoch must not leave posted fetches in flight";
+}
+
+TEST(ChaosCluster, MidOverlapFaultsAreBitwiseInvariantAcrossProtocols) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ScopedDisarm guard;
+  Watchdog wd(std::chrono::milliseconds(120000), "mid-overlap determinism");
+
+  // The full invariance square: {bulk, pipelined} x {clean, faulted} all
+  // produce the same losses and deliver the same traffic. Drops land
+  // mid-overlap on the pipelined runs (depth 2 keeps three batches in
+  // flight) and are retried inside the posted fetch.
+  const auto bulk_clean = run_cluster_epoch_at_depth(0);
+  const auto pipe_clean = run_cluster_epoch_at_depth(2);
+  Registry::global().configure("dist.net.drop", TriggerSpec::every(3));
+  const auto bulk_fault = run_cluster_epoch_at_depth(0);
+  const auto pipe_fault = run_cluster_epoch_at_depth(2);
+  Registry::global().disarm_all();
+
+  EXPECT_GT(pipe_fault.net_retries, 0) << "the schedule should have dropped";
+  for (const auto* r : {&pipe_clean, &bulk_fault, &pipe_fault}) {
+    EXPECT_EQ(r->mean_loss, bulk_clean.mean_loss);
+    EXPECT_EQ(r->remote_feature_bytes, bulk_clean.remote_feature_bytes);
+    EXPECT_EQ(r->remote_rows_fetched, bulk_clean.remote_rows_fetched);
+  }
+  // Overlap still wins under faults: retries inflate both protocols'
+  // simulated epochs, but the pipelined one keeps them off the critical
+  // path wherever compute covers them.
+  EXPECT_LT(pipe_fault.sim_epoch_seconds, bulk_fault.sim_epoch_seconds);
+}
+
+TEST(ChaosCluster, DegradedLinkMidOverlapStallsThePipelineDeterministically) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ScopedDisarm guard;
+  Watchdog wd(std::chrono::milliseconds(120000), "mid-overlap degrade");
+
+  const auto clean = run_cluster_epoch_at_depth(2);
+  // 64x slower links: posted fetches now outlast the compute window, so
+  // the pipeline records stalls — deterministically.
+  Registry::global().configure("dist.net.degrade",
+                               TriggerSpec::always().with_arg(64));
+  const auto a = run_cluster_epoch_at_depth(2);
+  const auto b = run_cluster_epoch_at_depth(2);
+  EXPECT_EQ(a.mean_loss, clean.mean_loss)
+      << "a degraded link must only cost simulated time";
+  EXPECT_EQ(a.remote_feature_bytes, clean.remote_feature_bytes);
+  EXPECT_GT(a.sim_epoch_seconds, clean.sim_epoch_seconds);
+  EXPECT_EQ(a.mean_loss, b.mean_loss);
+  EXPECT_DOUBLE_EQ(a.sim_epoch_seconds, b.sim_epoch_seconds);
+  EXPECT_DOUBLE_EQ(a.stall_seconds, b.stall_seconds);
 }
 
 }  // namespace

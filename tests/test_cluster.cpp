@@ -1,11 +1,14 @@
 // Cluster-simulation tests (src/dist/cluster/, docs/DISTRIBUTED.md):
 // partition invariants (unique ownership, symmetric halo/boundary maps),
-// batch chunking, interconnect timing/occupancy/payload integrity, remote
+// batch chunking, interconnect timing/occupancy/payload integrity (sync
+// transfer and async post_fetch/wait_fetch, duplex NIC accounting), remote
 // cache plans against the uncached per-owner grouping, monotone replication
 // under growing capacity, and the trainer's determinism ladder — a 1-node
 // cluster reproduces the single-node Trainer's loss trajectory bitwise, a
-// fixed (seed, node count) is bitwise reproducible, and 1/2/4-node runs all
-// learn while keeping replicas exactly in sync.
+// fixed (seed, node count, pipeline depth) is bitwise reproducible, 1/2/4-
+// node runs learn while keeping replicas exactly in sync, and the pipelined
+// step protocol at any depth reproduces the bulk-synchronous losses bitwise
+// while strictly lowering simulated epoch time.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -187,6 +190,37 @@ TEST(ChunkRange, BalancedCoverAndOneNodeIdentity) {
   }
 }
 
+TEST(PipelineAdmitRange, AdmitsEveryBatchExactlyOnceAheadOfTraining) {
+  for (const int depth : {0, 1, 2, 4}) {
+    for (const std::int64_t steps : {1LL, 2LL, 3LL, 7LL, 10LL}) {
+      std::vector<int> admitted(static_cast<std::size_t>(steps), 0);
+      for (std::int64_t b = 0; b < steps; ++b) {
+        const ChunkRange r = pipeline_admit_range(b, depth, steps);
+        for (std::int64_t j = r.begin; j < r.end; ++j) {
+          ASSERT_GE(j, b) << "a batch may not be admitted after it trains";
+          ASSERT_LE(j, b + depth) << "admission must respect the depth bound";
+          ++admitted[static_cast<std::size_t>(j)];
+        }
+      }
+      for (std::int64_t j = 0; j < steps; ++j) {
+        ASSERT_EQ(admitted[static_cast<std::size_t>(j)], 1)
+            << "batch " << j << " at depth " << depth << ", " << steps
+            << " steps";
+      }
+      // depth 0 degenerates to the bulk-synchronous one-batch-per-step
+      // schedule.
+      if (depth == 0) {
+        const ChunkRange r = pipeline_admit_range(steps - 1, 0, steps);
+        ASSERT_EQ(r.size(), 1);
+        ASSERT_EQ(r.begin, steps - 1);
+      }
+    }
+  }
+  EXPECT_THROW(pipeline_admit_range(-1, 0, 1), std::invalid_argument);
+  EXPECT_THROW(pipeline_admit_range(0, -1, 1), std::invalid_argument);
+  EXPECT_THROW(pipeline_admit_range(0, 0, 0), std::invalid_argument);
+}
+
 TEST(GroupRowsByOwner, PartitionsEveryInputRow) {
   const Dataset& ds = cluster_dataset();
   ClusterPartitionConfig cfg;
@@ -264,6 +298,69 @@ TEST(InterconnectTest, AllreduceChargesTwoRingPhases) {
   }
   Interconnect one(1, cfg);
   EXPECT_DOUBLE_EQ(one.allreduce_time(buffer, 0.25), 0.25);
+}
+
+TEST(InterconnectTest, PostedFetchMatchesSynchronousTransfer) {
+  // post_fetch charges exactly the transfer() model — same NIC occupancy,
+  // same completion time, same busy accounting — it only defers the payload
+  // commit to wait_fetch.
+  InterconnectConfig cfg;
+  cfg.latency_us = 15.0;
+  std::vector<char> payload(1 << 14, 'p'), sync_out(1 << 14),
+      async_out(1 << 14);
+  Interconnect sync_net(2, cfg);
+  const double sync_end = sync_net.transfer(0, 1, payload.data(),
+                                            sync_out.data(), payload.size(),
+                                            0.5);
+  Interconnect async_net(2, cfg);
+  const auto posted = async_net.post_fetch(0, 1, payload.data(),
+                                           async_out.data(), payload.size(),
+                                           0.5);
+  EXPECT_DOUBLE_EQ(posted.completion, sync_end);
+  EXPECT_DOUBLE_EQ(async_net.busy_seconds(), sync_net.busy_seconds());
+  EXPECT_EQ(async_net.pending_fetches(), 1);
+  // Commit happens at wait, not post — the receive buffer is untouched
+  // until then, like a NIC receive ring.
+  EXPECT_EQ(async_out[0], 0);
+  EXPECT_DOUBLE_EQ(async_net.wait_fetch(posted.id), posted.completion);
+  EXPECT_EQ(async_out, payload);
+  EXPECT_EQ(async_net.pending_fetches(), 0);
+  // A handle is consumed by its wait.
+  EXPECT_THROW(async_net.wait_fetch(posted.id), std::invalid_argument);
+}
+
+TEST(InterconnectTest, DuplexNicOverlapsOppositeDirections) {
+  // TX and RX NICs are accounted independently: concurrent post_fetch from
+  // both endpoints of a link overlaps perfectly (virtual time of one
+  // message), while two same-direction messages serialize on the NICs.
+  InterconnectConfig cfg;
+  cfg.latency_us = 10.0;
+  std::vector<char> a(1 << 16, 'a'), b(1 << 16, 'b');
+  std::vector<char> out_a(1 << 16), out_b(1 << 16);
+
+  Interconnect serial(2, cfg);
+  const auto s1 =
+      serial.post_fetch(0, 1, a.data(), out_a.data(), a.size(), 0.0);
+  const auto s2 =
+      serial.post_fetch(0, 1, b.data(), out_b.data(), b.size(), 0.0);
+  EXPECT_GT(s2.completion, s1.completion);  // same direction: queued
+
+  Interconnect duplex(2, cfg);
+  const auto d1 =
+      duplex.post_fetch(0, 1, a.data(), out_a.data(), a.size(), 0.0);
+  const auto d2 =
+      duplex.post_fetch(1, 0, b.data(), out_b.data(), b.size(), 0.0);
+  EXPECT_DOUBLE_EQ(d2.completion, d1.completion);  // duplex: full overlap
+  EXPECT_LT(std::max(d1.completion, d2.completion), s2.completion);
+  // Both directions still deliver their own intact payload.
+  EXPECT_DOUBLE_EQ(duplex.wait_fetch(d1.id), d1.completion);
+  EXPECT_DOUBLE_EQ(duplex.wait_fetch(d2.id), d2.completion);
+  EXPECT_EQ(out_a, a);
+  EXPECT_EQ(out_b, b);
+  // Busy seconds sum per link, so the overlapped pair still charges two
+  // message durations — that is what distinguishes busy time from the
+  // critical-path epoch time.
+  EXPECT_DOUBLE_EQ(duplex.busy_seconds(), serial.busy_seconds());
 }
 
 TEST(InterconnectTest, RejectsBadConfigAndNodes) {
@@ -517,6 +614,116 @@ TEST(ClusterTrainerTest, CacheCutsTrafficWithoutChangingLosses) {
   EXPECT_EQ(uncached.first, cached.first)
       << "caching must not perturb training";
   EXPECT_LT(cached.second, uncached.second);
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined step protocol (pipeline_depth >= 1)
+// ---------------------------------------------------------------------------
+
+/// One protocol run's observables: everything that must be depth-invariant
+/// (losses, traffic) plus the simulated epoch time that must not be.
+struct ProtocolRun {
+  std::vector<double> losses;
+  std::int64_t rows_fetched = 0;
+  std::size_t feature_bytes = 0;
+  double sim_epoch = 0;
+  double overlap_saved = 0;
+};
+
+ProtocolRun run_protocol(int depth, int nodes, double cache_pct,
+                         CachePolicyKind policy, int epochs = 2) {
+  ClusterConfig cc = cluster_config(nodes, cache_pct, policy);
+  cc.pipeline_depth = depth;
+  ClusterTrainer t(cluster_dataset(), cc);
+  ProtocolRun run;
+  for (int e = 0; e < epochs; ++e) {
+    const auto r = t.train_epoch(e);
+    EXPECT_EQ(r.pipeline_depth, depth);
+    run.losses.push_back(r.mean_loss);
+    run.rows_fetched += r.remote_rows_fetched;
+    run.feature_bytes += r.remote_feature_bytes;
+    run.sim_epoch += r.sim_epoch_seconds;
+    run.overlap_saved += r.overlap_saved_seconds;
+    EXPECT_TRUE(t.replicas_in_sync()) << "depth " << depth << " epoch " << e;
+  }
+  EXPECT_EQ(t.interconnect().pending_fetches(), 0)
+      << "every posted fetch must be waited on by epoch end";
+  return run;
+}
+
+TEST(ClusterPipeline, AnyDepthMatchesBulkSynchronousBitwise) {
+  // The equivalence theorem of the pipelined protocol: overlap changes
+  // *when* fetches move on the virtual clock, never what is trained on.
+  // Losses and traffic are bitwise depth-invariant — including under the
+  // LRU policy, whose cache state depends on the plan order the two
+  // protocols must therefore share — while simulated epoch time strictly
+  // drops because fetches leave the critical path.
+  for (const auto policy :
+       {CachePolicyKind::kPresample, CachePolicyKind::kLru}) {
+    const ProtocolRun bulk = run_protocol(0, 2, 0.05, policy);
+    EXPECT_DOUBLE_EQ(bulk.overlap_saved, 0.0);
+    for (const int depth : {1, 2, 4}) {
+      const ProtocolRun pipe = run_protocol(depth, 2, 0.05, policy);
+      EXPECT_EQ(pipe.losses, bulk.losses)
+          << "depth " << depth << " policy " << static_cast<int>(policy);
+      EXPECT_EQ(pipe.rows_fetched, bulk.rows_fetched);
+      EXPECT_EQ(pipe.feature_bytes, bulk.feature_bytes);
+      EXPECT_LT(pipe.sim_epoch, bulk.sim_epoch)
+          << "overlap must shorten the simulated epoch (depth " << depth
+          << ")";
+      EXPECT_GT(pipe.overlap_saved, 0.0);
+    }
+  }
+}
+
+TEST(ClusterPipeline, DepthZeroIsTheBulkSynchronousPath) {
+  // depth=0 dispatches to the exact pre-pipelining step protocol: no
+  // overlap accounting, no posted fetches, and the result says so.
+  ClusterConfig cc = cluster_config(2, 0.05);
+  cc.pipeline_depth = 0;
+  ClusterTrainer t(cluster_dataset(), cc);
+  const auto r = t.train_epoch(0);
+  EXPECT_EQ(r.pipeline_depth, 0);
+  EXPECT_DOUBLE_EQ(r.overlap_saved_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.stall_seconds, 0.0);
+  EXPECT_EQ(t.interconnect().pending_fetches(), 0);
+  EXPECT_GT(r.sim_epoch_seconds, 0.0);
+}
+
+TEST(ClusterPipeline, EveryDepthIsBitwiseReproducible) {
+  // The determinism ladder holds rung by rung: a fixed (seed, nodes, depth)
+  // reproduces losses, traffic and simulated times exactly.
+  for (const int depth : {0, 1, 2, 4}) {
+    const ProtocolRun a = run_protocol(depth, 2, 0.05,
+                                       CachePolicyKind::kPresample);
+    const ProtocolRun b = run_protocol(depth, 2, 0.05,
+                                       CachePolicyKind::kPresample);
+    EXPECT_EQ(a.losses, b.losses) << "depth " << depth;
+    EXPECT_EQ(a.rows_fetched, b.rows_fetched) << "depth " << depth;
+    EXPECT_DOUBLE_EQ(a.sim_epoch, b.sim_epoch) << "depth " << depth;
+    EXPECT_DOUBLE_EQ(a.overlap_saved, b.overlap_saved) << "depth " << depth;
+  }
+}
+
+TEST(ClusterPipeline, FourNodeEquivalenceAndSpeedup) {
+  const ProtocolRun bulk =
+      run_protocol(0, 4, 0.05, CachePolicyKind::kPresample, /*epochs=*/1);
+  const ProtocolRun pipe =
+      run_protocol(2, 4, 0.05, CachePolicyKind::kPresample, /*epochs=*/1);
+  EXPECT_EQ(pipe.losses, bulk.losses);
+  EXPECT_EQ(pipe.feature_bytes, bulk.feature_bytes);
+  EXPECT_LT(pipe.sim_epoch, bulk.sim_epoch);
+}
+
+TEST(ClusterPipeline, RejectsNegativeDepthAndComputeRate) {
+  ClusterConfig bad = cluster_config(2);
+  bad.pipeline_depth = -1;
+  EXPECT_THROW(ClusterTrainer(cluster_dataset(), bad),
+               std::invalid_argument);
+  ClusterConfig bad2 = cluster_config(2);
+  bad2.sim_train_us_per_input_row = -0.5;
+  EXPECT_THROW(ClusterTrainer(cluster_dataset(), bad2),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -1,20 +1,25 @@
 // Property-based and adversarial-input tests across modules:
 // randomized shape sweeps for the numeric kernels, statistical tests of the
-// samplers, degenerate graphs (isolated nodes, stars, empty batches), and
-// monotonicity properties of the cluster simulator.
+// samplers, degenerate graphs (isolated nodes, stars, empty batches),
+// partition/fetch-plan invariants over the pipelined cluster's in-flight
+// batch windows, and monotonicity properties of the cluster simulator.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <deque>
 #include <numeric>
 #include <set>
 
 #include "autograd/functions.h"
 #include "autograd/gradcheck.h"
+#include "dist/cluster/partitioner.h"
+#include "dist/cluster/remote_cache.h"
 #include "graph/builder.h"
 #include "graph/dataset.h"
 #include "graph/generator.h"
 #include "prep/salient_loader.h"
 #include "sampling/baseline_sampler.h"
+#include "sampling/distributed.h"
 #include "sampling/fast_sampler.h"
 #include "sampling/sample_set.h"
 #include "sim/pipeline_model.h"
@@ -409,6 +414,132 @@ INSTANTIATE_TEST_SUITE_P(Shapes, GradcheckShapeSweep,
                          ::testing::Values(std::pair{1, 2}, std::pair{2, 2},
                                            std::pair{5, 3}, std::pair{8, 7},
                                            std::pair{3, 11}));
+
+// --- cluster plan invariants over pipelined batch windows --------------------
+
+// Replays the pipelined ClusterTrainer's exact per-node planning order (the
+// epoch shuffle, per-chunk sampler seeds, and ascending batch order the two
+// step protocols share) and checks the structural invariants every in-flight
+// batch's transfer plan must satisfy regardless of policy or depth.
+TEST(ClusterPlanProperties, WindowPlansPartitionRowsAndNeverDoubleFetch) {
+  DatasetConfig dc;
+  dc.name = "prop-cluster";
+  dc.num_nodes = 2000;
+  dc.feature_dim = 8;
+  dc.num_classes = 4;
+  dc.avg_degree = 8;
+  dc.powerlaw_exponent = 2.0;
+  dc.seed = 13;
+  const Dataset ds = generate_dataset(dc);
+
+  dist::ClusterPartitionConfig pcfg;
+  pcfg.num_nodes = 2;
+  pcfg.strategy = dist::PartitionStrategy::kGreedy;
+  const auto cp = dist::build_cluster_partition(ds.graph, pcfg);
+
+  const int world = 2;
+  const int depth = 2;  // in-flight window = depth + 1 batches
+  const std::int64_t batch = 128;
+  const std::uint64_t seed = 21;
+  const std::uint64_t epoch_seed = seed * 0x10001ull + 1;
+  std::vector<NodeId> order = ds.train_idx;
+  schedule_shuffle(order, epoch_seed);
+  const auto total = static_cast<std::int64_t>(order.size());
+  const std::int64_t num_steps = std::min<std::int64_t>(
+      6, (total + batch - 1) / batch);
+
+  struct PolicyCase {
+    CachePolicyKind policy;
+    double pct;
+  };
+  for (const PolicyCase pc :
+       {PolicyCase{CachePolicyKind::kPresample, 0.0},   // always-fetch
+        PolicyCase{CachePolicyKind::kPresample, 0.05},  // static pinning
+        PolicyCase{CachePolicyKind::kLru, 0.5}}) {      // dynamic admission
+    dist::RemoteCacheConfig cc;
+    cc.policy = pc.policy;
+    cc.cache_percentage = pc.pct;
+    cc.presample_epochs = 1;
+    cc.fanouts = {5, 3};
+    cc.batch_size = batch;
+    cc.seed = seed;
+    for (int p = 0; p < world; ++p) {
+      const dist::RemoteFeatureCache cache(ds, cp, p, cc);
+      FastSampler sampler(ds.graph, {5, 3});
+      // Fetched vertex sets of the batches currently in flight together.
+      std::deque<std::set<NodeId>> window;
+      for (std::int64_t b = 0; b < num_steps; ++b) {
+        const std::int64_t lo = b * batch;
+        const std::int64_t global_rows = std::min(total, lo + batch) - lo;
+        const ChunkRange chunk = chunk_range(global_rows, world, p);
+        if (chunk.size() == 0) continue;
+        const Mfg mfg = sampler.sample(
+            {order.data() + lo + chunk.begin,
+             static_cast<std::size_t>(chunk.size())},
+            schedule_mix_seed(epoch_seed, b * world + p));
+        const dist::RemotePlan plan = cache.plan(mfg);
+
+        // Partition: every MFG input row is exactly one of cache hit,
+        // locally owned, or listed in exactly one per-owner fetch.
+        const std::size_t n = mfg.n_ids.size();
+        ASSERT_EQ(plan.plan.from_cache.size(), n);
+        std::vector<int> covered(n, 0);
+        std::int64_t hits = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (plan.plan.from_cache[i]) {
+            ++covered[i];
+            ++hits;
+          }
+        }
+        ASSERT_EQ(hits, plan.remote_hits);  // locals never sit in the cache
+        for (const std::int64_t i : plan.local_rows) {
+          ASSERT_EQ(cp.owner_of(mfg.n_ids[static_cast<std::size_t>(i)]), p);
+          ++covered[static_cast<std::size_t>(i)];
+        }
+        std::set<NodeId> fetched;
+        std::int64_t misses = 0;
+        int prev_owner = -1;
+        for (const auto& f : plan.fetches) {
+          ASSERT_NE(f.owner, p);
+          ASSERT_GT(f.owner, prev_owner);  // ascending, so no owner twice
+          prev_owner = f.owner;
+          for (const std::int64_t i : f.rows) {
+            ASSERT_EQ(cp.owner_of(mfg.n_ids[static_cast<std::size_t>(i)]),
+                      f.owner);
+            ++covered[static_cast<std::size_t>(i)];
+            fetched.insert(mfg.n_ids[static_cast<std::size_t>(i)]);
+            ++misses;
+          }
+        }
+        ASSERT_EQ(misses, plan.remote_misses);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(covered[i], 1)
+              << "row " << i << " of batch " << b << " on node " << p;
+        }
+
+        // Dynamic admission caches a fetched row at plan time, so a vertex
+        // fetched for batch j is a *hit* for any later batch planned while
+        // it is resident: overlapping in-flight batches never move the same
+        // row over the interconnect twice. (Static policies legitimately
+        // re-fetch their misses, so the claim is admission-specific.)
+        if (pc.policy == CachePolicyKind::kLru) {
+          for (const auto& prev : window) {
+            std::vector<NodeId> dup;
+            std::set_intersection(prev.begin(), prev.end(), fetched.begin(),
+                                  fetched.end(), std::back_inserter(dup));
+            ASSERT_TRUE(dup.empty())
+                << dup.size() << " rows fetched twice within the in-flight "
+                << "window ending at batch " << b << " on node " << p;
+          }
+        }
+        window.push_back(std::move(fetched));
+        if (window.size() > static_cast<std::size_t>(depth + 1)) {
+          window.pop_front();
+        }
+      }
+    }
+  }
+}
 
 // --- simulator monotonicity --------------------------------------------------------------
 

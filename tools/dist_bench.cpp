@@ -1,13 +1,17 @@
 // Cluster-communication benchmark (docs/DISTRIBUTED.md, EXPERIMENTS.md).
 //
 // Sweeps the simulated training cluster (src/dist/cluster/) over node counts
-// x remote-cache capacities x placement policies on a degree-skewed synthetic
-// graph, and reports per configuration the modelled network time, the remote
-// feature bytes crossing the interconnect, and the replication-cache hit
-// rate. This is the experiment behind the SALIENT++ claim the subsystem
-// reproduces: cross-node feature traffic falls as the replication cache
-// grows, and frequency-informed placement (presample, degree) outperforms
-// recency (LRU).
+// x remote-cache capacities x placement policies x pipeline depths on a
+// degree-skewed synthetic graph, and reports per configuration the modelled
+// network time, the simulated epoch time, the remote feature bytes crossing
+// the interconnect, and the replication-cache hit rate. This is the
+// experiment behind the SALIENT++ claims the subsystem reproduces:
+// cross-node feature traffic falls as the replication cache grows,
+// frequency-informed placement (presample, degree) outperforms recency
+// (LRU), and pipelining the remaining fetches behind training compute
+// (overlap on, depth >= 1) cuts simulated epoch time below the
+// bulk-synchronous protocol (overlap off, depth 0) without perturbing a
+// single loss bit.
 //
 //   ./dist_bench [flags]
 //     --preset=skewed|uniform  degree skew of the synthetic graph  [skewed]
@@ -16,20 +20,25 @@
 //     --cache-pct=p1,p2,...    per-node cache fractions of |V|
 //                                                          [0,0.02,0.05,0.1]
 //     --policies=a,b,...       lru|degree|presample  [degree,presample,lru]
+//     --depths=a,b,...         pipeline depths; 0 = bulk-synchronous [0,2]
 //     --epochs=<n>             training epochs per configuration   [1]
 //     --emit=<path>            write machine-readable BENCH_dist.json
 //     --check                  exit nonzero unless the gate holds (see below)
 //     --smoke                  small sweep for ctest: 2000-vertex graph,
 //                              2-node cluster, fractions 0,0.05
 //
-// The --check gate enforces, per (node count, policy) curve over ascending
-// capacities: (a) static placements (degree, presample) move monotonically
-// non-increasing remote feature bytes as the cache grows; (b) at every
-// nonzero swept capacity the frequency-informed placements match-or-beat
-// LRU's remote hit rate; (c) a zero-capacity cache serves no hits. Losses
-// are also required to be identical across policies and capacities at a
-// fixed node count — replication is a pure communication optimization and
-// must never change the training trajectory.
+// The --check gate enforces, per (node count, policy, depth) curve over
+// ascending capacities: (a) static placements (degree, presample) move
+// monotonically non-increasing remote feature bytes as the cache grows;
+// (b) at every nonzero swept capacity the frequency-informed placements
+// match-or-beat LRU's remote hit rate; (c) a zero-capacity cache serves no
+// hits; and losses are identical across policies and capacities at a fixed
+// node count — replication is a pure communication optimization and must
+// never change the training trajectory. Across depths at every (nodes,
+// policy, capacity) point it additionally enforces (d) the overlap gate:
+// identical losses and remote bytes bit for bit, pipelined simulated epoch
+// time <= bulk-synchronous, and strictly below it whenever there is remote
+// traffic to hide.
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -38,6 +47,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/config.h"
@@ -55,6 +65,7 @@ struct DistBenchOptions {
   std::vector<std::int64_t> nodes{2, 4};
   std::vector<double> cache_pcts{0.0, 0.02, 0.05, 0.1};
   std::vector<std::string> policies{"degree", "presample", "lru"};
+  std::vector<std::int64_t> depths{0, 2};  // overlap off, overlap on
   int epochs = 1;
   std::string emit_path;
   bool check = false;
@@ -65,10 +76,13 @@ struct DistResult {
   int nodes = 0;
   std::string policy;
   double cache_pct = 0;
+  int pipeline_depth = 0;
   std::int64_t capacity_rows = 0;
   double mean_loss = 0;
   double wall_seconds = 0;
   double sim_net_seconds = 0;
+  double sim_epoch_seconds = 0;
+  double overlap_saved_seconds = 0;
   std::int64_t remote_rows_fetched = 0;
   std::size_t remote_feature_bytes = 0;
   std::size_t wire_bytes = 0;
@@ -104,6 +118,7 @@ DistBenchOptions parse_options(int argc, char** argv) {
     else if (consume(arg, "nodes", v)) o.nodes = parse_int_list(v);
     else if (consume(arg, "cache-pct", v)) o.cache_pcts = parse_double_list(v);
     else if (consume(arg, "policies", v)) o.policies = parse_names(v);
+    else if (consume(arg, "depths", v)) o.depths = parse_nonneg_int_list(v);
     else if (consume(arg, "epochs", v)) o.epochs = std::atoi(v.c_str());
     else if (consume(arg, "emit", v)) o.emit_path = v;
     else if (arg == "--check") o.check = true;
@@ -119,8 +134,10 @@ DistBenchOptions parse_options(int argc, char** argv) {
     o.cache_pcts = {0.0, 0.05};
   }
   // Ascending capacities so the monotone-traffic check reads each curve in
-  // sweep order.
+  // sweep order; ascending depths so depth 0 (the bulk-synchronous overlap
+  // baseline) is the first row of every on/off pair.
   std::sort(o.cache_pcts.begin(), o.cache_pcts.end());
+  std::sort(o.depths.begin(), o.depths.end());
   if (o.epochs < 1) {
     std::cerr << "dist_bench: --epochs must be >= 1\n";
     std::exit(2);
@@ -148,7 +165,7 @@ Dataset make_bench_dataset(const DistBenchOptions& o) {
 
 dist::ClusterConfig make_cluster_config(const Dataset& ds, int nodes,
                                         const std::string& policy,
-                                        double cache_pct) {
+                                        double cache_pct, int depth) {
   dist::ClusterConfig cc;
   cc.partition.num_nodes = nodes;
   cc.partition.strategy = dist::PartitionStrategy::kGreedy;
@@ -156,6 +173,7 @@ dist::ClusterConfig make_cluster_config(const Dataset& ds, int nodes,
   cc.cache.policy = parse_cache_policy(policy);
   cc.cache.cache_percentage = cache_pct;
   cc.cache.presample_epochs = 1;
+  cc.pipeline_depth = depth;
   cc.model.in_channels = ds.feature_dim;
   cc.model.hidden_channels = 32;
   cc.model.out_channels = ds.num_classes;
@@ -169,13 +187,14 @@ dist::ClusterConfig make_cluster_config(const Dataset& ds, int nodes,
 }
 
 DistResult run_config(const Dataset& ds, int nodes, const std::string& policy,
-                      double cache_pct, int epochs) {
-  dist::ClusterTrainer trainer(ds,
-                               make_cluster_config(ds, nodes, policy, cache_pct));
+                      double cache_pct, int depth, int epochs) {
+  dist::ClusterTrainer trainer(
+      ds, make_cluster_config(ds, nodes, policy, cache_pct, depth));
   DistResult r;
   r.nodes = nodes;
   r.policy = policy;
   r.cache_pct = cache_pct;
+  r.pipeline_depth = depth;
   r.capacity_rows = nodes > 0 ? trainer.remote_cache(0).capacity() : 0;
   for (int e = 0; e < epochs; ++e) {
     // The last epoch is the steady-state one reported: static placements are
@@ -184,6 +203,8 @@ DistResult run_config(const Dataset& ds, int nodes, const std::string& policy,
     r.mean_loss = epoch.mean_loss;
     r.wall_seconds = epoch.wall_seconds;
     r.sim_net_seconds = epoch.sim_net_seconds;
+    r.sim_epoch_seconds = epoch.sim_epoch_seconds;
+    r.overlap_saved_seconds = epoch.overlap_saved_seconds;
     r.remote_rows_fetched = epoch.remote_rows_fetched;
     r.remote_feature_bytes = epoch.remote_feature_bytes;
     r.wire_bytes = epoch.wire_bytes;
@@ -198,9 +219,12 @@ void print_result(const DistResult& r) {
             << std::left << r.policy << std::right << "  cache "
             << std::fixed << std::setprecision(2) << r.cache_pct * 100
             << "% (" << r.capacity_rows << " rows)"
+            << "  overlap " << (r.pipeline_depth > 0 ? "on " : "off")
+            << " (d=" << r.pipeline_depth << ")"
             << "  remote " << r.remote_feature_bytes << " B"
             << "  hit " << std::setprecision(3) << r.remote_hit_rate
-            << "  net " << std::setprecision(4) << r.sim_net_seconds << " s"
+            << "  epoch " << std::setprecision(4) << r.sim_epoch_seconds
+            << " s"
             << "  loss " << std::setprecision(6) << r.mean_loss << "\n";
   std::cout.unsetf(std::ios::fixed);
 }
@@ -212,7 +236,7 @@ int emit(const std::vector<DistResult>& rs, const DistBenchOptions& o) {
     return 1;
   }
   os << "{\n";
-  os << "  \"schema\": \"salient-bench-dist-v1\",\n";
+  os << "  \"schema\": \"salient-bench-dist-v2\",\n";
   os << "  \"preset\": \"" << o.preset << "\",\n";
   os << "  \"graph_nodes\": " << o.graph_nodes << ",\n";
   os << "  \"epochs\": " << o.epochs << ",\n";
@@ -222,9 +246,12 @@ int emit(const std::vector<DistResult>& rs, const DistBenchOptions& o) {
     const DistResult& r = rs[i];
     os << "    {\"nodes\": " << r.nodes << ", \"policy\": \"" << r.policy
        << "\", \"cache_pct\": " << r.cache_pct
+       << ", \"pipeline_depth\": " << r.pipeline_depth
        << ", \"capacity_rows\": " << r.capacity_rows
        << ", \"mean_loss\": " << r.mean_loss
        << ", \"sim_net_seconds\": " << r.sim_net_seconds
+       << ", \"sim_epoch_seconds\": " << r.sim_epoch_seconds
+       << ", \"overlap_saved_seconds\": " << r.overlap_saved_seconds
        << ", \"remote_rows_fetched\": " << r.remote_rows_fetched
        << ", \"remote_feature_bytes\": " << r.remote_feature_bytes
        << ", \"wire_bytes\": " << r.wire_bytes
@@ -245,17 +272,18 @@ int check(const std::vector<DistResult>& rs) {
     ++failures;
   };
 
-  // Index results by (nodes, policy) curve in sweep (ascending-pct) order.
-  std::map<std::pair<int, std::string>, std::vector<DistResult>> curves;
+  // Index results by (nodes, policy, depth) curve in sweep (ascending-pct)
+  // order — the capacity checks hold within every step protocol.
+  std::map<std::tuple<int, std::string, int>, std::vector<DistResult>> curves;
   for (const DistResult& r : rs) {
-    curves[{r.nodes, r.policy}].push_back(r);
+    curves[{r.nodes, r.policy, r.pipeline_depth}].push_back(r);
   }
 
   for (const auto& [key, curve] : curves) {
-    const auto& [nodes, policy] = key;
+    const auto& [nodes, policy, depth] = key;
     if (nodes <= 1) continue;  // no remote traffic to optimize
     std::ostringstream tag;
-    tag << nodes << "-node " << policy;
+    tag << nodes << "-node " << policy << " depth " << depth;
     for (std::size_t i = 0; i < curve.size(); ++i) {
       const DistResult& r = curve[i];
       if (r.cache_pct == 0.0 && r.remote_hit_rate != 0.0) {
@@ -281,9 +309,9 @@ int check(const std::vector<DistResult>& rs) {
   // (b) frequency-informed placement matches-or-beats LRU at every nonzero
   // swept capacity (the SALIENT++ comparison; docs/CACHING.md).
   for (const auto& [key, curve] : curves) {
-    const auto& [nodes, policy] = key;
+    const auto& [nodes, policy, depth] = key;
     if (nodes <= 1 || policy == "lru") continue;
-    const auto lru = curves.find({nodes, std::string("lru")});
+    const auto lru = curves.find({nodes, std::string("lru"), depth});
     if (lru == curves.end()) continue;
     for (const DistResult& r : curve) {
       if (r.cache_pct == 0.0) continue;
@@ -301,13 +329,53 @@ int check(const std::vector<DistResult>& rs) {
     }
   }
 
+  // (d) the overlap gate: at every (nodes, policy, capacity) point a
+  // pipelined run reproduces the bulk-synchronous losses and remote bytes
+  // bit for bit, and its simulated epoch is never slower — strictly faster
+  // whenever there is remote traffic to hide behind compute.
+  std::map<std::tuple<int, std::string, double>, const DistResult*> bulk;
+  for (const DistResult& r : rs) {
+    if (r.pipeline_depth == 0) bulk[{r.nodes, r.policy, r.cache_pct}] = &r;
+  }
+  for (const DistResult& r : rs) {
+    if (r.pipeline_depth == 0) continue;
+    const auto it = bulk.find({r.nodes, r.policy, r.cache_pct});
+    if (it == bulk.end()) continue;  // no depth-0 row swept to compare to
+    const DistResult& b = *it->second;
+    std::ostringstream tag;
+    tag << r.nodes << "-node " << r.policy << " cache " << r.cache_pct * 100
+        << "% depth " << r.pipeline_depth;
+    if (r.mean_loss != b.mean_loss) {
+      fail(tag.str() + ": pipelined loss diverged from bulk-synchronous");
+    }
+    if (r.remote_feature_bytes != b.remote_feature_bytes) {
+      fail(tag.str() + ": pipelined remote bytes diverged from bulk");
+    }
+    if (r.sim_epoch_seconds > b.sim_epoch_seconds) {
+      std::ostringstream msg;
+      msg << tag.str() << ": pipelined sim epoch "
+          << std::setprecision(4) << r.sim_epoch_seconds
+          << " s exceeds bulk " << b.sim_epoch_seconds << " s";
+      fail(msg.str());
+    }
+    if (r.nodes > 1 && r.remote_feature_bytes > 0 &&
+        r.sim_epoch_seconds >= b.sim_epoch_seconds) {
+      std::ostringstream msg;
+      msg << tag.str() << ": overlap hid nothing (pipelined "
+          << std::setprecision(4) << r.sim_epoch_seconds << " s, bulk "
+          << b.sim_epoch_seconds << " s)";
+      fail(msg.str());
+    }
+  }
+
   if (failures > 0) {
     std::cerr << "dist_bench: " << failures << " check(s) failed\n";
     return 1;
   }
   std::cout << "dist_bench: OK — remote traffic monotone under growing "
                "replication; frequency-informed placement >= lru at every "
-               "swept capacity\n";
+               "swept capacity; pipelined epochs <= bulk-synchronous with "
+               "bitwise-equal losses at every point\n";
   return 0;
 }
 
@@ -319,15 +387,20 @@ int main(int argc, char** argv) {
   std::cout << "dist_bench: " << o.preset << " graph, |V|=" << ds.graph.num_nodes()
             << ", sweep " << o.nodes.size() << " node-counts x "
             << o.policies.size() << " policies x " << o.cache_pcts.size()
-            << " capacities, " << o.epochs << " epoch(s) each\n";
+            << " capacities x " << o.depths.size() << " depths, "
+            << o.epochs << " epoch(s) each\n";
 
   std::vector<DistResult> results;
   for (const std::int64_t n : o.nodes) {
     for (const std::string& policy : o.policies) {
       for (const double pct : o.cache_pcts) {
-        results.push_back(
-            run_config(ds, static_cast<int>(n), policy, pct, o.epochs));
-        print_result(results.back());
+        // Depths innermost: each config's overlap off/on rows print as an
+        // adjacent pair.
+        for (const std::int64_t depth : o.depths) {
+          results.push_back(run_config(ds, static_cast<int>(n), policy, pct,
+                                       static_cast<int>(depth), o.epochs));
+          print_result(results.back());
+        }
       }
     }
   }
