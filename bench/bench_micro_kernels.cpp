@@ -15,6 +15,7 @@
 #include "sampling/parameterized.h"
 #include "tensor/kernel_config.h"
 #include "tensor/ops.h"
+#include "tensor/quantize.h"
 #include "util/half.h"
 #include "util/mpmc_queue.h"
 #include "util/thread_pool.h"
@@ -135,6 +136,21 @@ void BM_HalfToFloat(benchmark::State& state) {
 }
 BENCHMARK(BM_HalfToFloat)->Unit(benchmark::kMillisecond);
 
+void BM_FloatToHalf(benchmark::State& state) {
+  std::vector<float> src(1 << 18);
+  std::vector<Half> dst(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<float>(i) * 0.001f - 100.0f;
+  }
+  for (auto _ : state) {
+    float_to_half_n(src.data(), dst.data(), src.size());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(src.size() * 4));
+}
+BENCHMARK(BM_FloatToHalf)->Unit(benchmark::kMillisecond);
+
 void BM_Matmul(benchmark::State& state) {
   const auto n = state.range(0);
   Tensor a = Tensor::uniform({n, n}, 1, -1, 1);
@@ -210,6 +226,66 @@ void BM_GemmKernel(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_GemmKernel) KERNEL_AB_ARGS;
+
+/// Shapes shared by the fused-epilogue / compressed-GEMM A/B benchmarks: a
+/// hidden-layer Linear forward (x [4096,64] @ w^T [256,64], the
+/// tools/bench_gate.cpp fusion-gate shape).
+struct LinearFixture {
+  Tensor x = Tensor::uniform({4096, 64}, 31, -1, 1);
+  Tensor w = Tensor::uniform({256, 64}, 32, -1, 1);
+  Tensor bias = Tensor::uniform({256}, 33, -1, 1);
+  Tensor x16 = x.to(DType::kF16);
+  Tensor xq, scale, zero;
+  LinearFixture() { xq = ops::quantize_rows(x, &scale, &zero); }
+};
+
+const LinearFixture& linear_fixture() {
+  static LinearFixture f;
+  return f;
+}
+
+void BM_LinearUnfusedKernel(benchmark::State& state) {
+  KernelABGuard guard(state.range(0) != 0, static_cast<int>(state.range(1)));
+  const auto& f = linear_fixture();
+  for (auto _ : state) {
+    Tensor h = ops::matmul(f.x, f.w, false, true);
+    Tensor hb = ops::add_row_broadcast(h, f.bias);
+    Tensor y = ops::relu(hb);
+    benchmark::DoNotOptimize(y.raw());
+  }
+}
+BENCHMARK(BM_LinearUnfusedKernel) KERNEL_AB_ARGS;
+
+void BM_LinearFusedKernel(benchmark::State& state) {
+  KernelABGuard guard(state.range(0) != 0, static_cast<int>(state.range(1)));
+  const auto& f = linear_fixture();
+  for (auto _ : state) {
+    Tensor y = ops::gemm_epilogue(f.x, f.w, f.bias, ops::Epilogue::kBiasRelu,
+                                  0.0, 0, nullptr);
+    benchmark::DoNotOptimize(y.raw());
+  }
+}
+BENCHMARK(BM_LinearFusedKernel) KERNEL_AB_ARGS;
+
+void BM_GemmF16AKernel(benchmark::State& state) {
+  KernelABGuard guard(state.range(0) != 0, static_cast<int>(state.range(1)));
+  const auto& f = linear_fixture();
+  for (auto _ : state) {
+    Tensor y = ops::matmul(f.x16, f.w, false, true);
+    benchmark::DoNotOptimize(y.raw());
+  }
+}
+BENCHMARK(BM_GemmF16AKernel) KERNEL_AB_ARGS;
+
+void BM_GemmInt8QKernel(benchmark::State& state) {
+  KernelABGuard guard(state.range(0) != 0, static_cast<int>(state.range(1)));
+  const auto& f = linear_fixture();
+  for (auto _ : state) {
+    Tensor y = ops::matmul_compressed(f.xq, f.scale, f.zero, f.w, true);
+    benchmark::DoNotOptimize(y.raw());
+  }
+}
+BENCHMARK(BM_GemmInt8QKernel) KERNEL_AB_ARGS;
 
 /// MFG-shaped CSR shared by the SpMM kernel benchmarks: one fanout-15 level
 /// sampled from the bench dataset (~8k dst, ~20-30k src).

@@ -40,6 +40,8 @@ options (all optional):
   --cache-pct P       device feature cache, percent of nodes         [0]
   --cache-policy M    degree | presample | lru | auto (docs/CACHING.md)
                                                                      [degree]
+  --feature-dtype D   feature wire format: f32 | f16 | i8q
+                      (docs/PERFORMANCE.md)                          [f16]
   --seed N            global seed                                    [1]
   --save PATH         write a checkpoint after training
   --load PATH         load a checkpoint before training
@@ -96,8 +98,10 @@ int main(int argc, char** argv) {
   cfg.seed = std::stoull(get("seed", "1"));
   cfg.cache_percentage = std::stod(get("cache-pct", "0")) / 100.0;
   cfg.cache_policy = get("cache-policy", "degree");
+  cfg.feature_dtype = get("feature-dtype", "f16");
   try {
     parse_cache_policy(cfg.cache_policy);  // reject typos before building
+    parse_feature_dtype(cfg.feature_dtype);
   } catch (const std::invalid_argument& e) {
     std::cerr << e.what() << " (try --help)\n";
     return 1;
@@ -136,7 +140,7 @@ int main(int argc, char** argv) {
     }
     std::cout << "model " << cfg.arch << " ("
               << sys->model()->num_parameters() << " parameters), mode "
-              << mode << "\n\n";
+              << mode << ", feature wire " << cfg.feature_dtype << "\n\n";
 
     const std::string load = get("load", "");
     if (!load.empty()) {

@@ -117,6 +117,31 @@ Variable linear(const Variable& x, const Variable& weight,
       });
 }
 
+Variable linear_act(const Variable& x, const Variable& weight,
+                    const Variable& bias, double dropout_p, bool training,
+                    std::uint64_t seed) {
+  if (!bias.defined()) {
+    throw std::invalid_argument("linear_act: bias required");
+  }
+  Tensor tx = x.data(), tw = weight.data();
+  const bool drop = training && dropout_p > 0.0;
+  Tensor mask;
+  Tensor y = ops::gemm_epilogue(
+      tx, tw, bias.data(),
+      drop ? ops::Epilogue::kBiasReluDropout : ops::Epilogue::kBiasRelu,
+      drop ? dropout_p : 0.0, seed, &mask);
+  return make_op_result(
+      "LinearAct", std::move(y), {x, weight, bias},
+      [tx, tw, mask](const Tensor& g) {
+        // mask is d y/d pre (relu gate x dropout scale), so one Hadamard
+        // recovers the pre-activation gradient; the rest is Linear backward.
+        Tensor gp = ops::mul(g, mask);
+        return std::vector<Tensor>{ops::matmul(gp, tw, false, false),
+                                   ops::matmul(gp, tx, true, false),
+                                   ops::sum_rows(gp)};
+      });
+}
+
 Variable relu(const Variable& x) {
   Tensor mask = ops::relu_mask(x.data());
   return make_op_result("ReLU", ops::relu(x.data()), {x},

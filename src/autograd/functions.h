@@ -29,6 +29,17 @@ Variable matmul(const Variable& a, const Variable& b, bool trans_a = false,
 /// x @ W^T + bias; W is [out,in] (PyTorch Linear layout); bias optional.
 Variable linear(const Variable& x, const Variable& weight,
                 const Variable& bias);
+/// Fused Linear + activation: dropout(relu(x @ W^T + bias)), computed as a
+/// single ops::gemm_epilogue call — bias, ReLU and (when training and
+/// dropout_p > 0) counter-based dropout are applied in the GEMM's store
+/// phase instead of three full-tensor passes. The backward consumes the
+/// combined mask the epilogue saved: d pre = g ⊙ mask, then the usual
+/// Linear gradients. `bias` must be defined. The dropout stream is the
+/// counter-based one (ops::dropout_mask_counter semantics), so results are
+/// deterministic for a given seed regardless of pool size.
+Variable linear_act(const Variable& x, const Variable& weight,
+                    const Variable& bias, double dropout_p, bool training,
+                    std::uint64_t seed);
 /// max(x, 0).
 Variable relu(const Variable& x);
 /// leaky ReLU with the given negative slope.

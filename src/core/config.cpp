@@ -53,6 +53,14 @@ std::vector<std::int64_t> parse_nonneg_int_list(const std::string& text) {
   return out;
 }
 
+DType parse_feature_dtype(const std::string& name) {
+  if (name == "f16") return DType::kF16;
+  if (name == "f32") return DType::kF32;
+  if (name == "i8q") return DType::kInt8Q;
+  throw std::invalid_argument("parse_feature_dtype: unknown dtype '" + name +
+                              "' (expected f16, f32, or i8q)");
+}
+
 bool parse_obs_flag(const std::string& arg, SystemConfig& config) {
   constexpr std::string_view kTrace = "--trace-out=";
   constexpr std::string_view kMetrics = "--metrics-out=";

@@ -44,6 +44,12 @@ struct SystemConfig {
   /// "lru", or "auto" (docs/CACHING.md). CLI form: --cache-policy=<name>.
   std::string cache_policy = "degree";
 
+  /// On-the-wire feature dtype for host->device transfers: "f16" (default),
+  /// "f32" (uncompressed baseline), or "i8q" (per-row affine int8,
+  /// tensor/quantize.h). See LoaderConfig::feature_dtype. CLI form:
+  /// --feature-dtype=<name>.
+  std::string feature_dtype = "f16";
+
   DeviceConfig device;
   std::uint64_t seed = 1;
 
@@ -57,6 +63,11 @@ struct SystemConfig {
   /// CLI form: --metrics-out=<path>.
   std::string metrics_out;
 };
+
+/// Parse a wire feature dtype name: "f16", "f32", or "i8q"
+/// (LoaderConfig::feature_dtype / the --feature-dtype CLI knob).
+/// \throws std::invalid_argument for anything else.
+DType parse_feature_dtype(const std::string& name);
 
 /// Parse "a,b,c" into a fanout list (helper for example/bench CLIs).
 std::vector<std::int64_t> parse_fanouts(const std::string& text);

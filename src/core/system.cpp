@@ -72,6 +72,7 @@ void System::build() {
   tc.feature_cache_nodes = config_.feature_cache_nodes;
   tc.loader.cache_policy = parse_cache_policy(config_.cache_policy);
   tc.loader.cache_percentage = config_.cache_percentage;
+  tc.loader.feature_dtype = parse_feature_dtype(config_.feature_dtype);
   trainer_ = std::make_unique<Trainer>(dataset_, model_, *device_, tc);
 }
 

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "tensor/quantize.h"
 #include "util/half.h"
 
 namespace salient {
@@ -60,13 +61,38 @@ void DeviceSim::enqueue_common_transfers(const PreparedBatch& batch,
 
 namespace {
 
-/// Device-side f16 -> f32 up-conversion (or plain copy for f32 stores).
-void convert_features(const Tensor& src, Tensor& dst) {
-  if (src.dtype() == DType::kF16) {
-    half_to_float_n(src.data<Half>(), dst.data<float>(),
-                    static_cast<std::size_t>(src.numel()));
-  } else {
-    std::memcpy(dst.raw(), src.raw(), src.nbytes());
+/// Device-side decompression of transferred feature rows into the f32
+/// compute copy: f16 bulk up-conversion, per-row int8 affine dequantization
+/// (using the scale/zero sidecars that rode the same DMA), or a plain copy
+/// for f32 wires.
+void convert_features(const Tensor& src, const Tensor& scale,
+                      const Tensor& zero, Tensor& dst) {
+  switch (src.dtype()) {
+    case DType::kF16:
+      half_to_float_n(src.data<Half>(), dst.data<float>(),
+                      static_cast<std::size_t>(src.numel()));
+      break;
+    case DType::kInt8Q: {
+      if (!scale.defined() || !zero.defined()) {
+        throw std::invalid_argument(
+            "convert_features: i8q rows need scale/zero sidecars");
+      }
+      const std::int64_t rows = src.size(0);
+      const std::int64_t f = src.size(1);
+      const std::int8_t* q = src.data<std::int8_t>();
+      const float* ps = scale.data<float>();
+      const float* pz = zero.data<float>();
+      float* pd = dst.data<float>();
+      for (std::int64_t i = 0; i < rows; ++i) {
+        ops::dequantize_row(q + i * f, f, ps[i], pz[i], pd + i * f);
+      }
+      break;
+    }
+    case DType::kF32:
+      std::memcpy(dst.raw(), src.raw(), src.nbytes());
+      break;
+    default:
+      throw std::invalid_argument("convert_features: unsupported wire dtype");
   }
 }
 
@@ -78,23 +104,39 @@ DeviceBatch DeviceSim::transfer_batch(const PreparedBatch& batch,
   const bool pinned = batch.x.pinned();
   enqueue_common_transfers(batch, pinned, out);
 
-  // Features: DMA the f16 rows, then convert to f32 on the compute stream
+  // Features: DMA the wire-format rows (f16 / f32 / per-row int8, plus the
+  // int8 scale/zero sidecars), then decompress to f32 on the compute stream
   // ("GPU training computations are still done in single precision", §3).
-  Tensor x_f16_dev(batch.x.shape(), batch.x.dtype());
+  Tensor x_wire_dev(batch.x.shape(), batch.x.dtype());
+  Tensor scale_dev, zero_dev;
+  if (batch.x_scale.defined()) {
+    scale_dev = Tensor(batch.x_scale.shape(), batch.x_scale.dtype());
+    zero_dev = Tensor(batch.x_zero.shape(), batch.x_zero.dtype());
+  }
   const Tensor x_host = batch.x;
-  Tensor x_f16_copy = x_f16_dev;  // shared storage alias for the lambda
-  copy_.enqueue([this, x_f16_copy, x_host, pinned]() mutable {
-    dma_.copy(x_f16_copy.raw(), x_host.raw(), x_host.nbytes(), pinned);
+  const Tensor scale_host = batch.x_scale;
+  const Tensor zero_host = batch.x_zero;
+  Tensor x_wire_copy = x_wire_dev;  // shared storage alias for the lambda
+  Tensor scale_copy = scale_dev;
+  Tensor zero_copy = zero_dev;
+  copy_.enqueue([this, x_wire_copy, x_host, scale_copy, scale_host, zero_copy,
+                 zero_host, pinned]() mutable {
+    dma_.copy(x_wire_copy.raw(), x_host.raw(), x_host.nbytes(), pinned);
+    if (scale_host.defined()) {
+      dma_.copy(scale_copy.raw(), scale_host.raw(), scale_host.nbytes(),
+                pinned);
+      dma_.copy(zero_copy.raw(), zero_host.raw(), zero_host.nbytes(), pinned);
+    }
   }, "h2d.features");
 
-  // Compute stream waits for the copies, then up-converts the features.
+  // Compute stream waits for the copies, then decompresses the features.
   Event copies_done = copy_.record();
   compute_.wait(copies_done);
   out.x_f32 = Tensor(batch.x.shape(), DType::kF32);
   Tensor x_f32_dev = out.x_f32;
-  compute_.enqueue([x_f16_dev, x_f32_dev]() mutable {
-    convert_features(x_f16_dev, x_f32_dev);
-  }, "dev.f16_to_f32");
+  compute_.enqueue([x_wire_dev, scale_dev, zero_dev, x_f32_dev]() mutable {
+    convert_features(x_wire_dev, scale_dev, zero_dev, x_f32_dev);
+  }, "dev.decompress_features");
   if (ready != nullptr) {
     *ready = compute_.record();
   }
@@ -119,13 +161,29 @@ DeviceBatch DeviceSim::transfer_batch_cached(const PreparedBatch& batch,
   const bool pinned = batch.x.pinned();
   enqueue_common_transfers(batch, pinned, out);
 
-  // Transfer only the missing rows.
+  // Transfer only the missing rows (and any int8 scale/zero sidecars).
   Tensor missing_dev(batch.x.shape(), batch.x.dtype());
+  Tensor scale_dev, zero_dev;
+  if (batch.x_scale.defined()) {
+    scale_dev = Tensor(batch.x_scale.shape(), batch.x_scale.dtype());
+    zero_dev = Tensor(batch.x_zero.shape(), batch.x_zero.dtype());
+  }
   const Tensor x_host = batch.x;
+  const Tensor scale_host = batch.x_scale;
+  const Tensor zero_host = batch.x_zero;
   Tensor missing_copy = missing_dev;
-  copy_.enqueue([this, missing_copy, x_host, pinned]() mutable {
+  Tensor scale_copy = scale_dev;
+  Tensor zero_copy = zero_dev;
+  copy_.enqueue([this, missing_copy, x_host, scale_copy, scale_host,
+                 zero_copy, zero_host, pinned]() mutable {
     if (x_host.numel() > 0) {
       dma_.copy(missing_copy.raw(), x_host.raw(), x_host.nbytes(), pinned);
+      if (scale_host.defined()) {
+        dma_.copy(scale_copy.raw(), scale_host.raw(), scale_host.nbytes(),
+                  pinned);
+        dma_.copy(zero_copy.raw(), zero_host.raw(), zero_host.nbytes(),
+                  pinned);
+      }
     }
   }, "h2d.missing_rows");
 
@@ -150,13 +208,13 @@ DeviceBatch DeviceSim::transfer_batch_cached(const PreparedBatch& batch,
   // For dynamic policies this also keeps the hit-row snapshot alive, so later
   // evictions cannot corrupt this in-flight batch.
   auto plan_copy = std::make_shared<CachePlan>(plan);
-  compute_.enqueue([missing_dev, x_f32_dev, cache_feats, plan_copy,
-                    f]() mutable {
-    // Up-convert the missing rows once, then scatter both sources.
+  compute_.enqueue([missing_dev, scale_dev, zero_dev, x_f32_dev, cache_feats,
+                    plan_copy, f]() mutable {
+    // Decompress the missing rows once, then scatter both sources.
     Tensor missing_f32;
     if (missing_dev.size(0) > 0) {
       missing_f32 = Tensor(missing_dev.shape(), DType::kF32);
-      convert_features(missing_dev, missing_f32);
+      convert_features(missing_dev, scale_dev, zero_dev, missing_f32);
     }
     const Tensor& hits =
         plan_copy->hit_rows.defined() ? plan_copy->hit_rows : cache_feats;

@@ -39,12 +39,16 @@ struct DatasetConfig {
   double val_frac = 0.2;
   double test_frac = 0.3;
   std::uint64_t seed = 1;
+  /// Storage dtype of the host feature store: kF16 (the paper's default,
+  /// "half-precision floating point for feature vectors in host memory", §3)
+  /// or kF32 (uncompressed baseline for the compressed-pipeline A/Bs).
+  DType feature_dtype = DType::kF16;
 };
 
 struct Dataset {
   std::string name;
   CsrGraph graph;
-  Tensor features;  ///< [N, f] f16 host feature store
+  Tensor features;  ///< [N, f] host feature store (f16 default, or f32)
   Tensor labels;    ///< [N] i64 class indices
   std::vector<NodeId> train_idx;
   std::vector<NodeId> val_idx;

@@ -16,8 +16,10 @@ GinMlp::GinMlp(std::int64_t in_channels, std::int64_t hidden_channels,
 }
 
 Variable GinMlp::forward(const Variable& x) {
+  // lin1's ReLU cannot fuse past the batch norm; lin2 + ReLU fuse into one
+  // gemm_epilogue store pass.
   Variable h = relu(bn_->forward(lin1_->forward(x)));
-  return relu(lin2_->forward(h));
+  return lin2_->forward_act(h);
 }
 
 GinConv::GinConv(std::shared_ptr<GinMlp> mlp, double eps) : eps_(eps) {

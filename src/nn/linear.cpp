@@ -22,4 +22,10 @@ Variable Linear::forward(const Variable& x) {
   return autograd::linear(x, weight_, bias_);
 }
 
+Variable Linear::forward_act(const Variable& x, double dropout_p,
+                             std::uint64_t seed) {
+  return autograd::linear_act(x, weight_, bias_, dropout_p, is_training(),
+                              seed);
+}
+
 }  // namespace salient::nn

@@ -15,6 +15,12 @@ class Linear : public Module {
   /// y = x W^T (+ b).
   Variable forward(const Variable& x);
 
+  /// Fused y = dropout(relu(x W^T + b)): one gemm_epilogue call instead of
+  /// GEMM + three elementwise passes (autograd::linear_act). dropout_p = 0
+  /// (or eval mode) fuses just bias+ReLU. Requires the layer to have a bias.
+  Variable forward_act(const Variable& x, double dropout_p = 0.0,
+                       std::uint64_t seed = 0);
+
   std::int64_t in_features() const { return in_; }
   std::int64_t out_features() const { return out_; }
 

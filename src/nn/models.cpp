@@ -156,8 +156,10 @@ Variable Gin::apply_layer(int i, const Variable& x, const MfgLevel& level) {
 }
 
 Variable Gin::finalize(const Variable& x) {
-  Variable h = relu(lin1_->forward(x));
-  h = dropout_->forward(h);
+  // Fused bias+ReLU+dropout epilogue: the classifier head's three
+  // elementwise passes ride the lin1 GEMM store. The dropout decisions come
+  // from the counter-based stream seeded by this module's seed stream.
+  Variable h = lin1_->forward_act(x, dropout_->p(), next_seed());
   return log_softmax(lin2_->forward(h));
 }
 

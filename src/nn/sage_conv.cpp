@@ -35,7 +35,8 @@ Variable SageConv::forward(const Variable& x, const MfgLevel& level) {
       agg = autograd::spmm_max(indptr, indices, x, level.num_dst);
       break;
     case SageAggregator::kPool: {
-      Variable transformed = relu(lin_pool_->forward(x));
+      // Fused bias+ReLU epilogue on the pool transform.
+      Variable transformed = lin_pool_->forward_act(x);
       agg = autograd::spmm_max(indptr, indices, transformed, level.num_dst);
       break;
     }

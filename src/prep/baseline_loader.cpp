@@ -92,10 +92,24 @@ std::optional<PreparedBatch> BaselineLoader::next() {
                     dataset_.features.dtype());
   slice_rows_parallel(dataset_.features, batch.mfg.n_ids, x_pageable,
                       ThreadPool::global());
-  // ...followed by the pin_memory copy into a staging buffer.
-  batch.x = pool_->acquire({batch.mfg.num_input_nodes(), dataset_.feature_dim},
-                           dataset_.features.dtype());
-  std::memcpy(batch.x.raw(), x_pageable.raw(), x_pageable.nbytes());
+  if (config_.feature_dtype == dataset_.features.dtype()) {
+    // ...followed by the pin_memory copy into a staging buffer.
+    batch.x = pool_->acquire(
+        {batch.mfg.num_input_nodes(), dataset_.feature_dim},
+        dataset_.features.dtype());
+    std::memcpy(batch.x.raw(), x_pageable.raw(), x_pageable.nbytes());
+  } else {
+    // Compressed wire format: the pin_memory copy doubles as the
+    // conversion/quantization pass (one write into pinned staging either
+    // way). Identity ids re-gather the already-sliced pageable rows.
+    std::vector<NodeId> iota(
+        static_cast<std::size_t>(batch.mfg.num_input_nodes()));
+    for (std::size_t i = 0; i < iota.size(); ++i) {
+      iota[i] = static_cast<NodeId>(i);
+    }
+    stage_feature_rows(x_pageable, iota, config_.feature_dtype, *pool_,
+                       batch);
+  }
 
   batch.y = pool_->acquire({batch.mfg.batch_size}, DType::kI64);
   slice_labels(dataset_.labels,
@@ -106,8 +120,7 @@ std::optional<PreparedBatch> BaselineLoader::next() {
 }
 
 void BaselineLoader::recycle(PreparedBatch&& batch) {
-  pool_->release(std::move(batch.x));
-  pool_->release(std::move(batch.y));
+  release_batch_buffers(*pool_, std::move(batch));
 }
 
 }  // namespace salient

@@ -1,8 +1,43 @@
 #include "prep/batch.h"
 
 #include <stdexcept>
+#include <utility>
+
+#include "prep/pinned_pool.h"
+#include "prep/slicing.h"
 
 namespace salient {
+
+void stage_feature_rows(const Tensor& features, std::span<const NodeId> ids,
+                        DType wire_dtype, PinnedPool& pool,
+                        PreparedBatch& batch) {
+  const auto n = static_cast<std::int64_t>(ids.size());
+  const std::int64_t f = features.size(1);
+  switch (wire_dtype) {
+    case DType::kF16:
+    case DType::kF32:
+      batch.x = pool.acquire({n, f}, wire_dtype);
+      slice_rows_convert_serial(features, ids, batch.x);
+      break;
+    case DType::kInt8Q:
+      batch.x = pool.acquire({n, f}, DType::kInt8Q);
+      batch.x_scale = pool.acquire({n}, DType::kF32);
+      batch.x_zero = pool.acquire({n}, DType::kF32);
+      slice_rows_quantize_serial(features, ids, batch.x, batch.x_scale,
+                                 batch.x_zero);
+      break;
+    default:
+      throw std::invalid_argument(
+          "stage_feature_rows: feature_dtype must be f16/f32/i8q");
+  }
+}
+
+void release_batch_buffers(PinnedPool& pool, PreparedBatch&& batch) {
+  pool.release(std::move(batch.x));
+  pool.release(std::move(batch.y));
+  if (batch.x_scale.defined()) pool.release(std::move(batch.x_scale));
+  if (batch.x_zero.defined()) pool.release(std::move(batch.x_zero));
+}
 
 std::vector<std::int64_t> serialize_mfg(const Mfg& mfg) {
   std::vector<std::int64_t> buf;

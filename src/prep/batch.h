@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "prep/feature_cache.h"
@@ -26,20 +27,57 @@ namespace salient {
 struct PreparedBatch {
   std::int64_t index = -1;  ///< position of this batch within the epoch
   Mfg mfg;
-  Tensor x;  ///< [num_input_nodes, F] features (f16), pinned when pooled;
+  Tensor x;  ///< [num_input_nodes, F] features in the loader's wire dtype
+             ///< (f16 default; f32 or per-row int8), pinned when pooled;
              ///< with a cache plan, only the plan's missing rows
   Tensor y;  ///< [batch_size] labels (i64)
+  /// Per-row dequantization parameters, defined only when x is kInt8Q:
+  /// [x.size(0)] f32 scales and zero-points (tensor/quantize.h). They ride
+  /// the same DMA as x and the device consumes them when assembling the
+  /// f32 compute copy.
+  Tensor x_scale;
+  Tensor x_zero;
   /// Set when the batch was prepared against a device feature cache:
   /// x holds only the cache-missing rows and the device assembles the rest
   /// (paper §8 / GNS-style caching).
   std::shared_ptr<const CachePlan> cache_plan;
 
+  /// Bytes of feature payload this batch moves host->device: the (possibly
+  /// compressed) rows plus, for int8, their per-row scale/zero sidecar.
+  /// The compressed-pipeline A/Bs assert on the f32/f16/int8 ratios of this
+  /// quantity (tests/test_train.cpp).
+  std::size_t feature_bytes() const {
+    std::size_t b = x.nbytes();
+    if (x_scale.defined()) b += x_scale.nbytes();
+    if (x_zero.defined()) b += x_zero.nbytes();
+    return b;
+  }
+
   /// Total bytes this batch moves host->device (adjacency + features +
   /// labels), the quantity driving the transfer phase.
   std::size_t transfer_bytes() const {
-    return mfg.adjacency_bytes() + x.nbytes() + y.nbytes();
+    return mfg.adjacency_bytes() + feature_bytes() + y.nbytes();
   }
 };
+
+class PinnedPool;
+
+/// Slice the feature rows of `ids` into `batch.x` (and, for kInt8Q,
+/// `batch.x_scale`/`batch.x_zero`) in the loader's wire dtype, staged in
+/// buffers acquired from `pool`. This is the single entry point both loaders
+/// use to produce the compressed feature payload:
+///   * wire == store dtype: plain bytewise gather;
+///   * f16 <-> f32: converting gather (bulk converters, no intermediate);
+///   * kInt8Q: per-row affine quantizing gather plus scale/zero sidecars.
+/// \throws std::invalid_argument for any other wire dtype.
+void stage_feature_rows(const Tensor& features, std::span<const NodeId> ids,
+                        DType wire_dtype, PinnedPool& pool,
+                        PreparedBatch& batch);
+
+/// Release batch.x / batch.y and any scale/zero sidecars back to `pool`.
+/// The loaders' recycle() methods delegate here so every acquired staging
+/// buffer is returned no matter which wire dtype produced the batch.
+void release_batch_buffers(PinnedPool& pool, PreparedBatch&& batch);
 
 /// Flatten an MFG into a single contiguous int64 buffer.
 std::vector<std::int64_t> serialize_mfg(const Mfg& mfg);

@@ -206,6 +206,15 @@ CachePlan plan_cached_batch(const Mfg& mfg, const FeatureCache& cache) {
   return plan;
 }
 
+std::vector<NodeId> missing_node_ids(const Mfg& mfg, const CachePlan& plan) {
+  std::vector<NodeId> missing;
+  missing.reserve(static_cast<std::size_t>(plan.num_missing));
+  for (std::size_t i = 0; i < mfg.n_ids.size(); ++i) {
+    if (!plan.from_cache[i]) missing.push_back(mfg.n_ids[i]);
+  }
+  return missing;
+}
+
 void slice_missing_rows(const Dataset& dataset, const Mfg& mfg,
                         const CachePlan& plan, Tensor& out) {
   if (out.size(0) != plan.num_missing ||
@@ -213,12 +222,7 @@ void slice_missing_rows(const Dataset& dataset, const Mfg& mfg,
       out.dtype() != dataset.features.dtype()) {
     throw std::invalid_argument("slice_missing_rows: bad output buffer");
   }
-  std::vector<NodeId> missing;
-  missing.reserve(static_cast<std::size_t>(plan.num_missing));
-  for (std::size_t i = 0; i < mfg.n_ids.size(); ++i) {
-    if (!plan.from_cache[i]) missing.push_back(mfg.n_ids[i]);
-  }
-  slice_rows_serial(dataset.features, missing, out);
+  slice_rows_serial(dataset.features, missing_node_ids(mfg, plan), out);
 }
 
 }  // namespace salient

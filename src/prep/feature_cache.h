@@ -153,6 +153,11 @@ class FeatureCache {
   mutable std::vector<NodeId> node_of_slot_ GUARDED_BY(mu_);
 };
 
+/// The node ids of the plan's cache-missing rows, in the order the device
+/// expects them in the staged miss buffer (the loaders feed this list to
+/// stage_feature_rows so misses can ship compressed).
+std::vector<NodeId> missing_node_ids(const Mfg& mfg, const CachePlan& plan);
+
 /// Slice the plan's missing rows from the host store into `out`
 /// ([plan.num_missing, F], host feature dtype).
 void slice_missing_rows(const Dataset& dataset, const Mfg& mfg,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "prep/cache_policy.h"
+#include "tensor/dtype.h"
 
 /// \file
 /// \brief Shared configuration for the batch-preparation loaders
@@ -46,6 +47,18 @@ struct LoaderConfig {
   /// Presample policy: warmup sampling epochs K (>= 1; see
   /// CachePolicyConfig::presample_epochs).
   int presample_epochs = 2;
+
+  /// On-the-wire dtype of the sliced feature rows — what crosses the
+  /// (simulated) PCIe link per batch:
+  ///   * kF16 (default): rows stay/convert to half precision, halving
+  ///     feature transfer bytes vs f32 (paper §3);
+  ///   * kF32: uncompressed rows (the baseline the A/Bs compare against);
+  ///   * kInt8Q: per-row affine int8 (tensor/quantize.h) — ~4x fewer bytes
+  ///     than f32, plus an 8-byte/row scale/zero sidecar the device uses to
+  ///     dequantize.
+  /// The loaders convert/quantize during slicing, so the pinned staging
+  /// buffers and the DMA both see only the compressed form.
+  DType feature_dtype = DType::kF16;
 };
 
 }  // namespace salient

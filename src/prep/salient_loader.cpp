@@ -155,18 +155,20 @@ void SalientLoader::worker_loop(int worker_index) {
     // feature cache, only the cache-missing rows are sliced/staged.
     {
       SALIENT_TRACE_SCOPE_ARG("prep.slice", desc.index);
+      // Rows leave the host in config_.feature_dtype: converted (f16/f32)
+      // or per-row int8-quantized during the gather, so pinned staging and
+      // the DMA only ever see the wire format.
       if (cache_) {
         auto plan = std::make_shared<CachePlan>(
             plan_cached_batch(batch.mfg, *cache_));
-        batch.x = pool_->acquire({plan->num_missing, dataset_.feature_dim},
-                                 dataset_.features.dtype());
-        slice_missing_rows(dataset_, batch.mfg, *plan, batch.x);
+        const std::vector<NodeId> missing =
+            missing_node_ids(batch.mfg, *plan);
+        stage_feature_rows(dataset_.features, missing,
+                           config_.feature_dtype, *pool_, batch);
         batch.cache_plan = std::move(plan);
       } else {
-        batch.x =
-            pool_->acquire({batch.mfg.num_input_nodes(), dataset_.feature_dim},
-                           dataset_.features.dtype());
-        slice_rows_serial(dataset_.features, batch.mfg.n_ids, batch.x);
+        stage_feature_rows(dataset_.features, batch.mfg.n_ids,
+                           config_.feature_dtype, *pool_, batch);
       }
       batch.y = pool_->acquire({batch.mfg.batch_size}, DType::kI64);
       slice_labels(dataset_.labels,
@@ -192,8 +194,7 @@ std::optional<PreparedBatch> SalientLoader::next() {
 }
 
 void SalientLoader::recycle(PreparedBatch&& batch) {
-  pool_->release(std::move(batch.x));
-  pool_->release(std::move(batch.y));
+  release_batch_buffers(*pool_, std::move(batch));
 }
 
 }  // namespace salient

@@ -2,8 +2,11 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <vector>
 
 #include "tensor/kernel_config.h"
+#include "tensor/quantize.h"
+#include "util/half.h"
 
 namespace salient {
 
@@ -60,6 +63,71 @@ void slice_rows_parallel(const Tensor& src, std::span<const NodeId> ids,
                     [&](std::int64_t b, std::int64_t e) {
                       copy_row_range(src, ids, out, b, e);
                     });
+}
+
+void slice_rows_convert_serial(const Tensor& src, std::span<const NodeId> ids,
+                               Tensor& out) {
+  if (src.dtype() == out.dtype()) {
+    slice_rows_serial(src, ids, out);
+    return;
+  }
+  if (src.dim() != 2 || out.dim() != 2 || out.size(1) != src.size(1) ||
+      out.size(0) != static_cast<std::int64_t>(ids.size())) {
+    throw std::runtime_error("slice_rows_convert: bad destination shape");
+  }
+  check_ids(ids, src.size(0), "slice_rows_convert");
+  const std::int64_t f = src.size(1);
+  const auto n = static_cast<std::int64_t>(ids.size());
+  if (src.dtype() == DType::kF16 && out.dtype() == DType::kF32) {
+    const Half* ps = src.data<Half>();
+    float* pd = out.data<float>();
+    for (std::int64_t k = 0; k < n; ++k) {
+      half_to_float_n(ps + static_cast<std::int64_t>(ids[k]) * f, pd + k * f,
+                      static_cast<std::size_t>(f));
+    }
+  } else if (src.dtype() == DType::kF32 && out.dtype() == DType::kF16) {
+    const float* ps = src.data<float>();
+    Half* pd = out.data<Half>();
+    for (std::int64_t k = 0; k < n; ++k) {
+      float_to_half_n(ps + static_cast<std::int64_t>(ids[k]) * f, pd + k * f,
+                      static_cast<std::size_t>(f));
+    }
+  } else {
+    throw std::runtime_error("slice_rows_convert: dtypes must be f16/f32");
+  }
+}
+
+void slice_rows_quantize_serial(const Tensor& src, std::span<const NodeId> ids,
+                                Tensor& out, Tensor& scale, Tensor& zero) {
+  const auto n = static_cast<std::int64_t>(ids.size());
+  const std::int64_t f = src.size(1);
+  if (src.dim() != 2 || out.dim() != 2 || out.dtype() != DType::kInt8Q ||
+      out.size(1) != f || out.size(0) != n || scale.numel() != n ||
+      zero.numel() != n || scale.dtype() != DType::kF32 ||
+      zero.dtype() != DType::kF32) {
+    throw std::runtime_error("slice_rows_quantize: bad destination buffers");
+  }
+  if (src.dtype() != DType::kF16 && src.dtype() != DType::kF32) {
+    throw std::runtime_error("slice_rows_quantize: src must be f16/f32");
+  }
+  if (f == 0) return;
+  check_ids(ids, src.size(0), "slice_rows_quantize");
+  std::int8_t* pd = out.data<std::int8_t>();
+  float* pscale = scale.data<float>();
+  float* pzero = zero.data<float>();
+  std::vector<float> stage(static_cast<std::size_t>(f));
+  for (std::int64_t k = 0; k < n; ++k) {
+    const auto row = static_cast<std::int64_t>(ids[k]);
+    const float* prow;
+    if (src.dtype() == DType::kF16) {
+      half_to_float_n(src.data<Half>() + row * f, stage.data(),
+                      static_cast<std::size_t>(f));
+      prow = stage.data();
+    } else {
+      prow = src.data<float>() + row * f;
+    }
+    ops::quantize_row(prow, f, pd + k * f, pscale + k, pzero + k);
+  }
 }
 
 void slice_labels(const Tensor& labels, std::span<const NodeId> ids,

@@ -34,4 +34,21 @@ void slice_rows_parallel(const Tensor& src, std::span<const NodeId> ids,
 void slice_labels(const Tensor& labels, std::span<const NodeId> ids,
                   Tensor& out);
 
+/// Converting row gather for the compressed feature pipeline: `src` and
+/// `out` are f16 or f32 in any combination; rows are converted in flight
+/// through the bulk converters (util/half.h) while being gathered, so no
+/// intermediate full-precision copy of the batch materializes. Equal dtypes
+/// degrade to the plain bytewise gather.
+void slice_rows_convert_serial(const Tensor& src, std::span<const NodeId> ids,
+                               Tensor& out);
+
+/// Quantizing row gather: src (f16 or f32) rows are gathered and per-row
+/// affine int8-quantized (tensor/quantize.h) into `out`
+/// ([ids.size(), F] kInt8Q) with their scales/zero-points written to the
+/// preallocated [ids.size()] f32 `scale`/`zero` tensors. This is the
+/// int8 wire format's producer: quantization happens once, at slice time,
+/// so the DMA moves 1 byte per element plus 8 bytes per row.
+void slice_rows_quantize_serial(const Tensor& src, std::span<const NodeId> ids,
+                                Tensor& out, Tensor& scale, Tensor& zero);
+
 }  // namespace salient

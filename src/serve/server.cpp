@@ -221,18 +221,19 @@ void InferenceServer::prep_loop(int worker_index) {
     }
     {
       SALIENT_TRACE_SCOPE_ARG("serve.slice", cb.seq);
+      // Rows ship in config_.feature_dtype (converted or int8-quantized
+      // during the gather), same wire formats as the training loaders.
       if (config_.feature_cache) {
         auto plan = std::make_shared<CachePlan>(
             plan_cached_batch(cb.prep.mfg, *config_.feature_cache));
-        cb.prep.x = pool_->acquire({plan->num_missing, dataset_.feature_dim},
-                                   dataset_.features.dtype());
-        slice_missing_rows(dataset_, cb.prep.mfg, *plan, cb.prep.x);
+        const std::vector<NodeId> missing =
+            missing_node_ids(cb.prep.mfg, *plan);
+        stage_feature_rows(dataset_.features, missing, config_.feature_dtype,
+                           *pool_, cb.prep);
         cb.prep.cache_plan = std::move(plan);
       } else {
-        cb.prep.x = pool_->acquire(
-            {cb.prep.mfg.num_input_nodes(), dataset_.feature_dim},
-            dataset_.features.dtype());
-        slice_rows_serial(dataset_.features, cb.prep.mfg.n_ids, cb.prep.x);
+        stage_feature_rows(dataset_.features, cb.prep.mfg.n_ids,
+                           config_.feature_dtype, *pool_, cb.prep);
       }
       // Serving needs no labels, but the device transfer path expects a y
       // tensor; slice the (tiny) label rows so DeviceBatch stays uniform.
@@ -267,8 +268,7 @@ void InferenceServer::device_loop() {
       f.done.synchronize();
     }
     SALIENT_TRACE_ASYNC_END("serve.batch", f.cb.seq);
-    pool_->release(std::move(f.cb.prep.x));
-    pool_->release(std::move(f.cb.prep.y));
+    release_batch_buffers(*pool_, std::move(f.cb.prep));
     complete(std::move(f.cb), f.preds->data());
     m_inflight.set(static_cast<double>(inflight.size()));
   };

@@ -70,6 +70,10 @@ struct ServeConfig {
   double cache_percentage = 0.0;
   /// Presample warmup epochs for a server-built cache.
   int presample_epochs = 2;
+  /// On-the-wire feature dtype for host->device transfers (kF16 default,
+  /// kF32, or kInt8Q per-row affine; see LoaderConfig::feature_dtype — the
+  /// serving pipeline compresses sliced rows the same way training does).
+  DType feature_dtype = DType::kF16;
   /// Latency target for the serve.slo.{ok,miss} counters, microseconds.
   double slo_us = 50'000;
   /// Seed of the per-batch sampling RNG (mixed with the batch sequence

@@ -12,6 +12,8 @@ std::size_t dtype_size(DType dt) {
       return 8;
     case DType::kI64:
       return 8;
+    case DType::kInt8Q:
+      return 1;
   }
   return 0;
 }
@@ -26,6 +28,8 @@ const char* dtype_name(DType dt) {
       return "f64";
     case DType::kI64:
       return "i64";
+    case DType::kInt8Q:
+      return "i8q";
   }
   return "?";
 }

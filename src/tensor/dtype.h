@@ -3,6 +3,11 @@
 // F16 is a storage-only type (the host-side feature store keeps features in
 // half precision, as in the paper); compute happens in F32 (the "GPU" compute
 // precision) or F64 (used by gradient checking). I64 is the index/label type.
+// Int8Q is a storage-only per-row affine-quantized type: a [rows, cols]
+// kInt8Q tensor is meaningless without its companion per-row scale/zero-point
+// tensors (see tensor/quantize.h); generic Tensor::to() conversions therefore
+// reject it and quantized data moves through the explicit quantize /
+// dequantize entry points.
 #pragma once
 
 #include <cstddef>
@@ -17,6 +22,7 @@ enum class DType : std::uint8_t {
   kF32 = 1,
   kF64 = 2,
   kI64 = 3,
+  kInt8Q = 4,
 };
 
 /// Size in bytes of one element of `dt`.
@@ -43,6 +49,10 @@ struct DTypeOf<double> {
 template <>
 struct DTypeOf<std::int64_t> {
   static constexpr DType value = DType::kI64;
+};
+template <>
+struct DTypeOf<std::int8_t> {
+  static constexpr DType value = DType::kInt8Q;
 };
 
 }  // namespace salient

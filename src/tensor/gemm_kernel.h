@@ -35,6 +35,8 @@
 #include <cstdint>
 #include <cstring>
 
+#include "tensor/epilogue.h"
+
 #if defined(__GNUC__) || defined(__clang__)
 #define SALIENT_GEMM_VECTOR_EXT 1
 #endif
@@ -192,6 +194,142 @@ void gemm_microkernel(const T* ap, const T* bp, std::int64_t k, T* c,
       } else {
         for (std::int64_t cix = 0; cix < w; ++cix) crow[cix] = tile[r][cix];
       }
+    }
+  }
+}
+
+/// Runtime parameters for the fused store-phase epilogue
+/// (tensor/epilogue.h). Bound once per GEMM call; the microkernel indexes
+/// `bias` by absolute output column and `mask` by absolute flat element
+/// index, so results do not depend on tile traversal order.
+template <typename T>
+struct GemmEpilogue {
+  Epilogue kind = Epilogue::kNone;
+  const T* bias = nullptr;  ///< [n] bias row (kBias and stronger)
+  T* mask = nullptr;        ///< optional [m*n] d y/d pre (kBiasRelu and up)
+  T keep_scale = T(1);      ///< 1/(1-p) inverted-dropout scale
+  std::uint64_t seed = 0;   ///< dropout decision seed
+  std::uint64_t drop_threshold = 0;  ///< dropout_drop_threshold(p)
+  std::int64_t n = 0;       ///< output columns (flat-index stride)
+};
+
+/// Same accumulation as gemm_microkernel (identical ascending-k register
+/// tiling, so fused and unfused outputs are bitwise equal given equal
+/// inputs), but the store phase applies a fused epilogue: the finished tile
+/// (plus prior-k-block partials from C when `accumulate`) gets bias, ReLU
+/// and counter-based dropout applied in one pass while it is still on-core,
+/// and the combined backward mask streams out alongside. Called only for a
+/// GEMM's final k block; earlier blocks use the plain microkernel. A
+/// separate function (not a flag on gemm_microkernel) so the plain kernel's
+/// store phase stays branch-free.
+template <typename T>
+void gemm_microkernel_epi(const T* ap, const T* bp, std::int64_t k, T* c,
+                          std::int64_t ldc, std::int64_t i0, std::int64_t h,
+                          std::int64_t j0, std::int64_t w, bool accumulate,
+                          const GemmEpilogue<T>& epi) {
+  static_assert(kGemmMR == 6, "microkernel unrolls exactly six tile rows");
+  constexpr std::int64_t NR = kGemmNR<T>;
+  T tile[kGemmMR][NR];
+#ifdef SALIENT_GEMM_VECTOR_EXT
+  constexpr std::int64_t L = kGemmLanes<T>;
+  using V = typename GemmVec<T>::type;
+  V a00{}, a01{}, a10{}, a11{}, a20{}, a21{}, a30{}, a31{}, a40{}, a41{},
+      a50{}, a51{};
+  for (std::int64_t p = 0; p < k; ++p) {
+    V b0, b1;
+    std::memcpy(&b0, bp + p * NR, sizeof(V));  // unaligned vector loads
+    std::memcpy(&b1, bp + p * NR + L, sizeof(V));
+    const T* arow = ap + p * kGemmMR;
+    a00 += arow[0] * b0;
+    a01 += arow[0] * b1;
+    a10 += arow[1] * b0;
+    a11 += arow[1] * b1;
+    a20 += arow[2] * b0;
+    a21 += arow[2] * b1;
+    a30 += arow[3] * b0;
+    a31 += arow[3] * b1;
+    a40 += arow[4] * b0;
+    a41 += arow[4] * b1;
+    a50 += arow[5] * b0;
+    a51 += arow[5] * b1;
+  }
+  std::memcpy(&tile[0][0], &a00, sizeof(V));
+  std::memcpy(&tile[0][L], &a01, sizeof(V));
+  std::memcpy(&tile[1][0], &a10, sizeof(V));
+  std::memcpy(&tile[1][L], &a11, sizeof(V));
+  std::memcpy(&tile[2][0], &a20, sizeof(V));
+  std::memcpy(&tile[2][L], &a21, sizeof(V));
+  std::memcpy(&tile[3][0], &a30, sizeof(V));
+  std::memcpy(&tile[3][L], &a31, sizeof(V));
+  std::memcpy(&tile[4][0], &a40, sizeof(V));
+  std::memcpy(&tile[4][L], &a41, sizeof(V));
+  std::memcpy(&tile[5][0], &a50, sizeof(V));
+  std::memcpy(&tile[5][L], &a51, sizeof(V));
+#else
+  T acc[kGemmMR][NR] = {};
+  for (std::int64_t p = 0; p < k; ++p) {
+    const T* arow = ap + p * kGemmMR;
+    const T* brow = bp + p * NR;
+    for (std::int64_t r = 0; r < kGemmMR; ++r) {
+      const T av = arow[r];
+      for (std::int64_t cix = 0; cix < NR; ++cix) {
+        acc[r][cix] += av * brow[cix];
+      }
+    }
+  }
+  std::memcpy(tile, acc, sizeof(tile));
+#endif
+  for (std::int64_t r = 0; r < h; ++r) {
+    T* crow = c + (i0 + r) * ldc + j0;
+    T* mrow = epi.mask != nullptr ? epi.mask + (i0 + r) * epi.n + j0 : nullptr;
+    const std::int64_t flat0 = (i0 + r) * epi.n + j0;
+    // Fold prior-k-block partials and the bias into the tile first, then
+    // apply each epilogue kind in its own tight loop. Keeping a per-element
+    // switch (and a data-dependent ternary compiled as a branch) here costs
+    // ~3x the whole GEMM in mispredicted branches on random-sign
+    // activations; the split loops compile to compare+blend vector code.
+    // The addition order (partials, then bias) matches the old fused loop
+    // and the reference path, so outputs stay bitwise identical.
+    if (accumulate) {
+      for (std::int64_t cix = 0; cix < w; ++cix) tile[r][cix] += crow[cix];
+    }
+    if (epi.kind != Epilogue::kNone) {
+      for (std::int64_t cix = 0; cix < w; ++cix) {
+        tile[r][cix] += epi.bias[j0 + cix];
+      }
+    }
+    switch (epi.kind) {
+      case Epilogue::kNone:
+      case Epilogue::kBias:
+        for (std::int64_t cix = 0; cix < w; ++cix) crow[cix] = tile[r][cix];
+        break;
+      case Epilogue::kBiasRelu:
+        // Select (not pre * mask): -x * 0 would store -0.0 and break
+        // bitwise parity with the unfused relu.
+        if (mrow != nullptr) {
+          for (std::int64_t cix = 0; cix < w; ++cix) {
+            const T pre = tile[r][cix];
+            const bool pos = pre > T(0);
+            crow[cix] = pos ? pre : T(0);
+            mrow[cix] = pos ? T(1) : T(0);
+          }
+        } else {
+          for (std::int64_t cix = 0; cix < w; ++cix) {
+            const T pre = tile[r][cix];
+            crow[cix] = pre > T(0) ? pre : T(0);
+          }
+        }
+        break;
+      case Epilogue::kBiasReluDropout:
+        for (std::int64_t cix = 0; cix < w; ++cix) {
+          const T pre = tile[r][cix];
+          const bool on =
+              pre > T(0) &&
+              dropout_keep(epi.seed, flat0 + cix, epi.drop_threshold);
+          crow[cix] = on ? pre * epi.keep_scale : T(0);
+          if (mrow != nullptr) mrow[cix] = on ? epi.keep_scale : T(0);
+        }
+        break;
     }
   }
 }

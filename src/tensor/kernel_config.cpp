@@ -46,4 +46,10 @@ bool use_parallel(std::int64_t work) {
   return work >= kParallelGrain && kernel_pool().size() > 1;
 }
 
+bool use_parallel(std::int64_t work, GrainClass cls) {
+  const std::int64_t grain =
+      cls == GrainClass::kMemoryBound ? kMemoryBoundGrain : kParallelGrain;
+  return work >= grain && kernel_pool().size() > 1;
+}
+
 }  // namespace salient::ops

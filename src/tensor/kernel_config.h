@@ -53,8 +53,38 @@ void set_kernel_pool(ThreadPool* pool);
 /// `work` is the total number of scalar operations (≈ elements touched).
 inline constexpr std::int64_t kParallelGrain = 1 << 14;
 
+/// Per-op grain classes: kernels declare which cost regime they are in and
+/// the table below picks the serial/parallel threshold.
+///
+///   * kCompute — FLOP-bound (GEMM, SpMM forward, softmax): each loaded byte
+///     feeds multiple arithmetic ops, so extra threads buy real speedup as
+///     soon as the range clears the dispatch cost (kParallelGrain).
+///   * kMemoryBound — pure data movement or one-flop-per-byte streams
+///     (gather/scatter rows, SpMM backward scatter, large elementwise). A
+///     single core already saturates most of the sustainable memory
+///     bandwidth on these, so splitting the range mostly adds dispatch +
+///     cache-line handoff overhead — the BENCH_kernels ×8 regressions
+///     (gather_rows 0.89x, scatter_add_rows 0.78x, spmm_*_bwd 0.76–0.84x)
+///     were exactly this. Such ops stay serial until the range is large
+///     enough (kMemoryBoundGrain) that per-thread streams are long enough to
+///     amortize the handoff and win on multi-channel machines.
+enum class GrainClass {
+  kCompute,      ///< FLOP-bound: parallelize above kParallelGrain
+  kMemoryBound,  ///< bandwidth-bound: parallelize above kMemoryBoundGrain
+};
+
+/// Threshold (total elements touched) for GrainClass::kMemoryBound ops. 2^24
+/// elements ≈ 64 MB of f32 traffic — well past L2/LLC, where splitting
+/// across cores can actually add memory channels instead of just contending
+/// for one prefetch stream. Training-batch-sized gathers/scatters (a few
+/// million elements) stay serial.
+inline constexpr std::int64_t kMemoryBoundGrain = 1 << 24;
+
 /// True when `work` clears the grain and the kernel pool has >1 worker.
 bool use_parallel(std::int64_t work);
+
+/// Grain-table overload: `work` is compared against the class threshold.
+bool use_parallel(std::int64_t work, GrainClass cls);
 
 /// Minimum *output columns* for column-decomposed reductions (sum_rows) to
 /// parallelize. Those kernels split the output vector across threads and
@@ -71,9 +101,10 @@ inline constexpr std::int64_t kReduceColumnGrain = 4096;
 /// safe to run from pool workers and must write disjoint outputs per index
 /// so results stay deterministic under any chunking.
 template <typename Fn>
-void parallel_for_n(std::int64_t n, std::int64_t work, const Fn& fn) {
+void parallel_for_n(std::int64_t n, std::int64_t work, const Fn& fn,
+                    GrainClass cls = GrainClass::kCompute) {
   if (n <= 0) return;
-  if (use_parallel(work)) {
+  if (use_parallel(work, cls)) {
     kernel_pool().parallel_for(0, n, fn);
   } else {
     fn(0, n);

@@ -24,6 +24,8 @@
 #include "tensor/gemm_kernel.h"
 #include "tensor/kernel_config.h"
 #include "tensor/ops.h"
+#include "tensor/quantize.h"
+#include "util/half.h"
 #include "util/thread_pool.h"
 
 namespace salient::ops {
@@ -69,6 +71,9 @@ void gemm_ref(const T* a, const T* b, T* c, std::int64_t m, std::int64_t k,
 /// column panel to kKC * NR elements (32 KiB for f32 and f64 alike), small
 /// enough to stay L1-resident while a thread sweeps its row panels.
 constexpr std::int64_t kBlockKC = 256;
+
+template <typename T>
+void transpose_into(const T* src, T* out, std::int64_t r, std::int64_t c);
 
 /// Optimized: packed panels + register-tiled microkernel, parallel over
 /// MR-row panels of C.
@@ -154,6 +159,285 @@ void gemm_opt(const T* a, const T* b, T* c, std::int64_t m, std::int64_t k,
   }
 }
 
+/// gemm_opt with a fused store-phase epilogue: identical packing, loop
+/// order, and accumulation (so the product itself is bitwise equal to
+/// gemm_opt's), but the final k block routes through gemm_microkernel_epi,
+/// which applies bias/ReLU/dropout to each finished tile while it is still
+/// on-core and streams out the combined backward mask. Earlier k blocks use
+/// the plain microkernel — the epilogue must see the completed sum, so it
+/// can only run once per output element.
+template <typename T>
+void gemm_opt_epi(const T* a, const T* b, T* c, std::int64_t m, std::int64_t k,
+                  std::int64_t n, const detail::GemmEpilogue<T>& epi) {
+  using namespace detail;
+  constexpr std::int64_t kNR = kGemmNR<T>;
+  const std::int64_t panels = gemm_num_col_panels<T>(n);
+  const std::int64_t row_panels = (m + kGemmMR - 1) / kGemmMR;
+  const std::int64_t kc_max = std::min(kBlockKC, k);
+  struct Scratch {
+    std::unique_ptr<T[]> buf;
+    std::size_t cap = 0;
+    T* get(std::size_t want) {
+      if (cap < want) {
+        buf.reset(new T[want]);
+        cap = want;
+      }
+      return buf.get();
+    }
+  };
+  thread_local Scratch scratch;
+  const std::size_t b_elems = static_cast<std::size_t>(panels * kc_max * kNR);
+  T* const b_packed = scratch.get(
+      b_elems + static_cast<std::size_t>(row_panels * kc_max * kGemmMR));
+  T* const a_packed = b_packed + b_elems;
+
+  for (std::int64_t kk = 0; kk < k; kk += kBlockKC) {
+    const std::int64_t kc = std::min(kBlockKC, k - kk);
+    const bool last_block = kk + kc == k;
+    parallel_for_n(panels, kc * n, [&](std::int64_t pb, std::int64_t pe) {
+      for (std::int64_t jp = pb; jp < pe; ++jp) {
+        const std::int64_t j0 = jp * kNR;
+        const std::int64_t w = std::min(kNR, n - j0);
+        T* dst = b_packed + jp * kc * kNR;
+        for (std::int64_t p = 0; p < kc; ++p) {
+          const T* src = b + (kk + p) * n + j0;
+          for (std::int64_t cix = 0; cix < w; ++cix) dst[cix] = src[cix];
+          for (std::int64_t cix = w; cix < kNR; ++cix) dst[cix] = T(0);
+          dst += kNR;
+        }
+      }
+    });
+    parallel_for_n(row_panels, m * kc, [&](std::int64_t pb, std::int64_t pe) {
+      for (std::int64_t ip = pb; ip < pe; ++ip) {
+        gemm_pack_a(a, k, a_packed + ip * kc * kGemmMR, ip * kGemmMR,
+                    std::min(kGemmMR, m - ip * kGemmMR), kk, kc);
+      }
+    });
+    parallel_for_n(row_panels, m * n * kc,
+                   [&](std::int64_t pb, std::int64_t pe) {
+                     for (std::int64_t jp = 0; jp < panels; ++jp) {
+                       const std::int64_t j0 = jp * kNR;
+                       const std::int64_t w = std::min(kNR, n - j0);
+                       const T* bp = b_packed + jp * kc * kNR;
+                       for (std::int64_t ip = pb; ip < pe; ++ip) {
+                         const std::int64_t i0 = ip * kGemmMR;
+                         const std::int64_t h = std::min(kGemmMR, m - i0);
+                         if (last_block) {
+                           gemm_microkernel_epi(a_packed + ip * kc * kGemmMR,
+                                                bp, kc, c, n, i0, h, j0, w,
+                                                kk != 0, epi);
+                         } else {
+                           gemm_microkernel(a_packed + ip * kc * kGemmMR, bp,
+                                            kc, c, n, i0, h, j0, w, kk != 0);
+                         }
+                       }
+                     }
+                   });
+  }
+}
+
+/// Mixed-precision gemm_opt: operands are read through row loaders that
+/// decompress a contiguous run of elements straight into the packing scratch
+/// ([kc][MR] for A via a small row-major staging tile, [kc][NR] for B), so an
+/// F32 copy of a compressed operand never materializes on this path. A row
+/// loader has signature `void(row, k0, len, float* dst)` and writes `len`
+/// decompressed elements of the given source row starting at column `k0`.
+///
+/// Loop order, panel ownership, and accumulation order are identical to
+/// gemm_opt, so the result is bitwise reproducible across runs and pool
+/// sizes — and bitwise identical to up-converting the operand to F32 first
+/// and calling gemm_opt, because f16 -> f32 (and the affine int8
+/// dequantization) yield the same f32 values either way.
+template <typename ARowFn, typename BRowFn>
+void gemm_opt_loaded(const ARowFn& arow, const BRowFn& brow, float* c,
+                     std::int64_t m, std::int64_t k, std::int64_t n) {
+  using namespace detail;
+  using T = float;
+  constexpr std::int64_t kNR = kGemmNR<T>;
+  const std::int64_t panels = gemm_num_col_panels<T>(n);
+  const std::int64_t row_panels = (m + kGemmMR - 1) / kGemmMR;
+  const std::int64_t kc_max = std::min(kBlockKC, k);
+  struct Scratch {
+    std::unique_ptr<T[]> buf;
+    std::size_t cap = 0;
+    T* get(std::size_t want) {
+      if (cap < want) {
+        buf.reset(new T[want]);
+        cap = want;
+      }
+      return buf.get();
+    }
+  };
+  thread_local Scratch scratch;
+  const std::size_t b_elems = static_cast<std::size_t>(panels * kc_max * kNR);
+  T* const b_packed = scratch.get(
+      b_elems + static_cast<std::size_t>(row_panels * kc_max * kGemmMR));
+  T* const a_packed = b_packed + b_elems;
+
+  for (std::int64_t kk = 0; kk < k; kk += kBlockKC) {
+    const std::int64_t kc = std::min(kBlockKC, k - kk);
+    parallel_for_n(panels, kc * n, [&](std::int64_t pb, std::int64_t pe) {
+      for (std::int64_t jp = pb; jp < pe; ++jp) {
+        const std::int64_t j0 = jp * kNR;
+        const std::int64_t w = std::min(kNR, n - j0);
+        T* dst = b_packed + jp * kc * kNR;
+        for (std::int64_t p = 0; p < kc; ++p) {
+          brow(kk + p, j0, w, dst);
+          for (std::int64_t cix = w; cix < kNR; ++cix) dst[cix] = T(0);
+          dst += kNR;
+        }
+      }
+    });
+    parallel_for_n(row_panels, m * kc, [&](std::int64_t pb, std::int64_t pe) {
+      for (std::int64_t ip = pb; ip < pe; ++ip) {
+        const std::int64_t i0 = ip * kGemmMR;
+        const std::int64_t h = std::min(kGemmMR, m - i0);
+        // Decompress each source row's kc-long segment contiguously (bulk
+        // converters want unit stride), then transpose the tiny tile into
+        // the [kc][MR] panel layout.
+        T stage[kGemmMR][kBlockKC];
+        for (std::int64_t r = 0; r < h; ++r) arow(i0 + r, kk, kc, stage[r]);
+        T* packed = a_packed + ip * kc * kGemmMR;
+        for (std::int64_t p = 0; p < kc; ++p) {
+          T* dst = packed + p * kGemmMR;
+          for (std::int64_t r = 0; r < h; ++r) dst[r] = stage[r][p];
+          for (std::int64_t r = h; r < kGemmMR; ++r) dst[r] = T(0);
+        }
+      }
+    });
+    parallel_for_n(row_panels, m * n * kc,
+                   [&](std::int64_t pb, std::int64_t pe) {
+                     for (std::int64_t jp = 0; jp < panels; ++jp) {
+                       const std::int64_t j0 = jp * kNR;
+                       const std::int64_t w = std::min(kNR, n - j0);
+                       const T* bp = b_packed + jp * kc * kNR;
+                       for (std::int64_t ip = pb; ip < pe; ++ip) {
+                         const std::int64_t i0 = ip * kGemmMR;
+                         const std::int64_t h = std::min(kGemmMR, m - i0);
+                         gemm_microkernel(
+                             a_packed + ip * kc * kGemmMR, bp, kc, c,
+                             n, i0, h, j0, w, kk != 0);
+                       }
+                     }
+                   });
+  }
+}
+
+/// Bulk-convert an f16 matrix to a freshly allocated f32 tensor (cold path:
+/// the reference kernel and transposed mixed operands).
+Tensor half_matrix_to_f32(const Tensor& a) {
+  Tensor out(a.shape(), DType::kF32);
+  half_to_float_n(a.data<Half>(), out.data<float>(),
+                  static_cast<std::size_t>(a.numel()));
+  return out;
+}
+
+/// Mixed f16/f32 matmul: either operand (or both) may be kF16; the result is
+/// kF32. Untransposed f16 operands are decompressed inside the packing stage
+/// by gemm_opt_loaded; transposed ones (backward-pass shapes, not the
+/// feature hot path) are materialized as f32 first, exactly like
+/// matmul_typed's transpose staging.
+Tensor matmul_mixed(const Tensor& a, const Tensor& b, bool trans_a,
+                    bool trans_b) {
+  const std::int64_t m = trans_a ? a.size(1) : a.size(0);
+  const std::int64_t k = trans_a ? a.size(0) : a.size(1);
+  const std::int64_t kb = trans_b ? b.size(1) : b.size(0);
+  const std::int64_t n = trans_b ? b.size(0) : b.size(1);
+  if (k != kb) {
+    throw std::runtime_error("matmul: inner dimension mismatch: " + a.str() +
+                             " x " + b.str());
+  }
+  Tensor out({m, n}, DType::kF32);
+
+  // Resolve each operand to either a raw f16 row source or an f32 one
+  // (materializing a converted/transposed copy when needed).
+  const Half* a16 = nullptr;
+  const float* a32 = nullptr;
+  std::vector<float> a_stage;
+  if (a.dtype() == DType::kF16 && !trans_a) {
+    a16 = a.data<Half>();
+  } else {
+    Tensor af = a.dtype() == DType::kF16 ? half_matrix_to_f32(a) : a;
+    if (trans_a) {
+      a_stage.resize(static_cast<std::size_t>(m) * k);
+      transpose_into(af.data<float>(), a_stage.data(), a.size(0), a.size(1));
+      a32 = a_stage.data();
+    } else if (a.dtype() == DType::kF16) {
+      a_stage.assign(af.data<float>(), af.data<float>() + af.numel());
+      a32 = a_stage.data();
+    } else {
+      a32 = a.data<float>();
+    }
+  }
+  const Half* b16 = nullptr;
+  const float* b32 = nullptr;
+  std::vector<float> b_stage;
+  if (b.dtype() == DType::kF16 && !trans_b) {
+    b16 = b.data<Half>();
+  } else {
+    Tensor bf = b.dtype() == DType::kF16 ? half_matrix_to_f32(b) : b;
+    if (trans_b) {
+      b_stage.resize(static_cast<std::size_t>(k) * n);
+      transpose_into(bf.data<float>(), b_stage.data(), b.size(0), b.size(1));
+      b32 = b_stage.data();
+    } else if (b.dtype() == DType::kF16) {
+      b_stage.assign(bf.data<float>(), bf.data<float>() + bf.numel());
+      b32 = b_stage.data();
+    } else {
+      b32 = b.data<float>();
+    }
+  }
+
+  if (kernel_kind() == KernelKind::kRef) {
+    // Reference: materialize f32 copies and run the ground-truth loop.
+    std::vector<float> a_ref, b_ref;
+    const float* pa = a32;
+    const float* pb = b32;
+    if (a16 != nullptr) {
+      a_ref.resize(static_cast<std::size_t>(m) * k);
+      half_to_float_n(a16, a_ref.data(), a_ref.size());
+      pa = a_ref.data();
+    }
+    if (b16 != nullptr) {
+      b_ref.resize(static_cast<std::size_t>(k) * n);
+      half_to_float_n(b16, b_ref.data(), b_ref.size());
+      pb = b_ref.data();
+    }
+    gemm_ref(pa, pb, out.data<float>(), m, k, n);
+    return out;
+  }
+
+  auto a_f32row = [a32, k](std::int64_t i, std::int64_t k0, std::int64_t len,
+                           float* dst) {
+    std::memcpy(dst, a32 + i * k + k0, static_cast<std::size_t>(len) *
+                                           sizeof(float));
+  };
+  auto a_f16row = [a16, k](std::int64_t i, std::int64_t k0, std::int64_t len,
+                           float* dst) {
+    half_to_float_n(a16 + i * k + k0, dst, static_cast<std::size_t>(len));
+  };
+  auto b_f32row = [b32, n](std::int64_t p, std::int64_t j0, std::int64_t len,
+                           float* dst) {
+    std::memcpy(dst, b32 + p * n + j0, static_cast<std::size_t>(len) *
+                                           sizeof(float));
+  };
+  auto b_f16row = [b16, n](std::int64_t p, std::int64_t j0, std::int64_t len,
+                           float* dst) {
+    half_to_float_n(b16 + p * n + j0, dst, static_cast<std::size_t>(len));
+  };
+  float* c = out.data<float>();
+  if (a16 != nullptr && b16 != nullptr) {
+    gemm_opt_loaded(a_f16row, b_f16row, c, m, k, n);
+  } else if (a16 != nullptr) {
+    gemm_opt_loaded(a_f16row, b_f32row, c, m, k, n);
+  } else if (b16 != nullptr) {
+    gemm_opt_loaded(a_f32row, b_f16row, c, m, k, n);
+  } else {
+    gemm_opt_loaded(a_f32row, b_f32row, c, m, k, n);
+  }
+  return out;
+}
+
 /// Materialize the transpose of a row-major [r, c] matrix into out ([c, r]).
 template <typename T>
 void transpose_into(const T* src, T* out, std::int64_t r, std::int64_t c) {
@@ -205,11 +489,121 @@ Tensor matmul_typed(const Tensor& a, const Tensor& b, bool trans_a,
   return out;
 }
 
+template <typename T>
+Tensor gemm_epilogue_typed(const Tensor& x, const Tensor& w,
+                           const Tensor& bias, Epilogue ep, double dropout_p,
+                           std::uint64_t seed, Tensor* mask_out) {
+  const std::int64_t m = x.size(0), k = x.size(1), n = w.size(0);
+  if (w.size(1) != k) {
+    throw std::runtime_error("gemm_epilogue: inner dimension mismatch: " +
+                             x.str() + " x " + w.str() + "^T");
+  }
+  if (ep != Epilogue::kNone &&
+      (bias.dim() != 1 || bias.size(0) != n || bias.dtype() != x.dtype())) {
+    throw std::runtime_error("gemm_epilogue: bias must be [N] of x's dtype");
+  }
+  if (ep == Epilogue::kBiasReluDropout && (dropout_p < 0 || dropout_p >= 1)) {
+    throw std::invalid_argument("gemm_epilogue: bad dropout_p");
+  }
+  Tensor out({m, n}, x.dtype());
+  T* pmask = nullptr;
+  if (mask_out != nullptr &&
+      (ep == Epilogue::kBiasRelu || ep == Epilogue::kBiasReluDropout)) {
+    *mask_out = Tensor({m, n}, x.dtype());
+    pmask = mask_out->data<T>();
+  }
+  // w is [N,K] (the nn::Linear layout); the packed path wants B row-major
+  // [K,N], so materialize the transpose exactly like matmul(trans_b=true).
+  std::vector<T> wt(static_cast<std::size_t>(k) * n);
+  transpose_into(w.data<T>(), wt.data(), n, k);
+
+  detail::GemmEpilogue<T> epi;
+  epi.kind = ep;
+  epi.bias = ep != Epilogue::kNone ? bias.data<T>() : nullptr;
+  epi.mask = pmask;
+  epi.n = n;
+  if (ep == Epilogue::kBiasReluDropout) {
+    epi.keep_scale = static_cast<T>(1.0 / (1.0 - dropout_p));
+    epi.seed = seed;
+    epi.drop_threshold = dropout_drop_threshold(dropout_p);
+  }
+
+  if (kernel_kind() == KernelKind::kRef) {
+    // Reference: ground-truth GEMM, then the same epilogue math applied in
+    // one serial elementwise pass (the branch-select forms mirror
+    // gemm_microkernel_epi so ref and opt differ only by GEMM association).
+    gemm_ref(x.data<T>(), wt.data(), out.data<T>(), m, k, n);
+    T* pc = out.data<T>();
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        T pre = pc[i * n + j];
+        if (ep != Epilogue::kNone) pre += epi.bias[j];
+        switch (ep) {
+          case Epilogue::kNone:
+          case Epilogue::kBias:
+            pc[i * n + j] = pre;
+            break;
+          case Epilogue::kBiasRelu: {
+            const bool pos = pre > T(0);
+            pc[i * n + j] = pos ? pre : T(0);
+            if (pmask != nullptr) pmask[i * n + j] = pos ? T(1) : T(0);
+            break;
+          }
+          case Epilogue::kBiasReluDropout: {
+            const bool keep =
+                dropout_keep(epi.seed, i * n + j, epi.drop_threshold);
+            const bool pos = pre > T(0);
+            pc[i * n + j] = pos && keep ? pre * epi.keep_scale : T(0);
+            if (pmask != nullptr) {
+              pmask[i * n + j] = pos && keep ? epi.keep_scale : T(0);
+            }
+            break;
+          }
+        }
+      }
+    }
+  } else {
+    gemm_opt_epi(x.data<T>(), wt.data(), out.data<T>(), m, k, n, epi);
+  }
+  return out;
+}
+
 }  // namespace
+
+Tensor gemm_epilogue(const Tensor& x, const Tensor& w, const Tensor& bias,
+                     Epilogue epilogue, double dropout_p, std::uint64_t seed,
+                     Tensor* mask_out) {
+  if (x.dim() != 2 || w.dim() != 2) {
+    throw std::runtime_error("gemm_epilogue: x and w must be 2-D");
+  }
+  if (x.dtype() != w.dtype()) {
+    throw std::runtime_error("gemm_epilogue: dtype mismatch");
+  }
+  switch (x.dtype()) {
+    case DType::kF32:
+      return gemm_epilogue_typed<float>(x, w, bias, epilogue, dropout_p, seed,
+                                        mask_out);
+    case DType::kF64:
+      return gemm_epilogue_typed<double>(x, w, bias, epilogue, dropout_p,
+                                         seed, mask_out);
+    default:
+      throw std::runtime_error("gemm_epilogue: float tensor required");
+  }
+}
 
 Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   if (a.dim() != 2 || b.dim() != 2) {
     throw std::runtime_error("matmul: both operands must be 2-D");
+  }
+  // Mixed precision: any combination of f16/f32 operands runs through the
+  // decompress-in-pack path and yields f32 (the first-layer GEMM over a
+  // half-precision feature batch, plus its backward shapes).
+  const bool a_half = a.dtype() == DType::kF16;
+  const bool b_half = b.dtype() == DType::kF16;
+  if ((a_half || b_half) &&
+      (a_half || a.dtype() == DType::kF32) &&
+      (b_half || b.dtype() == DType::kF32)) {
+    return matmul_mixed(a, b, trans_a, trans_b);
   }
   if (a.dtype() != b.dtype()) {
     throw std::runtime_error("matmul: dtype mismatch");
@@ -222,6 +616,59 @@ Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
     default:
       throw std::runtime_error("matmul: float tensor required");
   }
+}
+
+Tensor matmul_compressed(const Tensor& a, const Tensor& a_scale,
+                         const Tensor& a_zero, const Tensor& b, bool trans_b) {
+  if (a.dim() != 2 || b.dim() != 2) {
+    throw std::runtime_error("matmul_compressed: operands must be 2-D");
+  }
+  if (a.dtype() != DType::kInt8Q) {
+    throw std::runtime_error("matmul_compressed: a must be i8q");
+  }
+  if (b.dtype() != DType::kF32) {
+    throw std::runtime_error("matmul_compressed: b must be f32");
+  }
+  const std::int64_t m = a.size(0);
+  const std::int64_t k = a.size(1);
+  if (a_scale.dtype() != DType::kF32 || a_zero.dtype() != DType::kF32 ||
+      a_scale.numel() != m || a_zero.numel() != m) {
+    throw std::runtime_error(
+        "matmul_compressed: a_scale/a_zero must be [M] f32");
+  }
+  const std::int64_t kb = trans_b ? b.size(1) : b.size(0);
+  const std::int64_t n = trans_b ? b.size(0) : b.size(1);
+  if (k != kb) {
+    throw std::runtime_error("matmul_compressed: inner dimension mismatch: " +
+                             a.str() + " x " + b.str());
+  }
+  if (kernel_kind() == KernelKind::kRef) {
+    // Reference path: reconstruct the f32 matrix and reuse the ground-truth
+    // pipeline (mixed matmul ref falls through to gemm_ref).
+    return matmul(dequantize_rows(a, a_scale, a_zero), b, false, trans_b);
+  }
+  Tensor out({m, n}, DType::kF32);
+  const std::int8_t* qa = a.data<std::int8_t>();
+  const float* scales = a_scale.data<float>();
+  const float* zeros = a_zero.data<float>();
+  std::vector<float> b_stage;
+  const float* pb = b.data<float>();
+  if (trans_b) {
+    b_stage.resize(static_cast<std::size_t>(k) * n);
+    transpose_into(pb, b_stage.data(), b.size(0), b.size(1));
+    pb = b_stage.data();
+  }
+  auto a_qrow = [qa, scales, zeros, k](std::int64_t i, std::int64_t k0,
+                                       std::int64_t len, float* dst) {
+    dequantize_row(qa + i * k + k0, len, scales[i], zeros[i], dst);
+  };
+  auto b_f32row = [pb, n](std::int64_t p, std::int64_t j0, std::int64_t len,
+                          float* dst) {
+    std::memcpy(dst, pb + p * n + j0,
+                static_cast<std::size_t>(len) * sizeof(float));
+  };
+  gemm_opt_loaded(a_qrow, b_f32row, out.data<float>(), m, k, n);
+  return out;
 }
 
 }  // namespace salient::ops

@@ -50,11 +50,12 @@ void check_same(const Tensor& a, const Tensor& b, const char* op) {
 /// the shared cost heuristic) on the optimized path. fn(begin, end) must
 /// write disjoint outputs per index.
 template <typename Fn>
-void run_indexed(std::int64_t n, std::int64_t work, const Fn& fn) {
+void run_indexed(std::int64_t n, std::int64_t work, const Fn& fn,
+                 GrainClass cls = GrainClass::kCompute) {
   if (kernel_kind() == KernelKind::kRef) {
     if (n > 0) fn(std::int64_t{0}, n);
   } else {
-    parallel_for_n(n, work, fn);
+    parallel_for_n(n, work, fn, cls);
   }
 }
 
@@ -96,45 +97,59 @@ Tensor binary_op(const Tensor& a, const Tensor& b, const char* name, F f) {
   check_same(a, b, name);
   Tensor out(a.shape(), a.dtype());
   const std::int64_t n = a.numel();
+  // Three streams, one flop per element: memory-bound grain class.
   if (a.dtype() == DType::kF32) {
     const float* pa = a.data<float>();
     const float* pb = b.data<float>();
     float* po = out.data<float>();
-    run_indexed(n, n, [&](std::int64_t ib, std::int64_t ie) {
-      for (std::int64_t i = ib; i < ie; ++i) {
-        po[i] = static_cast<float>(f(pa[i], pb[i]));
-      }
-    });
+    run_indexed(
+        n, n,
+        [&](std::int64_t ib, std::int64_t ie) {
+          for (std::int64_t i = ib; i < ie; ++i) {
+            po[i] = static_cast<float>(f(pa[i], pb[i]));
+          }
+        },
+        GrainClass::kMemoryBound);
   } else {
     const double* pa = a.data<double>();
     const double* pb = b.data<double>();
     double* po = out.data<double>();
-    run_indexed(n, n, [&](std::int64_t ib, std::int64_t ie) {
-      for (std::int64_t i = ib; i < ie; ++i) po[i] = f(pa[i], pb[i]);
-    });
+    run_indexed(
+        n, n,
+        [&](std::int64_t ib, std::int64_t ie) {
+          for (std::int64_t i = ib; i < ie; ++i) po[i] = f(pa[i], pb[i]);
+        },
+        GrainClass::kMemoryBound);
   }
   return out;
 }
 
 template <typename F>
-Tensor unary_op(const Tensor& x, const char* name, F f) {
+Tensor unary_op(const Tensor& x, const char* name, F f,
+                GrainClass cls = GrainClass::kMemoryBound) {
   check_float(x, name);
   Tensor out(x.shape(), x.dtype());
   const std::int64_t n = x.numel();
   if (x.dtype() == DType::kF32) {
     const float* px = x.data<float>();
     float* po = out.data<float>();
-    run_indexed(n, n, [&](std::int64_t ib, std::int64_t ie) {
-      for (std::int64_t i = ib; i < ie; ++i) {
-        po[i] = static_cast<float>(f(px[i]));
-      }
-    });
+    run_indexed(
+        n, n,
+        [&](std::int64_t ib, std::int64_t ie) {
+          for (std::int64_t i = ib; i < ie; ++i) {
+            po[i] = static_cast<float>(f(px[i]));
+          }
+        },
+        cls);
   } else {
     const double* px = x.data<double>();
     double* po = out.data<double>();
-    run_indexed(n, n, [&](std::int64_t ib, std::int64_t ie) {
-      for (std::int64_t i = ib; i < ie; ++i) po[i] = f(px[i]);
-    });
+    run_indexed(
+        n, n,
+        [&](std::int64_t ib, std::int64_t ie) {
+          for (std::int64_t i = ib; i < ie; ++i) po[i] = f(px[i]);
+        },
+        cls);
   }
   return out;
 }
@@ -170,15 +185,21 @@ void axpy_(Tensor& a, const Tensor& b, double alpha) {
     float* pa = a.data<float>();
     const float* pb = b.data<float>();
     const auto al = static_cast<float>(alpha);
-    run_indexed(n, n, [&](std::int64_t ib, std::int64_t ie) {
-      for (std::int64_t i = ib; i < ie; ++i) pa[i] += al * pb[i];
-    });
+    run_indexed(
+        n, n,
+        [&](std::int64_t ib, std::int64_t ie) {
+          for (std::int64_t i = ib; i < ie; ++i) pa[i] += al * pb[i];
+        },
+        GrainClass::kMemoryBound);
   } else {
     double* pa = a.data<double>();
     const double* pb = b.data<double>();
-    run_indexed(n, n, [&](std::int64_t ib, std::int64_t ie) {
-      for (std::int64_t i = ib; i < ie; ++i) pa[i] += alpha * pb[i];
-    });
+    run_indexed(
+        n, n,
+        [&](std::int64_t ib, std::int64_t ie) {
+          for (std::int64_t i = ib; i < ie; ++i) pa[i] += alpha * pb[i];
+        },
+        GrainClass::kMemoryBound);
   }
 }
 
@@ -201,11 +222,14 @@ Tensor leaky_relu_mask(const Tensor& x, double slope) {
 }
 
 Tensor exp(const Tensor& x) {
-  return unary_op(x, "exp", [](double v) { return std::exp(v); });
+  // Transcendental per element — genuinely compute-bound.
+  return unary_op(x, "exp", [](double v) { return std::exp(v); },
+                  GrainClass::kCompute);
 }
 
 Tensor log(const Tensor& x) {
-  return unary_op(x, "log", [](double v) { return std::log(v); });
+  return unary_op(x, "log", [](double v) { return std::log(v); },
+                  GrainClass::kCompute);
 }
 
 Tensor sqrt(const Tensor& x) {
@@ -221,13 +245,16 @@ Tensor add_row_broadcast(const Tensor& x, const Tensor& b) {
   Tensor out(x.shape(), x.dtype());
   const std::int64_t m = x.size(0), n = x.size(1);
   auto run = [&](const auto* px, const auto* pb, auto* po) {
-    run_indexed(m, m * n, [&](std::int64_t ib, std::int64_t ie) {
-      for (std::int64_t i = ib; i < ie; ++i) {
-        for (std::int64_t j = 0; j < n; ++j) {
-          po[i * n + j] = px[i * n + j] + pb[j];
-        }
-      }
-    });
+    run_indexed(
+        m, m * n,
+        [&](std::int64_t ib, std::int64_t ie) {
+          for (std::int64_t i = ib; i < ie; ++i) {
+            for (std::int64_t j = 0; j < n; ++j) {
+              po[i * n + j] = px[i * n + j] + pb[j];
+            }
+          }
+        },
+        GrainClass::kMemoryBound);
   };
   if (x.dtype() == DType::kF32) {
     run(x.data<float>(), b.data<float>(), out.data<float>());
@@ -303,13 +330,19 @@ Tensor gather_rows(const Tensor& x, const Tensor& idx) {
   const std::size_t row_bytes = static_cast<std::size_t>(n) * dtype_size(x.dtype());
   const char* src = static_cast<const char*>(x.raw());
   char* dst = static_cast<char*>(out.raw());
-  run_indexed(k, k * n, [&](std::int64_t rb, std::int64_t re) {
-    for (std::int64_t r = rb; r < re; ++r) {
-      std::memcpy(dst + static_cast<std::size_t>(r) * row_bytes,
-                  src + static_cast<std::size_t>(pi[r]) * row_bytes,
-                  row_bytes);
-    }
-  });
+  // Pure row memcpy — bandwidth-bound, so use the memory-bound grain: on
+  // benchmark-sized gathers (a few MB) splitting the copy across threads
+  // only adds dispatch and cache-line handoff (the ×8 regression).
+  run_indexed(
+      k, k * n,
+      [&](std::int64_t rb, std::int64_t re) {
+        for (std::int64_t r = rb; r < re; ++r) {
+          std::memcpy(dst + static_cast<std::size_t>(r) * row_bytes,
+                      src + static_cast<std::size_t>(pi[r]) * row_bytes,
+                      row_bytes);
+        }
+      },
+      GrainClass::kMemoryBound);
   return out;
 }
 
@@ -322,8 +355,11 @@ void scatter_add_rows_(Tensor& dst, const Tensor& idx, const Tensor& src) {
   }
   const std::int64_t k = src.size(0), n = src.size(1), m = dst.size(0);
   const std::int64_t* pi = idx.data<std::int64_t>();
-  const bool parallel =
-      kernel_kind() == KernelKind::kOpt && use_parallel(k * n);
+  // One add per loaded element — bandwidth-bound; the memory-bound grain
+  // keeps benchmark-sized scatters serial (the inversion + handoff overhead
+  // was the ×8 regression) while huge ones still fan out.
+  const bool parallel = kernel_kind() == KernelKind::kOpt &&
+                        use_parallel(k * n, GrainClass::kMemoryBound);
   if (!parallel) {
     auto run = [&](auto* pd, const auto* ps) {
       for (std::int64_t r = 0; r < k; ++r) {
@@ -489,15 +525,19 @@ Tensor argmax_rows(const Tensor& x) {
   Tensor out({m}, DType::kI64);
   std::int64_t* po = out.data<std::int64_t>();
   auto run = [&](const auto* px) {
-    run_indexed(m, m * n, [&](std::int64_t ib, std::int64_t ie) {
-      for (std::int64_t i = ib; i < ie; ++i) {
-        const auto* row = px + i * n;
-        std::int64_t best = 0;
-        for (std::int64_t j = 1; j < n; ++j)
-          if (row[j] > row[best]) best = j;
-        po[i] = best;
-      }
-    });
+    // One compare per loaded element: memory-bound grain class.
+    run_indexed(
+        m, m * n,
+        [&](std::int64_t ib, std::int64_t ie) {
+          for (std::int64_t i = ib; i < ie; ++i) {
+            const auto* row = px + i * n;
+            std::int64_t best = 0;
+            for (std::int64_t j = 1; j < n; ++j)
+              if (row[j] > row[best]) best = j;
+            po[i] = best;
+          }
+        },
+        GrainClass::kMemoryBound);
   };
   if (x.dtype() == DType::kF32) {
     run(x.data<float>());
@@ -539,6 +579,38 @@ Tensor dropout_mask(const std::vector<std::int64_t>& shape, double p,
       pm[i] = rng() <= threshold ? inv_keep : 0.0;
   } else {
     throw std::runtime_error("dropout_mask: dtype must be f32/f64");
+  }
+  return mask;
+}
+
+Tensor dropout_mask_counter(const std::vector<std::int64_t>& shape, double p,
+                            std::uint64_t seed, DType dtype) {
+  if (p < 0 || p >= 1) {
+    throw std::invalid_argument("dropout_mask_counter: bad p");
+  }
+  Tensor mask(shape, dtype);
+  const double inv_keep = 1.0 / (1.0 - p);
+  const std::uint64_t thr = dropout_drop_threshold(p);
+  const std::int64_t n = mask.numel();
+  // Each entry is a pure function of (seed, i): chunk-order independent, so
+  // the parallel split cannot change the mask.
+  if (dtype == DType::kF32) {
+    float* pm = mask.data<float>();
+    const auto scale = static_cast<float>(inv_keep);
+    run_indexed(n, n, [&](std::int64_t ib, std::int64_t ie) {
+      for (std::int64_t i = ib; i < ie; ++i) {
+        pm[i] = dropout_keep(seed, i, thr) ? scale : 0.0f;
+      }
+    });
+  } else if (dtype == DType::kF64) {
+    double* pm = mask.data<double>();
+    run_indexed(n, n, [&](std::int64_t ib, std::int64_t ie) {
+      for (std::int64_t i = ib; i < ie; ++i) {
+        pm[i] = dropout_keep(seed, i, thr) ? inv_keep : 0.0;
+      }
+    });
+  } else {
+    throw std::runtime_error("dropout_mask_counter: dtype must be f32/f64");
   }
   return mask;
 }
@@ -601,8 +673,8 @@ Tensor spmm_impl(const std::vector<std::int64_t>& indptr,
           const auto* row = px + src * f;
           for (std::int64_t j = 0; j < f; ++j) orow[j] += row[j];
         }
-        if (Mean && e > b) {
-          const T inv = static_cast<T>(1.0 / static_cast<double>(e - b));
+          if (Mean && e > b) {
+            const T inv = static_cast<T>(1.0 / static_cast<double>(e - b));
           for (std::int64_t j = 0; j < f; ++j) orow[j] *= inv;
         }
       }
@@ -622,25 +694,31 @@ Tensor spmm_impl(const std::vector<std::int64_t>& indptr,
       static_cast<std::int64_t>(indices.size()) * std::max<std::int64_t>(f, 1);
   auto run = [&](const auto* px, auto* po) {
     using T = std::remove_cv_t<std::remove_reference_t<decltype(px[0])>>;
-    parallel_for_n(num_dst, work, [&](std::int64_t db, std::int64_t de) {
-      const std::int64_t chunk_end = indptr[de];
-      for (std::int64_t d = db; d < de; ++d) {
-        const std::int64_t b = indptr[d], e = indptr[d + 1];
-        auto* orow = po + d * f;
-        for (std::int64_t k = b; k < e; ++k) {
-          const std::int64_t pf = k + kPrefetchDist;
-          if (pf < chunk_end) {
-            prefetch_row_head(px + indices[static_cast<std::size_t>(pf)] * f);
+    // One add per gathered element — bandwidth-bound (the ROADMAP's "spmm
+    // mean/sum sit at <=1x" family), so the memory-bound grain applies.
+    parallel_for_n(
+        num_dst, work,
+        [&](std::int64_t db, std::int64_t de) {
+          const std::int64_t chunk_end = indptr[de];
+          for (std::int64_t d = db; d < de; ++d) {
+            const std::int64_t b = indptr[d], e = indptr[d + 1];
+            auto* orow = po + d * f;
+            for (std::int64_t k = b; k < e; ++k) {
+              const std::int64_t pf = k + kPrefetchDist;
+              if (pf < chunk_end) {
+                prefetch_row_head(px +
+                                  indices[static_cast<std::size_t>(pf)] * f);
+              }
+              const auto* row = px + indices[static_cast<std::size_t>(k)] * f;
+              for (std::int64_t j = 0; j < f; ++j) orow[j] += row[j];
+            }
+            if (Mean && e > b) {
+              const T inv = static_cast<T>(1.0 / static_cast<double>(e - b));
+              for (std::int64_t j = 0; j < f; ++j) orow[j] *= inv;
+            }
           }
-          const auto* row = px + indices[static_cast<std::size_t>(k)] * f;
-          for (std::int64_t j = 0; j < f; ++j) orow[j] += row[j];
-        }
-        if (Mean && e > b) {
-          const T inv = static_cast<T>(1.0 / static_cast<double>(e - b));
-          for (std::int64_t j = 0; j < f; ++j) orow[j] *= inv;
-        }
-      }
-    });
+        },
+        GrainClass::kMemoryBound);
   };
   if (x.dtype() == DType::kF32) {
     run(x.data<float>(), out.data<float>());
@@ -663,7 +741,11 @@ Tensor spmm_backward_impl(const std::vector<std::int64_t>& indptr,
   Tensor gx({num_src, f}, grad_out.dtype());
   const auto work =
       static_cast<std::int64_t>(indices.size()) * std::max<std::int64_t>(f, 1);
-  const bool parallel = kernel_kind() == KernelKind::kOpt && use_parallel(work);
+  // The backward scatter is one multiply-add per streamed element —
+  // bandwidth-bound, so the memory-bound grain applies (the ×8 pool was
+  // regressing 0.76–0.84x on benchmark-sized graphs).
+  const bool parallel = kernel_kind() == KernelKind::kOpt &&
+                        use_parallel(work, GrainClass::kMemoryBound);
   if (!parallel) {
     auto run = [&](const auto* pg, auto* px) {
       using T = std::remove_cv_t<std::remove_reference_t<decltype(pg[0])>>;
@@ -793,17 +875,21 @@ Tensor spmm_weighted(const std::vector<std::int64_t>& indptr,
       static_cast<std::int64_t>(indices.size()) * std::max<std::int64_t>(f, 1);
   auto run = [&](const auto* px, auto* po) {
     using T = std::remove_cv_t<std::remove_reference_t<decltype(px[0])>>;
-    parallel_for_n(num_dst, work, [&](std::int64_t db, std::int64_t de) {
-      for (std::int64_t d = db; d < de; ++d) {
-        auto* orow = po + d * f;
-        for (std::int64_t e = indptr[static_cast<std::size_t>(d)];
-             e < indptr[static_cast<std::size_t>(d) + 1]; ++e) {
-          const T w = static_cast<T>(weights[static_cast<std::size_t>(e)]);
-          const auto* row = px + indices[static_cast<std::size_t>(e)] * f;
-          for (std::int64_t j = 0; j < f; ++j) orow[j] += w * row[j];
-        }
-      }
-    });
+    // Same bandwidth-bound profile as the mean/sum forward.
+    parallel_for_n(
+        num_dst, work,
+        [&](std::int64_t db, std::int64_t de) {
+          for (std::int64_t d = db; d < de; ++d) {
+            auto* orow = po + d * f;
+            for (std::int64_t e = indptr[static_cast<std::size_t>(d)];
+                 e < indptr[static_cast<std::size_t>(d) + 1]; ++e) {
+              const T w = static_cast<T>(weights[static_cast<std::size_t>(e)]);
+              const auto* row = px + indices[static_cast<std::size_t>(e)] * f;
+              for (std::int64_t j = 0; j < f; ++j) orow[j] += w * row[j];
+            }
+          }
+        },
+        GrainClass::kMemoryBound);
   };
   if (x.dtype() == DType::kF32) {
     run(x.data<float>(), out.data<float>());
@@ -822,7 +908,10 @@ Tensor spmm_weighted_backward(const std::vector<std::int64_t>& indptr,
   Tensor gx({num_src, f}, grad_out.dtype());
   const auto work =
       static_cast<std::int64_t>(indices.size()) * std::max<std::int64_t>(f, 1);
-  const bool parallel = kernel_kind() == KernelKind::kOpt && use_parallel(work);
+  // Bandwidth-bound scatter, same grain-class reasoning as
+  // spmm_backward_impl above.
+  const bool parallel = kernel_kind() == KernelKind::kOpt &&
+                        use_parallel(work, GrainClass::kMemoryBound);
   if (!parallel) {
     auto run = [&](const auto* pg, auto* px) {
       using T = std::remove_cv_t<std::remove_reference_t<decltype(pg[0])>>;

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "tensor/epilogue.h"
 #include "tensor/tensor.h"
 
 namespace salient::ops {
@@ -91,6 +92,16 @@ double accuracy(const Tensor& logits, const Tensor& target);
 Tensor dropout_mask(const std::vector<std::int64_t>& shape, double p,
                     std::uint64_t seed, DType dtype = DType::kF32);
 
+/// Counter-based inverted-dropout mask: entry i is 0 when
+/// dropout_keep(seed, i, dropout_drop_threshold(p)) drops it, else 1/(1-p).
+/// Unlike dropout_mask (a sequential RNG stream), each entry is a pure hash
+/// of (seed, flat index), so the mask is identical however the tensor is
+/// chunked — the property that lets the fused GEMM epilogue
+/// (tensor/epilogue.h) evaluate the same decisions tile-by-tile and agree
+/// bitwise with this standalone op.
+Tensor dropout_mask_counter(const std::vector<std::int64_t>& shape, double p,
+                            std::uint64_t seed, DType dtype = DType::kF32);
+
 // --- sparse (CSR) neighborhood aggregation -----------------------------------
 //
 // These implement the AGG step of message passing over one MFG level: the
@@ -144,7 +155,48 @@ Tensor spmm_max_backward(const std::vector<std::int64_t>& argmax,
 
 /// C = op(A) * op(B), where op transposes when the flag is set.
 /// A is [M,K] (or [K,M] when trans_a), B is [K,N] (or [N,K] when trans_b).
+///
+/// Both operands f32 or both f64 give a same-dtype result. In addition,
+/// either operand (or both) may be kF16 while the other is kF32: the result
+/// is f32, and the optimized kernel decompresses the half-precision rows
+/// directly into its packing scratch (no f32 copy of the compressed operand
+/// materializes — the paper's compressed-feature hot path). The mixed
+/// product is bitwise identical to up-converting first, since f16 -> f32 is
+/// exact.
 Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,
               bool trans_b = false);
+
+/// C = dequantize(A) * op(B) for a per-row affine int8-quantized A
+/// (tensor/quantize.h): A is [M,K] kInt8Q with [M] f32 scales/zero-points,
+/// B is f32 [K,N] (or [N,K] when trans_b), C is f32. The optimized kernel
+/// dequantizes A's rows inside the [kc][MR] packing stage, so the f32
+/// feature matrix never materializes; the reference kernel reconstructs it
+/// with dequantize_rows first (ground truth for the A/B tests).
+Tensor matmul_compressed(const Tensor& a, const Tensor& a_scale,
+                         const Tensor& a_zero, const Tensor& b,
+                         bool trans_b = false);
+
+/// Fused Linear forward: y = epilogue(x @ w^T), with x [M,K] and w [N,K]
+/// (the nn::Linear weight layout). The epilogue (tensor/epilogue.h) applies
+/// bias / ReLU / counter-based dropout in the GEMM's store phase — one pass
+/// over the output instead of three full-tensor passes after it.
+///
+/// * `bias` must be a [N] vector for Epilogue::kBias and stronger; it is
+///   ignored (may be empty) for kNone.
+/// * For kBiasRelu / kBiasReluDropout, `mask_out` (when non-null) is
+///   overwritten with the [M,N] combined derivative d y/d pre — 1/0 for
+///   ReLU, scaled by 1/(1-p) under dropout — which is exactly the factor
+///   the backward pass multiplies the output gradient by.
+/// * `dropout_p` in [0, 1) and `seed` drive the counter-based decisions
+///   (kBiasReluDropout only).
+///
+/// The optimized path fuses into the microkernel store; the reference path
+/// composes the same math serially. Fused output is bitwise identical to
+/// the unfused optimized sequence {matmul, add_row_broadcast, relu,
+/// mul(dropout_mask_counter)} under the same seed, and run-to-run
+/// deterministic across pool sizes (tests/test_kernels.cpp).
+Tensor gemm_epilogue(const Tensor& x, const Tensor& w, const Tensor& bias,
+                     Epilogue epilogue, double dropout_p, std::uint64_t seed,
+                     Tensor* mask_out);
 
 }  // namespace salient::ops

@@ -1,0 +1,100 @@
+#include "tensor/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/kernel_config.h"
+
+namespace salient::ops {
+
+Tensor quantize_rows(const Tensor& x, Tensor* scale_out, Tensor* zero_out) {
+  if (x.dim() != 2) throw std::invalid_argument("quantize_rows: x must be 2-D");
+  if (x.dtype() != DType::kF32) {
+    throw std::invalid_argument("quantize_rows: x must be f32");
+  }
+  if (scale_out == nullptr || zero_out == nullptr) {
+    throw std::invalid_argument("quantize_rows: scale/zero outputs required");
+  }
+  const std::int64_t rows = x.size(0);
+  const std::int64_t cols = x.size(1);
+  Tensor q({rows, cols}, DType::kInt8Q);
+  *scale_out = Tensor({rows}, DType::kF32);
+  *zero_out = Tensor({rows}, DType::kF32);
+  const float* src = x.data<float>();
+  std::int8_t* dst = q.data<std::int8_t>();
+  float* scales = scale_out->data<float>();
+  float* zeros = zero_out->data<float>();
+  parallel_for_n(
+      rows, rows * cols,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          quantize_row(src + i * cols, cols, dst + i * cols, scales + i,
+                       zeros + i);
+        }
+      },
+      GrainClass::kMemoryBound);
+  return q;
+}
+
+void quantize_row(const float* row, std::int64_t cols, std::int8_t* q,
+                  float* scale, float* zero) {
+  float lo = row[0];
+  float hi = row[0];
+  for (std::int64_t j = 1; j < cols; ++j) {
+    lo = std::min(lo, row[j]);
+    hi = std::max(hi, row[j]);
+  }
+  const float s = (hi - lo) / 255.0f;
+  *scale = s;
+  *zero = lo;
+  if (s == 0.0f) {
+    // Constant row: every element reconstructs exactly as the zero-point.
+    std::fill(q, q + cols, static_cast<std::int8_t>(-128));
+    return;
+  }
+  for (std::int64_t j = 0; j < cols; ++j) {
+    const long code = std::lround((row[j] - lo) / s);
+    const long clamped = std::min(255l, std::max(0l, code));
+    q[j] = static_cast<std::int8_t>(clamped - 128);
+  }
+}
+
+void dequantize_row(const std::int8_t* q, std::int64_t cols, float scale,
+                    float zero, float* out) {
+  for (std::int64_t j = 0; j < cols; ++j) {
+    out[j] = static_cast<float>(q[j] + 128) * scale + zero;
+  }
+}
+
+Tensor dequantize_rows(const Tensor& q, const Tensor& scale,
+                       const Tensor& zero) {
+  if (q.dim() != 2) throw std::invalid_argument("dequantize_rows: q not 2-D");
+  if (q.dtype() != DType::kInt8Q) {
+    throw std::invalid_argument("dequantize_rows: q must be i8q");
+  }
+  const std::int64_t rows = q.size(0);
+  const std::int64_t cols = q.size(1);
+  if (scale.dtype() != DType::kF32 || zero.dtype() != DType::kF32 ||
+      scale.numel() != rows || zero.numel() != rows) {
+    throw std::invalid_argument(
+        "dequantize_rows: scale/zero must be [rows] f32");
+  }
+  Tensor out({rows, cols}, DType::kF32);
+  const std::int8_t* src = q.data<std::int8_t>();
+  const float* scales = scale.data<float>();
+  const float* zeros = zero.data<float>();
+  float* dst = out.data<float>();
+  parallel_for_n(
+      rows, rows * cols,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          dequantize_row(src + i * cols, cols, scales[i], zeros[i],
+                         dst + i * cols);
+        }
+      },
+      GrainClass::kMemoryBound);
+  return out;
+}
+
+}  // namespace salient::ops

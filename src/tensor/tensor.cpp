@@ -116,6 +116,9 @@ Tensor Tensor::to(DType dtype) const {
           d[i] = static_cast<std::int64_t>(read(i));
         break;
       }
+      case DType::kInt8Q:
+        throw std::runtime_error(
+            "to(): i8q requires per-row scale/zero; use ops::quantize_rows");
     }
   };
   switch (dtype_) {
@@ -139,6 +142,9 @@ Tensor Tensor::to(DType dtype) const {
       convert([s](std::int64_t i) { return s[i]; });
       break;
     }
+    case DType::kInt8Q:
+      throw std::runtime_error(
+          "to(): i8q requires per-row scale/zero; use ops::dequantize_rows");
   }
   return out;
 }
@@ -284,6 +290,9 @@ std::string Tensor::str() const {
       case DType::kI64:
         os << data<std::int64_t>()[i];
         break;
+      case DType::kInt8Q:
+        os << static_cast<int>(data<std::int8_t>()[i]);
+        break;
     }
   }
   if (numel() > n) os << ", ...";
@@ -299,6 +308,11 @@ bool allclose(const Tensor& a, const Tensor& b, double rtol, double atol) {
     case DType::kI64: {
       const auto* pa = a.data<std::int64_t>();
       const auto* pb = b.data<std::int64_t>();
+      return std::equal(pa, pa + n, pb);
+    }
+    case DType::kInt8Q: {
+      const auto* pa = a.data<std::int8_t>();
+      const auto* pb = b.data<std::int8_t>();
       return std::equal(pa, pa + n, pb);
     }
     case DType::kF32: {

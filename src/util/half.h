@@ -41,9 +41,17 @@ Half float_to_half(float f);
 float half_to_float(Half h);
 
 /// Bulk conversion: dst[i] = half(src[i]) for i in [0, n).
+///
+/// Uses the hardware conversion instructions (x86 F16C / AArch64 NEON) when
+/// the CPU has them — checked once at runtime — and is bit-identical to the
+/// scalar converter for every input, NaN included (NaN-containing blocks
+/// take the scalar path so payload canonicalization matches). All row-wise
+/// conversion outside util/ must go through these bulk entry points (lint
+/// rule `scalar-half-loop`).
 void float_to_half_n(const float* src, Half* dst, std::size_t n);
 
-/// Bulk conversion: dst[i] = float(src[i]) for i in [0, n).
+/// Bulk conversion: dst[i] = float(src[i]) for i in [0, n). Same hardware
+/// acceleration and exact-parity contract as float_to_half_n.
 void half_to_float_n(const Half* src, float* dst, std::size_t n);
 
 }  // namespace salient

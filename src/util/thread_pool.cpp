@@ -8,13 +8,18 @@ namespace {
 // Set while a thread is executing as a worker of some pool, so parallel_for
 // can detect re-entrant use and fall back to serial execution.
 thread_local const ThreadPool* t_current_pool = nullptr;
+// Set on the caller thread while it runs chunk 0 of its own broadcast job; a
+// nested parallel_for on the same pool from inside the job body must not try
+// to take job_mu_ again (it is already held) — it degrades to serial.
+thread_local const ThreadPool* t_job_owner = nullptr;
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   num_threads = std::max<std::size_t>(1, num_threads);
+  worker_state_ = std::make_unique<WorkerState[]>(num_threads);
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -38,13 +43,17 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
   return fut;
 }
 
+std::uint64_t ThreadPool::worker_jobs_run(std::size_t i) const {
+  return worker_state_[i].jobs_run.load(std::memory_order_relaxed);
+}
+
 void ThreadPool::parallel_for(
     std::int64_t begin, std::int64_t end,
     const std::function<void(std::int64_t, std::int64_t)>& fn) {
   const std::int64_t n = end - begin;
   if (n <= 0) return;
-  if (t_current_pool == this) {  // nested call from one of our own workers
-    fn(begin, end);
+  if (t_current_pool == this || t_job_owner == this) {
+    fn(begin, end);  // nested call from a worker or from inside our own job
     return;
   }
   const auto nchunks =
@@ -54,15 +63,50 @@ void ThreadPool::parallel_for(
     return;
   }
   const std::int64_t chunk = (n + nchunks - 1) / nchunks;
-  std::vector<std::future<void>> futs;
-  futs.reserve(static_cast<std::size_t>(nchunks - 1));
-  std::int64_t b = begin + chunk;  // first chunk runs on the caller
-  for (; b < end; b += chunk) {
-    const std::int64_t e = std::min(b + chunk, end);
-    futs.push_back(submit([&fn, b, e] { fn(b, e); }));
+
+  // One broadcast job at a time; concurrent external callers queue here.
+  LockGuard job_lock(job_mu_);
+  job_exc_ = nullptr;
+  job_has_exc_.store(false, std::memory_order_relaxed);
+  pending_.store(nchunks - 1, std::memory_order_relaxed);
+  {
+    LockGuard lock(mu_);
+    job_.fn = &fn;
+    job_.begin = begin;
+    job_.end = end;
+    job_.chunk = chunk;
+    job_.nchunks = nchunks;
+    ++job_epoch_;
   }
-  fn(begin, std::min(begin + chunk, end));
-  for (auto& f : futs) f.get();
+  cv_.notify_all();
+
+  // The caller owns chunk 0.
+  t_job_owner = this;
+  std::exception_ptr caller_exc;
+  try {
+    fn(begin, std::min(begin + chunk, end));
+  } catch (...) {
+    caller_exc = std::current_exception();
+  }
+  t_job_owner = nullptr;
+
+  // Wait for the workers' chunks. Short jobs usually complete within the
+  // spin; the condvar is the backstop for long tails.
+  for (int spin = 0;
+       spin < 4096 && pending_.load(std::memory_order_acquire) != 0; ++spin) {
+    std::this_thread::yield();
+  }
+  if (pending_.load(std::memory_order_acquire) != 0) {
+    UniqueLock lock(done_mu_);
+    while (pending_.load(std::memory_order_acquire) != 0) {
+      done_cv_.wait(lock);
+    }
+  }
+
+  if (caller_exc) std::rethrow_exception(caller_exc);
+  if (job_has_exc_.load(std::memory_order_acquire)) {
+    std::rethrow_exception(job_exc_);
+  }
 }
 
 ThreadPool& ThreadPool::global() {
@@ -70,18 +114,60 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::run_job_chunk(const JobDesc& job, std::size_t index) {
+  // Static partition: worker `index` always owns chunk index+1 (the caller
+  // runs chunk 0). Workers beyond the chunk count have nothing to do and do
+  // not touch pending_.
+  const std::int64_t ci = static_cast<std::int64_t>(index) + 1;
+  if (ci >= job.nchunks) return;
+  const std::int64_t b = job.begin + ci * job.chunk;
+  const std::int64_t e = std::min(b + job.chunk, job.end);
+  try {
+    (*job.fn)(b, e);
+  } catch (...) {
+    if (!job_has_exc_.exchange(true, std::memory_order_acq_rel)) {
+      job_exc_ = std::current_exception();
+    }
+  }
+  worker_state_[index].jobs_run.fetch_add(1, std::memory_order_relaxed);
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    LockGuard lock(done_mu_);
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
   t_current_pool = this;
+  WorkerState& st = worker_state_[index];
   for (;;) {
     std::packaged_task<void()> task;
+    JobDesc job;
+    bool have_job = false;
     {
       UniqueLock lock(mu_);
-      while (!stop_ && tasks_.empty()) cv_.wait(lock);
-      if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      while (!stop_ && tasks_.empty() && job_epoch_ == st.seen_epoch) {
+        cv_.wait(lock);
+      }
+      if (job_epoch_ != st.seen_epoch) {
+        // A broadcast job takes priority over queued tasks (a blocked
+        // parallel_for caller is latency-sensitive; submit() callers hold
+        // futures and can wait). Also checked before the stop_ exit so a job
+        // racing pool shutdown still completes its chunks.
+        st.seen_epoch = job_epoch_;
+        job = job_;
+        have_job = true;
+      } else if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      } else {
+        return;  // stop_ && no tasks && no new job
+      }
     }
-    task();
+    if (have_job) {
+      run_job_chunk(job, index);
+    } else {
+      task();
+    }
   }
 }
 

@@ -1,16 +1,42 @@
-// A fixed-size thread pool with a parallel_for helper.
+// A fixed-size thread pool with a persistent-worker parallel_for.
 //
 // Used for (a) the baseline "PyTorch OpenMP-style" parallel slicing path,
 // (b) intra-device parallelism of the simulated-GPU compute kernels, and
 // (c) miscellaneous data generation. SALIENT's own batch-preparation workers
 // are *not* built on this pool — they are dedicated end-to-end threads fed by
 // a lock-free queue (see prep/salient_loader.h), mirroring the paper's design.
+//
+// Two execution paths share the worker threads:
+//
+//   * submit(fn): the classic task queue — one std::packaged_task per call,
+//     any free worker picks it up. Used for heterogeneous, coarse work
+//     (loader slicing jobs, background generation).
+//
+//   * parallel_for(begin, end, fn): a *broadcast job*. Instead of enqueuing
+//     one task object per chunk (an allocation, a future, and a queue
+//     round-trip each — dispatch overhead that dominated the bandwidth-bound
+//     kernels at 8 threads), the caller publishes a single job descriptor and
+//     wakes every worker once. The range is statically partitioned: worker i
+//     always owns chunk i+1 and the caller runs chunk 0, so no two pool sizes
+//     ever split an element between threads differently than the fixed
+//     ceil-division rule — the property the kernel layer's bitwise-
+//     determinism contract (docs/PERFORMANCE.md) relies on. Completion is a
+//     single atomic countdown, not a futures loop.
+//
+// Concurrent external callers (e.g. the cluster trainer runs one thread per
+// simulated node, each invoking kernels on the shared kernel pool) are
+// serialized by an internal job mutex — jobs run one at a time, callers queue
+// on the mutex. Re-entrant calls from a pool worker, or from inside a running
+// job on the caller thread, degrade to serial execution exactly like before.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <future>
+#include <memory>
 #include <queue>
 #include <thread>
 #include <vector>
@@ -36,24 +62,80 @@ class ThreadPool {
 
   /// Run fn(begin..end) split into roughly `size()` contiguous chunks and
   /// block until all chunks completed. fn receives (chunk_begin, chunk_end).
-  /// The calling thread participates in the work. Re-entrant calls from one
-  /// of this pool's own workers degrade to a serial fn(begin, end) — nested
+  /// The calling thread participates in the work (it runs chunk 0; worker i
+  /// runs chunk i+1). Chunking is the fixed ceil-division of the range over
+  /// min(n, size()+1) chunks — independent of scheduling, so deterministic
+  /// kernels stay bitwise-reproducible for a given pool size.
+  ///
+  /// Re-entrant calls — from one of this pool's own workers, or from inside
+  /// fn on the caller thread — degrade to a serial fn(begin, end): nested
   /// parallelism would otherwise deadlock once every worker blocks waiting
-  /// for chunks only other workers could run.
+  /// for chunks only other workers could run. The first exception thrown by
+  /// any chunk is rethrown on the caller after all chunks finished.
   void parallel_for(std::int64_t begin, std::int64_t end,
                     const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  /// Total broadcast jobs executed by worker `i` (test/diagnostic hook for
+  /// verifying the persistent-worker path actually engaged).
+  std::uint64_t worker_jobs_run(std::size_t i) const;
 
   /// A process-wide pool sized to the hardware concurrency; lazily created.
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  // Per-worker state, one cache line each so a worker bumping its own
+  // counters never invalidates a line another worker (or the caller's
+  // completion spin) is reading.
+  struct alignas(64) WorkerState {
+    // Epoch of the last broadcast job this worker observed. Written only by
+    // the owning worker, compared against job_epoch_ under mu_.
+    std::uint64_t seen_epoch = 0;
+    // Broadcast jobs in which this worker ran a chunk (diagnostics).
+    std::atomic<std::uint64_t> jobs_run{0};
+  };
+
+  // The published broadcast job. Fields are written by the caller and copied
+  // out by workers, both under mu_; the fn target stays alive because the
+  // caller blocks in parallel_for until every chunk completed.
+  struct JobDesc {
+    const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    std::int64_t chunk = 0;
+    std::int64_t nchunks = 0;
+  };
+
+  void worker_loop(std::size_t index);
+  void run_job_chunk(const JobDesc& job, std::size_t index);
 
   std::vector<std::thread> workers_;  // written only during construction
+  std::unique_ptr<WorkerState[]> worker_state_;  // one slot per worker
+
   Mutex mu_;
   CondVar cv_;
   std::queue<std::packaged_task<void()>> tasks_ GUARDED_BY(mu_);
   bool stop_ GUARDED_BY(mu_) = false;
+
+  // Broadcast-job channel. job_epoch_ increments once per parallel_for; a
+  // worker whose seen_epoch lags picks up the job exactly once.
+  JobDesc job_ GUARDED_BY(mu_);
+  std::uint64_t job_epoch_ GUARDED_BY(mu_) = 0;
+
+  // Serializes concurrent external parallel_for callers (one job in flight).
+  Mutex job_mu_;
+
+  // Chunks not yet finished by workers; the caller spins briefly then waits
+  // on done_cv_. The worker that takes pending_ to zero notifies.
+  std::atomic<std::int64_t> pending_{0};
+  Mutex done_mu_;
+  CondVar done_cv_;
+
+  // First exception thrown by a worker chunk. job_exc_ is written exactly
+  // once per job (publication ordered by the exchange on job_has_exc_ and
+  // the release fetch_sub on pending_) and read by the caller only after
+  // pending_ reached zero.
+  std::atomic<bool> job_has_exc_{false};
+  std::exception_ptr job_exc_;
 };
 
 }  // namespace salient

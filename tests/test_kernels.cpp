@@ -18,6 +18,7 @@
 #include "autograd/gradcheck.h"
 #include "tensor/kernel_config.h"
 #include "tensor/ops.h"
+#include "tensor/quantize.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -354,6 +355,196 @@ TEST(Gradcheck, OptimizedKernelPath) {
       Variable x(Tensor::uniform({4, 2}, 95 + i, -1, 1, DType::kF64), true);
       auto r = ag::gradcheck(fn, {x});
       EXPECT_TRUE(r.ok) << "builder " << i << ": " << r.message;
+    }
+  }
+}
+
+// --- fused GEMM epilogues (tensor/epilogue.h) --------------------------------
+
+/// The unfused composition the fused epilogue must agree with bitwise when
+/// both run under the same kernel kind: {matmul(trans_b), add_row_broadcast,
+/// relu, mul(dropout_mask_counter)}, truncated to the requested kind.
+Tensor unfused_linear(const Tensor& x, const Tensor& w, const Tensor& bias,
+                      ops::Epilogue kind, double p, std::uint64_t seed) {
+  Tensor y = ops::matmul(x, w, false, true);
+  if (kind == ops::Epilogue::kNone) return y;
+  y = ops::add_row_broadcast(y, bias);
+  if (kind == ops::Epilogue::kBias) return y;
+  y = ops::relu(y);
+  if (kind == ops::Epilogue::kBiasRelu) return y;
+  return ops::mul(y, ops::dropout_mask_counter(y.shape(), p, seed));
+}
+
+TEST(FusedEpilogue, BitwiseMatchesUnfusedCompositionPerKind) {
+  // Shapes straddle microkernel tile boundaries (m % MR != 0, n % NR != 0)
+  // and clear the parallel grain so multi-thread pools actually split work.
+  const Tensor x = Tensor::uniform({301, 47}, 101, -1, 1);
+  const Tensor w = Tensor::uniform({133, 47}, 102, -1, 1);
+  const Tensor bias = Tensor::uniform({133}, 103, -1, 1);
+  const double p = 0.35;
+  const std::uint64_t seed = 0xd20;
+  KernelGuard guard;
+  for (const ops::Epilogue kind :
+       {ops::Epilogue::kNone, ops::Epilogue::kBias, ops::Epilogue::kBiasRelu,
+        ops::Epilogue::kBiasReluDropout}) {
+    for (const ops::KernelKind kk :
+         {ops::KernelKind::kRef, ops::KernelKind::kOpt}) {
+      for (const std::size_t threads : {1u, 4u, 8u}) {
+        ThreadPool pool(threads);
+        guard.use(kk, &pool);
+        const Tensor want = unfused_linear(x, w, bias, kind, p, seed);
+        Tensor mask;
+        const Tensor got =
+            ops::gemm_epilogue(x, w, bias, kind, p, seed, &mask);
+        EXPECT_TRUE(bitwise_equal(want, got))
+            << "kind=" << static_cast<int>(kind)
+            << " kernel=" << static_cast<int>(kk) << " threads=" << threads;
+        if (kind == ops::Epilogue::kBiasRelu ||
+            kind == ops::Epilogue::kBiasReluDropout) {
+          // The saved mask is exactly d y/d pre: rebuild y from the
+          // pre-activation and compare.
+          ASSERT_EQ(mask.shape(), got.shape());
+          const Tensor pre = ops::add_row_broadcast(
+              ops::matmul(x, w, false, true), bias);
+          EXPECT_TRUE(bitwise_equal(got, ops::mul(pre, mask)) ||
+                      allclose(got, ops::mul(pre, mask), 0, 0))
+              << "mask does not reconstruct the output";
+        }
+      }
+    }
+  }
+}
+
+TEST(FusedEpilogue, RefVsOptWithinUlpBound) {
+  const Tensor x = Tensor::uniform({96, 64}, 111, -1, 1);
+  const Tensor w = Tensor::uniform({80, 64}, 112, -1, 1);
+  const Tensor bias = Tensor::uniform({80}, 113, -1, 1);
+  KernelGuard guard;
+  guard.use(ops::KernelKind::kRef);
+  const Tensor ref = ops::gemm_epilogue(x, w, bias, ops::Epilogue::kBiasRelu,
+                                        0, 0, nullptr);
+  ThreadPool pool(4);
+  guard.use(ops::KernelKind::kOpt, &pool);
+  const Tensor opt = ops::gemm_epilogue(x, w, bias, ops::Epilogue::kBiasRelu,
+                                        0, 0, nullptr);
+  // Only the GEMM association differs between ref and opt.
+  EXPECT_TRUE(allclose(ref, opt, 2e-5, 2e-5));
+}
+
+TEST(FusedEpilogue, DeterministicAcrossPoolSizes) {
+  const Tensor x = Tensor::uniform({257, 33}, 121, -1, 1);
+  const Tensor w = Tensor::uniform({65, 33}, 122, -1, 1);
+  const Tensor bias = Tensor::uniform({65}, 123, -1, 1);
+  KernelGuard guard;
+  ThreadPool p1(1);
+  guard.use(ops::KernelKind::kOpt, &p1);
+  Tensor mask1;
+  const Tensor base = ops::gemm_epilogue(
+      x, w, bias, ops::Epilogue::kBiasReluDropout, 0.5, 0xfeed, &mask1);
+  for (const std::size_t threads : {4u, 8u}) {
+    ThreadPool pool(threads);
+    guard.use(ops::KernelKind::kOpt, &pool);
+    Tensor mask;
+    const Tensor got = ops::gemm_epilogue(
+        x, w, bias, ops::Epilogue::kBiasReluDropout, 0.5, 0xfeed, &mask);
+    EXPECT_TRUE(bitwise_equal(base, got)) << threads << " threads";
+    EXPECT_TRUE(bitwise_equal(mask1, mask)) << threads << " threads";
+  }
+}
+
+// --- mixed-precision + compressed GEMM (tensor/quantize.h) -------------------
+
+TEST(MixedMatmul, F16OperandsBitwiseMatchUpconvert) {
+  KernelGuard guard;
+  const Tensor a32 = Tensor::uniform({85, 50}, 131, -1, 1);
+  const Tensor b32 = Tensor::uniform({50, 67}, 132, -1, 1);
+  const Tensor a16 = a32.to(DType::kF16);
+  const Tensor b16 = b32.to(DType::kF16);
+  const Tensor a16up = a16.to(DType::kF32);
+  const Tensor b16up = b16.to(DType::kF32);
+  struct Case {
+    Tensor a, b, ua, ub;
+    const char* what;
+  };
+  const Case cases[] = {
+      {a16, b32, a16up, b32, "f16 x f32"},
+      {a32, b16, a32, b16up, "f32 x f16"},
+      {a16, b16, a16up, b16up, "f16 x f16"},
+  };
+  for (const ops::KernelKind kk :
+       {ops::KernelKind::kRef, ops::KernelKind::kOpt}) {
+    for (const std::size_t threads : {1u, 4u}) {
+      ThreadPool pool(threads);
+      guard.use(kk, &pool);
+      for (const Case& c : cases) {
+        const Tensor mixed = ops::matmul(c.a, c.b);
+        const Tensor up = ops::matmul(c.ua, c.ub);
+        EXPECT_EQ(mixed.dtype(), DType::kF32);
+        EXPECT_TRUE(bitwise_equal(mixed, up))
+            << c.what << " kernel=" << static_cast<int>(kk)
+            << " threads=" << threads;
+      }
+      // Transposed f16 operand (the grad_w shape of the backward pass).
+      const Tensor wt16 = Tensor::uniform({67, 50}, 133, -1, 1).to(DType::kF16);
+      const Tensor mixed_t = ops::matmul(a32, wt16, false, true);
+      const Tensor up_t = ops::matmul(a32, wt16.to(DType::kF32), false, true);
+      EXPECT_TRUE(bitwise_equal(mixed_t, up_t)) << "f32 x f16^T";
+    }
+  }
+}
+
+TEST(QuantizeRows, RoundTripWithinPerRowBound) {
+  const Tensor x = Tensor::uniform({60, 93}, 141, -5, 5);
+  Tensor scale, zero;
+  const Tensor q = ops::quantize_rows(x, &scale, &zero);
+  ASSERT_EQ(q.dtype(), DType::kInt8Q);
+  ASSERT_EQ(scale.shape(), (std::vector<std::int64_t>{60}));
+  const Tensor back = ops::dequantize_rows(q, scale, zero);
+  const float* px = x.data<float>();
+  const float* pb = back.data<float>();
+  const float* ps = scale.data<float>();
+  for (std::int64_t i = 0; i < 60; ++i) {
+    // Affine rounding error is at most scale/2 = (max-min)/510 per element.
+    const float bound = ps[i] * 0.5f + 1e-6f;
+    for (std::int64_t j = 0; j < 93; ++j) {
+      ASSERT_NEAR(pb[i * 93 + j], px[i * 93 + j], bound)
+          << "row " << i << " col " << j;
+    }
+  }
+}
+
+TEST(QuantizeRows, ConstantRowIsExact) {
+  Tensor x({2, 5}, DType::kF32);
+  float* p = x.data<float>();
+  for (int j = 0; j < 5; ++j) p[j] = 3.25f;
+  for (int j = 5; j < 10; ++j) p[j] = -0.75f;
+  Tensor scale, zero;
+  const Tensor q = ops::quantize_rows(x, &scale, &zero);
+  const Tensor back = ops::dequantize_rows(q, scale, zero);
+  EXPECT_TRUE(bitwise_equal(x, back));
+}
+
+TEST(CompressedMatmul, BitwiseMatchesDequantizedMatmul) {
+  KernelGuard guard;
+  const Tensor a = Tensor::uniform({91, 53}, 151, -2, 2);
+  const Tensor b = Tensor::uniform({53, 72}, 152, -1, 1);
+  const Tensor bt = Tensor::uniform({72, 53}, 153, -1, 1);
+  Tensor scale, zero;
+  const Tensor q = ops::quantize_rows(a, &scale, &zero);
+  for (const ops::KernelKind kk :
+       {ops::KernelKind::kRef, ops::KernelKind::kOpt}) {
+    for (const std::size_t threads : {1u, 4u, 8u}) {
+      ThreadPool pool(threads);
+      guard.use(kk, &pool);
+      const Tensor deq = ops::dequantize_rows(q, scale, zero);
+      EXPECT_TRUE(bitwise_equal(ops::matmul_compressed(q, scale, zero, b),
+                                ops::matmul(deq, b)))
+          << "kernel=" << static_cast<int>(kk) << " threads=" << threads;
+      EXPECT_TRUE(
+          bitwise_equal(ops::matmul_compressed(q, scale, zero, bt, true),
+                        ops::matmul(deq, bt, false, true)))
+          << "trans_b kernel=" << static_cast<int>(kk)
+          << " threads=" << threads;
     }
   }
 }

@@ -302,5 +302,88 @@ TEST(Trainer, GatAndGinTrainWithoutError) {
   }
 }
 
+// --- compressed wire feature formats (LoaderConfig::feature_dtype) -----------
+
+/// An f32-store dataset, so the f16/int8 wire formats genuinely lose
+/// precision relative to the f32 wire (with the default f16 store every wire
+/// dtype decompresses to the same values and the comparison is vacuous).
+Dataset& f32_dataset() {
+  static Dataset ds = [] {
+    DatasetConfig c;
+    c.name = "train-test-f32";
+    c.num_nodes = 6000;
+    c.feature_dim = 24;
+    c.num_classes = 5;
+    c.avg_degree = 10;
+    c.p_in = 0.85;
+    c.feature_signal = 0.4;
+    c.feature_noise = 0.8;
+    c.seed = 11;
+    c.feature_dtype = DType::kF32;
+    return generate_dataset(c);
+  }();
+  return ds;
+}
+
+std::shared_ptr<nn::GnnModel> train_with_wire(const Dataset& ds, DType wire,
+                                              int epochs, EpochStats* last) {
+  auto model = nn::make_model("sage", model_config(ds));
+  DeviceSim device;
+  TrainConfig tc = train_config();
+  tc.loader.feature_dtype = wire;
+  Trainer trainer(ds, model, device, tc);
+  for (int e = 0; e < epochs; ++e) {
+    EpochStats s = trainer.train_epoch(e);
+    if (last != nullptr) *last = s;
+  }
+  return model;
+}
+
+TEST(WireDtype, RunToRunBitwiseReproducible) {
+  // Compressed transport must not perturb determinism: two identical f16-wire
+  // runs produce bit-identical parameters.
+  const Dataset& ds = f32_dataset();
+  auto a = train_with_wire(ds, DType::kF16, 2, nullptr);
+  auto b = train_with_wire(ds, DType::kF16, 2, nullptr);
+  const auto pa = a->parameters();
+  const auto pb = b->parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(allclose(pa[i].data(), pb[i].data(), 0.0, 0.0))
+        << "parameter " << i;
+  }
+}
+
+TEST(WireDtype, F16ConvergesWithinToleranceOfF32) {
+  const Dataset& ds = f32_dataset();
+  EpochStats f32_last, f16_last;
+  train_with_wire(ds, DType::kF32, 4, &f32_last);
+  train_with_wire(ds, DType::kF16, 4, &f16_last);
+  // Both learn well past chance (0.2) and the compressed run lands within a
+  // few points of the uncompressed one (f16 features carry ~11 bits).
+  EXPECT_GT(f32_last.train_accuracy, 0.5);
+  EXPECT_GT(f16_last.train_accuracy, 0.5);
+  EXPECT_NEAR(f16_last.train_accuracy, f32_last.train_accuracy, 0.1);
+  EXPECT_NEAR(f16_last.mean_loss, f32_last.mean_loss,
+              0.2 * f32_last.mean_loss + 0.05);
+}
+
+TEST(WireDtype, Int8QuantizedWireTrains) {
+  const Dataset& ds = f32_dataset();
+  auto model = nn::make_model("sage", model_config(ds));
+  DeviceSim device;
+  TrainConfig tc = train_config();
+  tc.loader.feature_dtype = DType::kInt8Q;
+  Trainer trainer(ds, model, device, tc);
+  const EpochStats first = trainer.train_epoch(0);
+  EpochStats last;
+  for (int e = 1; e < 4; ++e) last = trainer.train_epoch(e);
+  EXPECT_TRUE(std::isfinite(last.mean_loss));
+  EXPECT_LT(last.mean_loss, first.mean_loss * 0.9);
+  EXPECT_GT(last.train_accuracy, 0.4);  // chance = 0.2
+  // The quantized wire moves fewer bytes than an f32 wire would have.
+  EXPECT_GT(first.transfer_bytes, 0u);
+}
+
 }  // namespace
 }  // namespace salient

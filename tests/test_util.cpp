@@ -4,8 +4,10 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <future>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -361,6 +363,171 @@ TEST(WallTimer, MeasuresMonotonically) {
   const double b = t.seconds();
   EXPECT_GE(b, a);
   EXPECT_GE(t.nanos(), 0);
+}
+
+// --- vectorized half converters vs the scalar reference ----------------------
+
+TEST(Half, BulkHalfToFloatMatchesScalarForAllPatterns) {
+  // Exhaustive: every 16-bit pattern (normals, subnormals, ±0, ±inf, every
+  // NaN payload) decompressed by the bulk converter must be bit-identical to
+  // the scalar reference. Offset by 1 so the vector body runs unaligned and
+  // the loop exercises the remainder tail.
+  std::vector<Half> src(0x10000 + 1);
+  for (std::uint32_t b = 0; b < 0x10000; ++b) {
+    src[b + 1] = Half::from_bits(static_cast<std::uint16_t>(b));
+  }
+  std::vector<float> bulk(src.size());
+  half_to_float_n(src.data() + 1, bulk.data() + 1, src.size() - 1);
+  for (std::uint32_t b = 0; b < 0x10000; ++b) {
+    const float expect = half_to_float(src[b + 1]);
+    std::uint32_t eb, gb;
+    std::memcpy(&eb, &expect, 4);
+    std::memcpy(&gb, &bulk[b + 1], 4);
+    ASSERT_EQ(gb, eb) << "half bits=" << b;
+  }
+}
+
+TEST(Half, BulkFloatToHalfMatchesScalarForAllHalfValuesAndBoundaries) {
+  // Every exactly-representable half value, its round-to-nearest-even
+  // boundary neighbours (±1 ulp of the float), and a deterministic sample
+  // of arbitrary float bit patterns must compress identically via the bulk
+  // converter and the scalar reference.
+  std::vector<float> src;
+  src.reserve(3 * 0x10000 + 100000);
+  for (std::uint32_t b = 0; b < 0x10000; ++b) {
+    const float f = half_to_float(Half::from_bits(static_cast<std::uint16_t>(b)));
+    src.push_back(f);
+    if (std::isfinite(f)) {
+      src.push_back(std::nextafter(f, 1e38f));
+      src.push_back(std::nextafter(f, -1e38f));
+    }
+  }
+  Xoshiro256ss rng(0x5a1f);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint32_t bits = static_cast<std::uint32_t>(rng());
+    float f;
+    std::memcpy(&f, &bits, 4);
+    src.push_back(f);
+  }
+  std::vector<Half> bulk(src.size());
+  float_to_half_n(src.data(), bulk.data(), src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    ASSERT_EQ(bulk[i].bits, float_to_half(src[i]).bits)
+        << "i=" << i << " f=" << src[i];
+  }
+}
+
+// --- persistent-worker broadcast parallel_for --------------------------------
+
+TEST(ThreadPool, WorkerJobsRunShowsBroadcastEngagement) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1 << 12);
+  for (int rep = 0; rep < 8; ++rep) {
+    pool.parallel_for(0, static_cast<std::int64_t>(hits.size()),
+                      [&](std::int64_t b, std::int64_t e) {
+                        for (std::int64_t i = b; i < e; ++i) {
+                          hits[static_cast<std::size_t>(i)].fetch_add(1);
+                        }
+                      });
+  }
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 8);
+  std::uint64_t jobs = 0;
+  for (std::size_t w = 0; w < pool.size(); ++w) jobs += pool.worker_jobs_run(w);
+  // 8 broadcasts over 4 workers: the persistent-worker path must have run
+  // chunks on the workers (not degraded to caller-only serial execution).
+  EXPECT_GT(jobs, 0u);
+}
+
+TEST(ThreadPool, ConcurrentExternalCallersSerializeCorrectly) {
+  // The cluster trainer pattern: several external threads share one kernel
+  // pool, each issuing its own parallel_for. Jobs must serialize internally
+  // and every caller must see exactly its own range covered once.
+  ThreadPool pool(3);
+  constexpr int kCallers = 4;
+  constexpr std::int64_t kN = 20000;
+  std::vector<std::vector<int>> marks(kCallers, std::vector<int>(kN, 0));
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int rep = 0; rep < 5; ++rep) {
+        pool.parallel_for(0, kN, [&, c](std::int64_t b, std::int64_t e) {
+          for (std::int64_t i = b; i < e; ++i) marks[c][i] += 1;
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    for (std::int64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(marks[c][i], 5) << "caller " << c << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, NestedParallelForDegradesToSerial) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> outer(64);
+  std::vector<std::atomic<int>> inner(64);
+  pool.parallel_for(0, 64, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      outer[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+    // Re-entrant call from inside a running job: must run serially on this
+    // thread instead of deadlocking on the broadcast channel.
+    pool.parallel_for(0, 64, [&](std::int64_t b2, std::int64_t e2) {
+      for (std::int64_t j = b2; j < e2; ++j) {
+        inner[static_cast<std::size_t>(j)].fetch_add(1);
+      }
+    });
+  });
+  int chunks = 0;
+  for (const auto& o : outer) {
+    EXPECT_EQ(o.load(), 1);
+    chunks += o.load();
+  }
+  EXPECT_EQ(chunks, 64);
+  // Each outer chunk ran the full inner range once.
+  const int outer_chunk_count = static_cast<int>(std::min<std::int64_t>(
+      64, static_cast<std::int64_t>(pool.size()) + 1));
+  (void)outer_chunk_count;  // inner total = number of outer fn invocations
+  int inner_total = inner[0].load();
+  for (const auto& in : inner) EXPECT_EQ(in.load(), inner_total);
+}
+
+TEST(ThreadPool, ParallelForExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 1000,
+                        [](std::int64_t b, std::int64_t) {
+                          if (b == 0) throw std::runtime_error("chunk boom");
+                        }),
+      std::runtime_error);
+  // The pool must remain fully usable for both execution paths afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 100,
+                    [&](std::int64_t b, std::int64_t e) {
+                      count.fetch_add(static_cast<int>(e - b));
+                    });
+  EXPECT_EQ(count.load(), 100);
+  auto fut = pool.submit([&] { count.fetch_add(1); });
+  fut.wait();
+  EXPECT_EQ(count.load(), 101);
+}
+
+TEST(ThreadPool, SubmitAndBroadcastInterleave) {
+  ThreadPool pool(4);
+  std::atomic<int> task_runs{0};
+  std::atomic<std::int64_t> covered{0};
+  std::vector<std::future<void>> futs;
+  for (int rep = 0; rep < 20; ++rep) {
+    futs.push_back(pool.submit([&] { task_runs.fetch_add(1); }));
+    pool.parallel_for(0, 1 << 10, [&](std::int64_t b, std::int64_t e) {
+      covered.fetch_add(e - b);
+    });
+  }
+  for (auto& f : futs) f.wait();
+  EXPECT_EQ(task_runs.load(), 20);
+  EXPECT_EQ(covered.load(), 20 * (1 << 10));
 }
 
 }  // namespace

@@ -152,6 +152,32 @@ std::vector<Entry> build_entries() {
                                                    csr.weights, sg, 24576));
                 }});
 
+  // Fused-epilogue Linear forward vs the unfused three-pass sequence at a
+  // hidden-layer shape. check() additionally enforces the fusion win
+  // directly: unfused opt1_ms / fused opt1_ms must stay >= 1.3 (the
+  // bytes-moved analysis in docs/PERFORMANCE.md predicts ~2x).
+  static const Tensor lx = Tensor::uniform({4096, 64}, 16, -1, 1);
+  static const Tensor lw = Tensor::uniform({256, 64}, 17, -1, 1);
+  static const Tensor lbias = Tensor::uniform({256}, 18, -1, 1);
+  es.push_back({"linear_unfused3_4096x64x256", [] {
+                  Tensor h = ops::matmul(lx, lw, false, true);
+                  Tensor hb = ops::add_row_broadcast(h, lbias);
+                  sink(ops::relu(hb));
+                }});
+  es.push_back({"linear_fused_epi_4096x64x256", [] {
+                  sink(ops::gemm_epilogue(lx, lw, lbias,
+                                          ops::Epilogue::kBiasRelu, 0.0, 0,
+                                          nullptr));
+                }});
+
+  // Compressed-feature GEMM: an f16 activation matrix against f32 weights.
+  // The optimized kernel decompresses rows inside its packing stage; the
+  // reference materializes the f32 matrix first, so the speedup ratio
+  // tracks the dequantize-in-pack win.
+  static const Tensor lx16 = lx.to(DType::kF16);
+  es.push_back({"gemm_f16a_4096x64x256",
+                [] { sink(ops::matmul(lx16, lw, false, true)); }});
+
   // Row indexing at batch-preparation scale.
   static const Tensor gi = [] {
     Xoshiro256ss rng(10);
@@ -297,6 +323,30 @@ int check(const std::vector<Measurement>& ms, const std::string& path,
                 << ": optimized kernel is >2x slower than reference (x"
                 << m.speedup1() << ")\n";
       ++failures;
+    }
+  }
+  // Explicit fusion gate (machine-independent, a ratio of two timings taken
+  // on this machine): the fused bias+ReLU epilogue must beat the unfused
+  // three-pass {matmul, add_row_broadcast, relu} sequence by >= 1.3x on
+  // single-thread optimized timings.
+  const Measurement* fused = nullptr;
+  const Measurement* unfused = nullptr;
+  for (const Measurement& m : ms) {
+    if (m.name == "linear_fused_epi_4096x64x256") fused = &m;
+    if (m.name == "linear_unfused3_4096x64x256") unfused = &m;
+  }
+  if (fused != nullptr && unfused != nullptr) {
+    const double ratio = unfused->opt1_ms / fused->opt1_ms;
+    constexpr double kFusionFloor = 1.3;
+    if (ratio < kFusionFloor) {
+      std::cerr << "bench_gate: FAIL fused epilogue win x" << ratio
+                << " < required x" << kFusionFloor
+                << " (unfused " << unfused->opt1_ms << " ms vs fused "
+                << fused->opt1_ms << " ms)\n";
+      ++failures;
+    } else {
+      std::cerr << "bench_gate: fused epilogue win x" << ratio << " (>= x"
+                << kFusionFloor << ")\n";
     }
   }
   if (failures != 0) {

@@ -21,6 +21,10 @@
 //   sleep            sleep_for / sleep_until outside src/fault — sleeping
 //                    hides missing synchronization; wait on a CondVar with
 //                    a deadline. (fault/ injects stalls by design.)
+//   scalar-half-loop float_to_half / half_to_float calls outside src/util —
+//                    per-element scalar conversion on the feature pipeline
+//                    forfeits the vectorized (F16C/NEON) bulk converters;
+//                    use float_to_half_n / half_to_float_n on whole runs.
 //
 // Matching is token-boundary-aware on comment- and string-scrubbed source,
 // so `snprintf(` does not trip `printf(`, `bounded_rand(` does not trip
@@ -119,6 +123,14 @@ const std::vector<Rule>& rules() {
        "that makes code correct is a missing synchronization",
        {{"sleep_for", true}, {"sleep_until", true}, {"usleep", true}},
        {"fault/"}},
+      {"scalar-half-loop",
+       "scalar f16 conversion call outside src/util",
+       "convert whole runs with float_to_half_n / half_to_float_n "
+       "(util/half.h): the bulk converters vectorize (F16C/NEON) with exact "
+       "round-to-nearest-even parity, and a per-element scalar call on a "
+       "feature-pipeline path forfeits that bandwidth",
+       {{"float_to_half", true}, {"half_to_float", true}},
+       {"util/"}},
   };
   return kRules;
 }
