@@ -1,0 +1,594 @@
+#include "check/sched.h"
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+
+namespace salient::check {
+
+namespace {
+
+// The controller governing this OS thread (set for the lifetime of a
+// virtual thread's body), and the virtual thread id within it.
+thread_local Controller* t_controller = nullptr;
+thread_local int t_vid = -1;
+
+constexpr int kWaitNone = 0;
+constexpr int kWaitMutex = 1;
+constexpr int kWaitCv = 2;
+constexpr int kWaitJoin = 3;
+
+constexpr std::size_t kOplogTail = 48;
+
+}  // namespace
+
+struct Controller::VThread {
+  enum class St { kRunnable, kRunning, kBlocked, kFinished };
+
+  explicit VThread(int id_) : id(id_) {}
+
+  int id;
+  St st = St::kRunnable;
+  const void* wait_obj = nullptr;
+  int wait_kind = kWaitNone;
+  const char* last_label = "start";
+  bool timed = false;      // blocked in a timed wait
+  bool timed_out = false;  // the scheduler fired this wait's timeout
+  std::uint64_t block_seq = 0;  // FIFO order for cv notify_one
+};
+
+Controller::Controller(PickFn pick, long max_steps)
+    : max_steps_(max_steps), pick_(std::move(pick)) {}
+
+Controller::~Controller() = default;
+
+Controller* Controller::current() { return t_controller; }
+
+Controller::VThread& Controller::self_locked() {
+  return *threads_[static_cast<std::size_t>(t_vid)];
+}
+
+int Controller::count_other_runnable(const VThread& me) const {
+  int n = 0;
+  for (const auto& t : threads_) {
+    if (t->id != me.id && t->st == VThread::St::kRunnable) ++n;
+  }
+  return n;
+}
+
+void Controller::fail(const std::string& msg) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!failed_) {
+    failed_ = true;
+    failure_ = msg;
+  }
+}
+
+void Controller::park(std::unique_lock<std::mutex>& lk, VThread& me) {
+  active_ = -1;
+  cv_.notify_all();
+  cv_.wait(lk, [&] { return active_ == me.id; });
+  me.st = VThread::St::kRunning;
+}
+
+void Controller::schedule_point(std::unique_lock<std::mutex>& lk, VThread& me,
+                                const char* label, bool throwing) {
+  me.last_label = label;
+  oplog_.emplace_back(me.id, label);
+  if (abort_) {
+    if (throwing) throw ExecutionAborted{};
+    return;
+  }
+  if (++steps_ > max_steps_) {
+    if (!failed_) {
+      failed_ = true;
+      failure_ = "step budget exceeded (possible livelock)";
+    }
+    begin_abort_locked("step budget");
+    if (throwing) throw ExecutionAborted{};
+    return;
+  }
+  // Forced step: no other thread could run, so there is no decision to make
+  // (or to record) — skip the park handshake entirely. This keeps
+  // single-threaded stretches (scenario setup, teardown) free.
+  if (count_other_runnable(me) == 0) return;
+  me.st = VThread::St::kRunnable;
+  park(lk, me);
+  if (abort_ && throwing) throw ExecutionAborted{};
+}
+
+void Controller::block_on(std::unique_lock<std::mutex>& lk, VThread& me,
+                          const void* obj, int kind, const char* label) {
+  me.st = VThread::St::kBlocked;
+  me.wait_obj = obj;
+  me.wait_kind = kind;
+  me.last_label = label;
+  me.block_seq = ++block_counter_;
+  park(lk, me);
+  me.wait_obj = nullptr;
+  me.wait_kind = kWaitNone;
+}
+
+void Controller::wake_waiters(const void* obj, int kind, bool one_only) {
+  VThread* first = nullptr;
+  for (auto& t : threads_) {
+    if (t->st == VThread::St::kBlocked && t->wait_kind == kind &&
+        t->wait_obj == obj) {
+      if (!one_only) {
+        t->st = VThread::St::kRunnable;
+      } else if (first == nullptr || t->block_seq < first->block_seq) {
+        first = t.get();
+      }
+    }
+  }
+  if (one_only && first != nullptr) first->st = VThread::St::kRunnable;
+}
+
+void Controller::op_yield(const char* label) {
+  std::unique_lock<std::mutex> lk(mu_);
+  schedule_point(lk, self_locked(), label, /*throwing=*/true);
+}
+
+void Controller::mutex_lock(MutexState& m) {
+  std::unique_lock<std::mutex> lk(mu_);
+  VThread& me = self_locked();
+  schedule_point(lk, me, "mutex.lock", /*throwing=*/false);
+  while (!abort_ && m.owner != -1 && m.owner != me.id) {
+    block_on(lk, me, &m, kWaitMutex, "mutex.lock(blocked)");
+  }
+  // During a drain the lock is granted unconditionally: serialization still
+  // prevents data races, and the execution's verdict is already recorded.
+  m.owner = me.id;
+}
+
+bool Controller::mutex_try_lock(MutexState& m) {
+  std::unique_lock<std::mutex> lk(mu_);
+  VThread& me = self_locked();
+  schedule_point(lk, me, "mutex.try_lock", /*throwing=*/false);
+  if (m.owner != -1 && m.owner != me.id && !abort_) return false;
+  m.owner = me.id;
+  return true;
+}
+
+void Controller::mutex_unlock(MutexState& m) {
+  std::unique_lock<std::mutex> lk(mu_);
+  VThread& me = self_locked();
+  me.last_label = "mutex.unlock";
+  oplog_.emplace_back(me.id, "mutex.unlock");
+  m.owner = -1;
+  wake_waiters(&m, kWaitMutex, /*one_only=*/false);
+  // No park: releasing a lock is not a decision point — the woken waiters
+  // re-compete at the next contested schedule point.
+}
+
+void Controller::cv_wait(CvState& cv, MutexState& m) {
+  std::unique_lock<std::mutex> lk(mu_);
+  VThread& me = self_locked();
+  if (abort_) throw ExecutionAborted{};
+  schedule_point(lk, me, "cv.wait", /*throwing=*/true);
+  m.owner = -1;
+  wake_waiters(&m, kWaitMutex, /*one_only=*/false);
+  me.timed = false;
+  me.timed_out = false;
+  block_on(lk, me, &cv, kWaitCv, "cv.wait(blocked)");
+  while (!abort_ && m.owner != -1) {
+    block_on(lk, me, &m, kWaitMutex, "cv.wait(reacquire)");
+  }
+  m.owner = me.id;
+  if (abort_) throw ExecutionAborted{};
+}
+
+bool Controller::cv_wait_timed(CvState& cv, MutexState& m) {
+  std::unique_lock<std::mutex> lk(mu_);
+  VThread& me = self_locked();
+  if (abort_) throw ExecutionAborted{};
+  schedule_point(lk, me, "cv.wait_timed", /*throwing=*/true);
+  m.owner = -1;
+  wake_waiters(&m, kWaitMutex, /*one_only=*/false);
+  me.timed = true;
+  me.timed_out = false;
+  block_on(lk, me, &cv, kWaitCv, "cv.wait_timed(blocked)");
+  me.timed = false;
+  while (!abort_ && m.owner != -1) {
+    block_on(lk, me, &m, kWaitMutex, "cv.wait_timed(reacquire)");
+  }
+  m.owner = me.id;
+  if (abort_) throw ExecutionAborted{};
+  return me.timed_out;
+}
+
+void Controller::cv_notify_one(CvState& cv) {
+  std::unique_lock<std::mutex> lk(mu_);
+  VThread& me = self_locked();
+  // Non-throwing: notifies are fire-and-forget and routinely run inside
+  // destructors (~ThreadPool wakes its workers to stop them) — a drain
+  // unwinding through one must not std::terminate.
+  schedule_point(lk, me, "cv.notify_one", /*throwing=*/false);
+  wake_waiters(&cv, kWaitCv, /*one_only=*/true);
+}
+
+void Controller::cv_notify_all(CvState& cv) {
+  std::unique_lock<std::mutex> lk(mu_);
+  VThread& me = self_locked();
+  schedule_point(lk, me, "cv.notify_all", /*throwing=*/false);
+  wake_waiters(&cv, kWaitCv, /*one_only=*/false);
+}
+
+int Controller::thread_prepare() {
+  std::lock_guard<std::mutex> lk(mu_);
+  const int id = static_cast<int>(threads_.size());
+  threads_.push_back(std::make_unique<VThread>(id));
+  return id;
+}
+
+void Controller::thread_run(int id, std::function<void()> fn) {
+  t_controller = this;
+  t_vid = id;
+  bool draining = false;
+  {
+    // Wait until first scheduled. The scheduler may activate this id before
+    // the OS thread arrives here; the predicate handles either order.
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return active_ == id; });
+    threads_[static_cast<std::size_t>(id)]->st = VThread::St::kRunning;
+    draining = abort_;  // spawned into a draining execution: skip the body
+  }
+  if (!draining) {
+    try {
+      fn();
+    } catch (const ExecutionAborted&) {
+      // Drain unwind: expected, already accounted for.
+    } catch (const std::exception& e) {
+      fail(std::string("uncaught exception in virtual thread: ") + e.what());
+    } catch (...) {
+      fail("uncaught non-standard exception in virtual thread");
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    VThread& me = *threads_[static_cast<std::size_t>(id)];
+    me.st = VThread::St::kFinished;
+    me.last_label = "exit";
+    oplog_.emplace_back(id, "exit");
+    wake_waiters(&me, kWaitJoin, /*one_only=*/false);
+    active_ = -1;
+    cv_.notify_all();
+  }
+  t_controller = nullptr;
+  t_vid = -1;
+}
+
+void Controller::thread_join(int id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  VThread& me = self_locked();
+  schedule_point(lk, me, "thread.join", /*throwing=*/false);
+  VThread& target = *threads_[static_cast<std::size_t>(id)];
+  while (target.st != VThread::St::kFinished) {
+    block_on(lk, me, &target, kWaitJoin, "thread.join(blocked)");
+  }
+}
+
+void Controller::begin_abort_locked(const std::string& why) {
+  if (abort_) return;
+  abort_ = true;
+  (void)why;
+  // Wake every blocked thread; each unwinds (or is granted its lock /
+  // completes its join) when next scheduled.
+  for (auto& t : threads_) {
+    if (t->st == VThread::St::kBlocked) t->st = VThread::St::kRunnable;
+  }
+}
+
+void Controller::scheduler_loop(std::unique_lock<std::mutex>& lk) {
+  for (;;) {
+    cv_.wait(lk, [&] { return active_ == -1; });
+    std::vector<int> runnable;
+    bool all_finished = true;
+    bool any_blocked = false;
+    bool any_timed = false;
+    for (const auto& t : threads_) {
+      if (t->st != VThread::St::kFinished) all_finished = false;
+      if (t->st == VThread::St::kRunnable) runnable.push_back(t->id);
+      if (t->st == VThread::St::kBlocked) {
+        any_blocked = true;
+        if (t->timed) any_timed = true;
+      }
+    }
+    if (all_finished) return;
+    if (runnable.empty()) {
+      if (any_timed) {
+        // Virtual time: nothing can run, so every pending timed wait's
+        // deadline is "reached" now. Firing them all at once keeps the
+        // semantics schedule-independent.
+        for (auto& t : threads_) {
+          if (t->st == VThread::St::kBlocked && t->timed) {
+            t->timed_out = true;
+            t->st = VThread::St::kRunnable;
+          }
+        }
+        continue;
+      }
+      if (any_blocked && !abort_) {
+        std::ostringstream os;
+        os << "deadlock:";
+        for (const auto& t : threads_) {
+          if (t->st == VThread::St::kBlocked) {
+            os << " t" << t->id << "@" << t->last_label;
+          }
+        }
+        if (!failed_) {
+          failed_ = true;
+          failure_ = os.str();
+        }
+        begin_abort_locked("deadlock");
+        continue;
+      }
+      // No runnable, none timed, abort already in flight: the remaining
+      // threads are mid-handshake; wait for them to park or finish.
+      // (Blocked threads during abort were already made runnable.)
+      if (any_blocked) {
+        for (auto& t : threads_) {
+          if (t->st == VThread::St::kBlocked) t->st = VThread::St::kRunnable;
+        }
+      }
+      continue;
+    }
+    int choice;
+    if (abort_ || runnable.size() == 1) {
+      choice = runnable.front();
+    } else {
+      choice = pick_(runnable, last_active_);
+      if (std::find(runnable.begin(), runnable.end(), choice) ==
+          runnable.end()) {
+        // Replay diverged (or a buggy policy): fail the execution cleanly.
+        if (!failed_) {
+          failed_ = true;
+          failure_ = "schedule diverged: chosen thread not runnable";
+        }
+        begin_abort_locked("divergence");
+        choice = runnable.front();
+      } else {
+        schedule_.push_back(choice);
+      }
+    }
+    last_active_ = choice;
+    active_ = choice;
+    threads_[static_cast<std::size_t>(choice)]->st = VThread::St::kRunning;
+    cv_.notify_all();
+  }
+}
+
+Controller::ExecResult Controller::run(const std::function<void()>& body) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    threads_.push_back(std::make_unique<VThread>(0));
+  }
+  std::thread root([this, &body] { thread_run(0, body); });
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    scheduler_loop(lk);
+  }
+  root.join();
+  ExecResult r;
+  r.failed = failed_;
+  r.failure = failure_;
+  r.schedule = schedule_;
+  r.steps = steps_;
+  r.diverged = failure_.rfind("schedule diverged", 0) == 0;
+  const std::size_t n = oplog_.size();
+  const std::size_t from = n > kOplogTail ? n - kOplogTail : 0;
+  r.oplog_tail.assign(oplog_.begin() + static_cast<std::ptrdiff_t>(from),
+                      oplog_.end());
+  return r;
+}
+
+void expect(bool cond, const char* msg) {
+  if (cond) return;
+  if (Controller* c = Controller::current()) {
+    c->fail(std::string("expectation failed: ") + msg);
+    return;
+  }
+  throw std::logic_error(std::string("check::expect outside model check: ") +
+                         msg);
+}
+
+// ---------------------------------------------------------------------------
+// Exploration strategies
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string schedule_to_string(const std::vector<int>& s) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i) os << '.';
+    os << s[i];
+  }
+  return os.str();
+}
+
+std::vector<int> parse_schedule(const std::string& s) {
+  std::vector<int> out;
+  std::string tok;
+  std::istringstream is(s);
+  while (std::getline(is, tok, '.')) {
+    if (!tok.empty()) out.push_back(std::stoi(tok));
+  }
+  return out;
+}
+
+void finish_result(ExploreResult& res, const Controller::ExecResult& ex) {
+  res.total_steps += ex.steps;
+  if (ex.failed && !res.found_bug) {
+    res.found_bug = true;
+    res.failure = ex.failure;
+    res.schedule = schedule_to_string(ex.schedule);
+    res.oplog_tail.clear();
+    res.oplog_tail.reserve(ex.oplog_tail.size());
+    for (const auto& [tid, label] : ex.oplog_tail) {
+      res.oplog_tail.emplace_back(tid, std::string(label));
+    }
+  }
+}
+
+}  // namespace
+
+std::string ExploreResult::report() const {
+  std::ostringstream os;
+  os << "[model-check] scenario=" << scenario << " executions=" << executions
+     << " steps=" << total_steps
+     << (exhausted ? " (bounded space exhausted)" : " (truncated)") << "\n";
+  if (!found_bug) {
+    os << "  ok: no invariant failure in any explored schedule\n";
+    return os.str();
+  }
+  os << "  FAILED: " << failure << "\n";
+  os << "  schedule: " << (schedule.empty() ? "(empty)" : schedule) << "\n";
+  os << "  replay: check::replay(\"" << scenario << "\", body, \"" << schedule
+     << "\")\n";
+  if (!oplog_tail.empty()) {
+    os << "  last ops:";
+    for (const auto& [tid, label] : oplog_tail) {
+      os << " t" << tid << ":" << label;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+ExploreResult explore(const std::string& name,
+                      const std::function<void()>& body,
+                      const ExploreOptions& opts) {
+  // Iterative DFS over scheduling decisions. `path` is the decision prefix
+  // the next execution must follow; beyond it the default policy extends
+  // the schedule (preferring the running thread, i.e. no preemption), and
+  // backtracking advances the deepest node with untried alternatives.
+  struct Node {
+    std::vector<int> runnable;  // determinism check on replayed prefixes
+    std::vector<int> allowed;   // choice order (preemption-bounded)
+    std::size_t next = 0;       // next untried index in `allowed`
+    int chosen = -1;
+    int last = -1;              // last_active at this decision
+    int preempt_before = 0;     // preemptions on the path above this node
+  };
+  std::vector<Node> path;
+
+  ExploreResult res;
+  res.scenario = name;
+  bool diverged = false;
+
+  auto preempt_after = [](const Node& n) {
+    const bool last_in = std::find(n.runnable.begin(), n.runnable.end(),
+                                   n.last) != n.runnable.end();
+    return n.preempt_before + ((last_in && n.chosen != n.last) ? 1 : 0);
+  };
+
+  while (res.executions < opts.max_executions) {
+    std::size_t depth = 0;
+    int preempts = 0;
+    auto pick = [&](const std::vector<int>& runnable, int last) -> int {
+      if (depth < path.size()) {
+        Node& n = path[depth];
+        if (n.runnable != runnable) {
+          diverged = true;
+          return runnable.front();
+        }
+        preempts = preempt_after(n);
+        return path[depth++].chosen;
+      }
+      Node n;
+      n.runnable = runnable;
+      n.last = last;
+      n.preempt_before = preempts;
+      const bool last_in =
+          std::find(runnable.begin(), runnable.end(), last) != runnable.end();
+      if (preempts < opts.preemption_bound || !last_in) {
+        if (last_in) n.allowed.push_back(last);
+        for (int id : runnable) {
+          if (id != last) n.allowed.push_back(id);
+        }
+      } else {
+        n.allowed.push_back(last);  // bound reached: only non-preemptive
+      }
+      n.chosen = n.allowed.front();
+      n.next = 1;
+      preempts = preempt_after(n);
+      path.push_back(std::move(n));
+      ++depth;
+      return path.back().chosen;
+    };
+
+    Controller ctl(pick, opts.max_steps);
+    const Controller::ExecResult ex = ctl.run(body);
+    ++res.executions;
+    finish_result(res, ex);
+    if (diverged || ex.diverged) {
+      res.found_bug = true;
+      if (res.failure.empty()) {
+        res.failure = "non-deterministic scenario: replayed prefix diverged";
+      }
+      return res;
+    }
+    if (res.found_bug) return res;
+
+    // Backtrack to the deepest node with an untried alternative.
+    while (!path.empty()) {
+      Node& n = path.back();
+      if (n.next < n.allowed.size()) {
+        n.chosen = n.allowed[n.next++];
+        break;
+      }
+      path.pop_back();
+    }
+    if (path.empty()) {
+      res.exhausted = true;
+      return res;
+    }
+  }
+  return res;  // truncated at max_executions
+}
+
+ExploreResult explore_random(const std::string& name,
+                             const std::function<void()>& body,
+                             long iterations, std::uint64_t seed,
+                             const ExploreOptions& opts) {
+  ExploreResult res;
+  res.scenario = name;
+  for (long i = 0; i < iterations; ++i) {
+    std::mt19937_64 rng(seed + static_cast<std::uint64_t>(i) * 0x9e3779b9u);
+    auto pick = [&](const std::vector<int>& runnable, int /*last*/) -> int {
+      std::uniform_int_distribution<std::size_t> d(0, runnable.size() - 1);
+      return runnable[d(rng)];
+    };
+    Controller ctl(pick, opts.max_steps);
+    const Controller::ExecResult ex = ctl.run(body);
+    ++res.executions;
+    finish_result(res, ex);
+    if (res.found_bug) return res;
+  }
+  return res;
+}
+
+ExploreResult replay(const std::string& name,
+                     const std::function<void()>& body,
+                     const std::string& schedule, const ExploreOptions& opts) {
+  const std::vector<int> want = parse_schedule(schedule);
+  std::size_t at = 0;
+  auto pick = [&](const std::vector<int>& runnable, int /*last*/) -> int {
+    if (at < want.size()) return want[at++];
+    // Past the recorded choices: extend deterministically (lowest id), so a
+    // schedule that failed mid-execution still drains the same way.
+    return runnable.front();
+  };
+  Controller ctl(pick, opts.max_steps);
+  const Controller::ExecResult ex = ctl.run(body);
+  ExploreResult res;
+  res.scenario = name;
+  res.executions = 1;
+  res.exhausted = false;
+  finish_result(res, ex);
+  return res;
+}
+
+}  // namespace salient::check

@@ -1,0 +1,244 @@
+// Deterministic schedule-exploration model checking (docs/STATIC_ANALYSIS.md,
+// "Model checking").
+//
+// TSan (the sanitize-chaos CI job) only observes the interleavings a given
+// run happens to take; the clang capability analysis only covers mutex
+// discipline. The lock-free cores this pipeline leans on — the CAS-claim
+// FrequencyTable behind presample caching, the Vyukov MpmcQueue feeding the
+// prep workers, the ThreadPool broadcast epoch/job channel — need their
+// *interleavings* checked systematically, in the spirit of loom/relacy/CHESS.
+//
+// The model: a scenario body runs as virtual thread 0 under a
+// sched::Controller that serializes every virtual thread onto controlled
+// yield points. The check::atomic / check::Mutex / check::CondVar /
+// check::thread shims (check/shim.h) call into the controller before each
+// operation; exactly one virtual thread runs between consecutive yield
+// points, so an execution is fully described by the sequence of scheduling
+// choices — a *schedule*. The Explorer then drives either
+//
+//   * bounded-exhaustive DFS over schedules: depth-first over the choice of
+//     which runnable thread runs next, pruned by a preemption bound (CHESS:
+//     most concurrency bugs manifest within 2 preemptions), or
+//   * seeded-random sampling for state spaces too large to exhaust, or
+//   * replay of an exact schedule string — every failure report prints one,
+//     and feeding it back reproduces the identical interleaving (and
+//     therefore the identical failure) deterministically.
+//
+// What is modelled: sequentially-consistent interleavings of the shim
+// operations, virtual mutexes/condvars (including wake order), virtual-time
+// timed waits (a timed wait times out only when no other thread can run),
+// thread spawn/join, deadlock (reported with every blocked thread's op), and
+// livelock (a step budget). What is NOT modelled: weak-memory reordering —
+// the explicit std::memory_order arguments the `explicit-memory-order` lint
+// rule enforces are passed through to the real atomics but do not narrow the
+// explored interleavings, which are a superset of SC executions only. TSan
+// under the chaos schedules remains the dynamic check for ordering below SC.
+//
+// The shims compile to the plain primitives when SALIENT_MODEL_CHECK=OFF
+// (the default); this header is compiled unconditionally but only test
+// scenarios instantiate a Controller.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace salient::check {
+
+/// Per-mutex virtual state, embedded in check::Mutex. Mutated only under the
+/// controller's master lock; `owner` is the owning virtual thread id or -1.
+struct MutexState {
+  int owner = -1;
+};
+
+/// Per-condvar virtual state, embedded in check::CondVar. Waiters are found
+/// by scanning the controller's thread table for this object's address, so
+/// the state itself carries nothing; the tag type keeps addresses distinct.
+struct CvState {
+  char tag = 0;
+};
+
+/// Thrown through a virtual thread to unwind it when the execution aborts
+/// (deadlock or step-budget failure). Mutex unlock and thread join are
+/// deliberately non-throwing so stack unwinding through destructors
+/// (~LockGuard, ~ThreadPool) stays noexcept-safe.
+struct ExecutionAborted {};
+
+/// Serializes virtual threads onto controlled yield points and records the
+/// schedule. One Controller per execution; the Explorer (below) constructs
+/// one per explored schedule. Scenario code never touches this class
+/// directly — the shims and the explore()/replay() entry points do.
+class Controller {
+ public:
+  /// Scheduling decision callback: given the sorted runnable thread ids and
+  /// the previously running thread (-1 at the start), return the id to run.
+  /// Called only at *contested* points (two or more runnable threads);
+  /// forced steps are taken without consulting the policy or recording.
+  using PickFn = std::function<int(const std::vector<int>& runnable,
+                                   int last_active)>;
+
+  /// What one execution did. `schedule` holds the contested choices only —
+  /// the canonical schedule-string content.
+  struct ExecResult {
+    bool failed = false;        ///< invariant / deadlock / budget failure
+    std::string failure;        ///< first failure message
+    std::vector<int> schedule;  ///< contested scheduling choices, in order
+    long steps = 0;             ///< total yield points passed
+    bool diverged = false;      ///< replayed prefix no longer matched
+    /// Tail of the per-operation log: (thread id, op label).
+    std::vector<std::pair<int, const char*>> oplog_tail;
+  };
+
+  Controller(PickFn pick, long max_steps);
+  ~Controller();
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  /// Run `body` as virtual thread 0, schedule until every virtual thread
+  /// (including ones the body spawns via check::thread) finished.
+  ExecResult run(const std::function<void()>& body);
+
+  /// The controller governing the calling thread, or nullptr when the
+  /// calling thread is not a virtual thread of a live execution. The shims
+  /// branch on this: nullptr means "behave like the plain primitive".
+  static Controller* current();
+
+  /// Record an invariant failure (first failure wins); the execution
+  /// continues so the scenario still tears down naturally.
+  void fail(const std::string& msg);
+
+  // ---- shim hooks; all called from governed (virtual) threads ----
+
+  /// Generic yield point before an atomic operation. Throws
+  /// ExecutionAborted when the execution is being drained.
+  void op_yield(const char* label);
+
+  void mutex_lock(MutexState& m);      ///< never throws ExecutionAborted
+  bool mutex_try_lock(MutexState& m);  ///< never throws ExecutionAborted
+  void mutex_unlock(MutexState& m);    ///< never throws ExecutionAborted
+
+  /// Condvar wait: release `m`, block until notified, reacquire `m`.
+  /// Throws ExecutionAborted during drain (after reacquiring `m`, so RAII
+  /// lock holders unwind cleanly).
+  void cv_wait(CvState& cv, MutexState& m);
+  /// Timed condvar wait under virtual time: "times out" only when no other
+  /// thread can run (so a timeout never races a possible wakeup). Returns
+  /// true on timeout.
+  bool cv_wait_timed(CvState& cv, MutexState& m);
+  void cv_notify_one(CvState& cv);  ///< never throws (runs in destructors)
+  void cv_notify_all(CvState& cv);  ///< never throws (runs in destructors)
+
+  /// Allocate a virtual thread id for a child the calling thread is about
+  /// to spawn; the child's entry must be thread_run(id, fn).
+  int thread_prepare();
+  /// Child-thread trampoline: registers with the controller, waits to be
+  /// scheduled, runs fn, then retires the virtual thread.
+  void thread_run(int id, std::function<void()> fn);
+  /// Virtual join: block until thread `id` retired. Never throws (runs
+  /// inside destructors during drain).
+  void thread_join(int id);
+
+ private:
+  struct VThread;
+
+  VThread& self_locked();
+  /// Park the calling (running) thread and hand the turn to the scheduler;
+  /// returns once the scheduler activates this thread again.
+  void park(std::unique_lock<std::mutex>& lk, VThread& me);
+  /// A schedule point: record the op, and park unless the step is forced
+  /// (no other runnable thread). `throwing` selects whether a drain unwinds
+  /// this thread here via ExecutionAborted.
+  void schedule_point(std::unique_lock<std::mutex>& lk, VThread& me,
+                      const char* label, bool throwing);
+  /// Block on `obj` until woken; parks unconditionally.
+  void block_on(std::unique_lock<std::mutex>& lk, VThread& me,
+                const void* obj, int kind, const char* label);
+  void wake_waiters(const void* obj, int kind, bool one_only);
+  int count_other_runnable(const VThread& me) const;
+  void begin_abort_locked(const std::string& why);
+  void scheduler_loop(std::unique_lock<std::mutex>& lk);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<VThread>> threads_;
+  int active_ = -1;  ///< id allowed to run; -1 = the scheduler's turn
+  int last_active_ = -1;
+  bool abort_ = false;
+  bool failed_ = false;
+  std::string failure_;
+  std::vector<int> schedule_;
+  std::vector<std::pair<int, const char*>> oplog_;
+  long steps_ = 0;
+  long max_steps_;
+  std::uint64_t block_counter_ = 0;
+  PickFn pick_;
+};
+
+/// Scenario invariant check. Outside a model-check execution this throws
+/// std::logic_error; inside, a failed expectation records the failure (with
+/// the reproducing schedule) and lets the execution finish tearing down.
+void expect(bool cond, const char* msg);
+
+/// Options for explore()/explore_random()/replay().
+struct ExploreOptions {
+  /// DFS: schedules with more than this many preemptions (switching away
+  /// from a thread that could have kept running) are pruned. Empirically 2
+  /// catches the overwhelming majority of interleaving bugs (CHESS).
+  int preemption_bound = 2;
+  /// DFS/random: stop after this many executions even if unexplored
+  /// schedules remain (result.exhausted reports which happened).
+  long max_executions = 50000;
+  /// Per-execution yield-point budget; exceeding it is reported as a
+  /// livelock failure.
+  long max_steps = 200000;
+  /// Seed for explore_random().
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of an exploration. `schedule` reproduces the failure exactly:
+/// replay(name, body, schedule) yields a bitwise-identical report().
+struct ExploreResult {
+  std::string scenario;
+  bool found_bug = false;
+  bool exhausted = false;  ///< DFS fully covered the bounded schedule space
+  long executions = 0;
+  long total_steps = 0;
+  std::string failure;   ///< first failure message (empty when clean)
+  std::string schedule;  ///< failing schedule string, e.g. "0.1.1.0.2"
+  std::vector<std::pair<int, std::string>> oplog_tail;
+
+  /// Human-readable summary; for failures it includes the schedule string
+  /// and the exact replay incantation.
+  std::string report() const;
+};
+
+/// Bounded-exhaustive DFS over schedules of `body` (preemption-bounded).
+/// `body` runs once per explored schedule and must be self-contained:
+/// construct fresh state, spawn check::thread workers, join them, assert
+/// invariants via check::expect().
+ExploreResult explore(const std::string& name,
+                      const std::function<void()>& body,
+                      const ExploreOptions& opts = {});
+
+/// Seeded-random schedule sampling for state spaces too large for DFS:
+/// `iterations` executions with uniform random contested choices.
+ExploreResult explore_random(const std::string& name,
+                             const std::function<void()>& body,
+                             long iterations, std::uint64_t seed,
+                             const ExploreOptions& opts = {});
+
+/// Re-run `body` under the exact schedule `schedule` (the string a failure
+/// report printed). Deterministic: the same schedule produces the same
+/// failure, bit for bit.
+ExploreResult replay(const std::string& name,
+                     const std::function<void()>& body,
+                     const std::string& schedule,
+                     const ExploreOptions& opts = {});
+
+}  // namespace salient::check

@@ -90,7 +90,11 @@ void DmaEngine::round_trip() {
 
 double DmaEngine::achieved_gb_per_s() const {
   const double s = busy_seconds();
-  return s > 0 ? static_cast<double>(bytes_.load()) / s / 1e9 : 0.0;
+  return s > 0
+             ? static_cast<double>(
+                   bytes_.load(std::memory_order_relaxed)) /
+                   s / 1e9
+             : 0.0;
 }
 
 }  // namespace salient

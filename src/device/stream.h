@@ -80,7 +80,7 @@ class Stream {
     const char* label = nullptr;  // static string; traced when non-null
   };
 
-  std::string name_;  // immutable after construction
+  std::string name_;  // unguarded: immutable after construction
   mutable Mutex mu_;
   CondVar cv_;
   std::deque<WorkItem> work_ GUARDED_BY(mu_);
@@ -88,7 +88,8 @@ class Stream {
   std::uint64_t completed_ GUARDED_BY(mu_) = 0;
   double busy_seconds_ GUARDED_BY(mu_) = 0;
   bool stop_ GUARDED_BY(mu_) = false;
-  std::thread thread_;
+  std::thread thread_;  // unguarded: set in ctor, joined in dtor only
+
 };
 
 }  // namespace salient

@@ -425,7 +425,7 @@ ClusterEpochResult ClusterTrainer::train_epoch_bulk(int epoch) {
   result.wall_seconds = wall.seconds();
   result.num_steps = num_steps;
   result.mean_loss = loss_sum / static_cast<double>(num_steps);
-  result.node_retries = node_retries.load();
+  result.node_retries = node_retries.load(std::memory_order_relaxed);
   result.wire_bytes = net_.bytes_on_wire() - bytes0;
   result.net_messages = net_.messages() - msgs0;
   result.net_retries = net_.retries() - retr0;
@@ -710,7 +710,7 @@ ClusterEpochResult ClusterTrainer::train_epoch_pipelined(int epoch) {
   result.wall_seconds = wall.seconds();
   result.num_steps = num_steps;
   result.mean_loss = loss_sum / static_cast<double>(num_steps);
-  result.node_retries = node_retries.load();
+  result.node_retries = node_retries.load(std::memory_order_relaxed);
   result.wire_bytes = net_.bytes_on_wire() - bytes0;
   result.net_messages = net_.messages() - msgs0;
   result.net_retries = net_.retries() - retr0;

@@ -174,8 +174,8 @@ class Interconnect {
   double model_message(int src, int dst, std::size_t bytes, double start)
       REQUIRES(mu_);
 
-  const InterconnectConfig config_;
-  const int num_nodes_;
+  const InterconnectConfig config_;  // unguarded: const topology
+  const int num_nodes_;              // unguarded: const topology
 
   mutable Mutex mu_;
   std::vector<double> tx_free_ GUARDED_BY(mu_);  ///< per-node TX NIC free time

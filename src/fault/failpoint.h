@@ -122,7 +122,7 @@ class Failpoint {
   const std::string& name() const { return name_; }
 
  private:
-  const std::string name_;
+  const std::string name_;  // unguarded: const
   std::atomic<TriggerMode> mode_{TriggerMode::kOff};
   std::atomic<double> arg_{0.0};
   std::atomic<std::uint64_t> hits_{0};

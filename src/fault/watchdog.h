@@ -60,11 +60,11 @@ class Watchdog {
   }
 
  private:
-  std::string what_;
+  std::string what_;  // unguarded: written once before arm()
   Mutex mu_;
   CondVar cv_;
   bool disarmed_ GUARDED_BY(mu_) = false;
-  std::thread thread_;
+  std::thread thread_;  // unguarded: set in ctor, joined in dtor only
 };
 
 }  // namespace salient::fault

@@ -29,7 +29,9 @@ Histogram::Histogram(std::vector<double> bounds)
     throw std::invalid_argument("Histogram: bounds must be ascending");
   }
   counts_ = std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
-  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 void Histogram::observe(double v) {

@@ -124,7 +124,7 @@ class ThreadBuffer {
     TraceEvent events[kChunkSize];
   };
 
-  int tid_;
+  int tid_;  // unguarded: assigned once at registration
   // count_/dropped_/chunks_ are the lock-free append path: single-writer
   // atomics with acquire/release publication, deliberately outside any
   // capability. Only the (cold) track name is mutex-guarded.
@@ -189,7 +189,7 @@ class TraceRecorder {
   detail::ThreadBuffer& local_buffer();
 
   std::atomic<bool> enabled_{false};
-  std::chrono::steady_clock::time_point epoch_;
+  std::chrono::steady_clock::time_point epoch_;  // unguarded: ctor-set
   mutable Mutex mu_;  // guards buffers_ registration and interned_
   std::vector<std::unique_ptr<detail::ThreadBuffer>> buffers_ GUARDED_BY(mu_);
   std::vector<std::unique_ptr<std::string>> interned_ GUARDED_BY(mu_);

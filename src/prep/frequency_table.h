@@ -23,6 +23,8 @@
 #include <utility>
 #include <vector>
 
+#include "check/shim.h"
+
 namespace salient {
 
 /// Fixed-capacity concurrent open-addressing counter table, keyed by
@@ -41,9 +43,9 @@ class FrequencyTable {
     slots_ = 1;
     while (slots_ < want) slots_ <<= 1;
     mask_ = slots_ - 1;
-    keys_ = std::make_unique<std::atomic<std::int64_t>[]>(
+    keys_ = std::make_unique<check::atomic<std::int64_t>[]>(
         static_cast<std::size_t>(slots_));
-    counts_ = std::make_unique<std::atomic<std::int64_t>[]>(
+    counts_ = std::make_unique<check::atomic<std::int64_t>[]>(
         static_cast<std::size_t>(slots_));
     for (std::int64_t i = 0; i < slots_; ++i) {
       keys_[static_cast<std::size_t>(i)].store(kEmpty,
@@ -126,9 +128,9 @@ class FrequencyTable {
 
   std::int64_t slots_ = 0;
   std::int64_t mask_ = 0;
-  std::unique_ptr<std::atomic<std::int64_t>[]> keys_;
-  std::unique_ptr<std::atomic<std::int64_t>[]> counts_;
-  std::atomic<std::int64_t> distinct_{0};
+  std::unique_ptr<check::atomic<std::int64_t>[]> keys_;
+  std::unique_ptr<check::atomic<std::int64_t>[]> counts_;
+  check::atomic<std::int64_t> distinct_{0};
 };
 
 }  // namespace salient

@@ -41,7 +41,7 @@ Tensor PinnedPool::acquire(std::vector<std::int64_t> shape, DType dtype) {
   const std::size_t bucket = bucket_of(bytes_for(shape, dtype));
   bool overshoot = false;
   {
-    UniqueLock lock(mu_);
+    check::UniqueLock lock(mu_);
     for (;;) {
       if (auto storage = take_idle(bucket)) {
         return Tensor::wrap_storage(std::move(*storage), std::move(shape),
@@ -87,7 +87,7 @@ std::optional<Tensor> PinnedPool::try_acquire(std::vector<std::int64_t> shape,
                                               DType dtype) {
   const std::size_t bucket = bucket_of(bytes_for(shape, dtype));
   {
-    LockGuard lock(mu_);
+    check::LockGuard lock(mu_);
     if (auto storage = take_idle(bucket)) {
       return Tensor::wrap_storage(std::move(*storage), std::move(shape),
                                   dtype);
@@ -106,36 +106,36 @@ std::optional<Tensor> PinnedPool::try_acquire(std::vector<std::int64_t> shape,
 void PinnedPool::release(Tensor t) {
   if (!t.defined() || !t.pinned()) return;
   {
-    LockGuard lock(mu_);
+    check::LockGuard lock(mu_);
     free_by_size_[t.storage()->nbytes()].push_back(t.storage());
   }
   cv_released_.notify_one();
 }
 
 std::size_t PinnedPool::idle_count() const {
-  LockGuard lock(mu_);
+  check::LockGuard lock(mu_);
   std::size_t n = 0;
   for (const auto& [sz, v] : free_by_size_) n += v.size();
   return n;
 }
 
 std::size_t PinnedPool::alloc_count() const {
-  LockGuard lock(mu_);
+  check::LockGuard lock(mu_);
   return allocs_;
 }
 
 std::size_t PinnedPool::allocated_bytes() const {
-  LockGuard lock(mu_);
+  check::LockGuard lock(mu_);
   return allocated_bytes_;
 }
 
 std::size_t PinnedPool::backpressure_waits() const {
-  LockGuard lock(mu_);
+  check::LockGuard lock(mu_);
   return backpressure_waits_;
 }
 
 std::size_t PinnedPool::overshoots() const {
-  LockGuard lock(mu_);
+  check::LockGuard lock(mu_);
   return overshoots_;
 }
 

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/shim.h"
 #include "tensor/tensor.h"
 #include "util/thread_annotations.h"
 
@@ -74,9 +75,9 @@ class PinnedPool {
   /// Take a recycled buffer of `bucket` bytes if one is idle.
   std::optional<StoragePtr> take_idle(std::size_t bucket) REQUIRES(mu_);
 
-  PinnedPoolConfig config_;
-  mutable Mutex mu_;
-  CondVar cv_released_;
+  PinnedPoolConfig config_;  // unguarded: immutable after construction
+  mutable check::Mutex mu_;
+  check::CondVar cv_released_;
   std::unordered_map<std::size_t, std::vector<StoragePtr>> free_by_size_
       GUARDED_BY(mu_);
   std::size_t allocs_ GUARDED_BY(mu_) = 0;

@@ -16,7 +16,7 @@ std::optional<std::int64_t> ResultCache::lookup(NodeId v) {
     m_misses.add();
     return std::nullopt;
   }
-  LockGuard lock(mu_);
+  check::LockGuard lock(mu_);
   // Load the generation under mu_: a pre-lock read could race invalidate()
   // and return a prediction from a generation the caller already retired.
   const std::uint64_t cur = gen_.load(std::memory_order_acquire);
@@ -39,7 +39,7 @@ std::optional<std::int64_t> ResultCache::lookup(NodeId v) {
 
 void ResultCache::insert(NodeId v, std::int64_t pred, std::uint64_t gen) {
   if (capacity_ == 0) return;
-  LockGuard lock(mu_);
+  check::LockGuard lock(mu_);
   // Same discipline as lookup(): the staleness check must share the critical
   // section with the map write, or an insert racing invalidate() can admit
   // an entry for a generation that was just retired.
@@ -65,12 +65,12 @@ std::uint64_t ResultCache::invalidate() {
   // Bumping under mu_ orders the bump against in-flight lookup()/insert()
   // critical sections: once invalidate() returns, no later lookup can serve
   // and no later insert can admit a prediction from the retired generation.
-  LockGuard lock(mu_);
+  check::LockGuard lock(mu_);
   return gen_.fetch_add(1, std::memory_order_acq_rel) + 1;
 }
 
 std::int64_t ResultCache::size() const {
-  LockGuard lock(mu_);
+  check::LockGuard lock(mu_);
   return static_cast<std::int64_t>(map_.size());
 }
 

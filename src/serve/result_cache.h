@@ -17,6 +17,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "check/shim.h"
 #include "graph/csr.h"
 #include "util/thread_annotations.h"
 
@@ -54,13 +55,13 @@ class ResultCache {
     std::list<NodeId>::iterator lru_it;
   };
 
-  std::int64_t capacity_ = 0;
+  std::int64_t capacity_ = 0;  // unguarded: immutable after construction
   /// Atomic so generation() can answer without the lock, but lookup()/
   /// insert() must (re)load it *inside* mu_: reading it before locking lets
   /// an invalidate() slip in between, serving/admitting a prediction from a
   /// generation that was already retired (see tests/test_serve.cpp).
-  std::atomic<std::uint64_t> gen_{0};
-  mutable Mutex mu_;
+  check::atomic<std::uint64_t> gen_{0};
+  mutable check::Mutex mu_;
   std::list<NodeId> lru_ GUARDED_BY(mu_);  // front = most recently used
   std::unordered_map<NodeId, Entry> map_ GUARDED_BY(mu_);
 };

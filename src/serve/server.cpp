@@ -139,7 +139,7 @@ std::uint64_t InferenceServer::notify_model_updated() {
 
 void InferenceServer::shutdown() {
   LockGuard lock(shutdown_mu_);
-  if (shut_down_.exchange(true)) return;
+  if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
   // Tear down front to back: each stage drains its input queue, exits, and
   // only then is the next stage's input closed — nothing in flight is lost.
   queue_.close();

@@ -12,6 +12,7 @@
 #include <deque>
 #include <optional>
 
+#include "check/shim.h"
 #include "fault/failpoint.h"
 #include "util/thread_annotations.h"
 
@@ -44,7 +45,7 @@ class BlockingQueue {
 #if defined(SALIENT_FAILPOINTS_ENABLED)
     if (push_wedge_) fault::maybe_wedge(*push_wedge_);
 #endif
-    UniqueLock lock(mu_);
+    check::UniqueLock lock(mu_);
     while (!closed_ && items_.size() >= capacity_) cv_not_full_.wait(lock);
     if (closed_) return false;
     items_.push_back(std::move(value));
@@ -56,7 +57,7 @@ class BlockingQueue {
   /// queue is full or closed. This is the admission-control primitive — a
   /// producer that must not stall behind a slow consumer sheds instead.
   bool try_push(T& value) {
-    LockGuard lock(mu_);
+    check::LockGuard lock(mu_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(value));
     cv_not_empty_.notify_one();
@@ -72,7 +73,7 @@ class BlockingQueue {
     if (pop_wedge_) fault::maybe_wedge(*pop_wedge_);
 #endif
     const auto deadline = std::chrono::steady_clock::now() + timeout;
-    UniqueLock lock(mu_);
+    check::UniqueLock lock(mu_);
     while (!closed_ && items_.empty()) {
       if (cv_not_empty_.wait_until(lock, deadline) ==
           std::cv_status::timeout) {
@@ -92,7 +93,7 @@ class BlockingQueue {
 #if defined(SALIENT_FAILPOINTS_ENABLED)
     if (pop_wedge_) fault::maybe_wedge(*pop_wedge_);
 #endif
-    UniqueLock lock(mu_);
+    check::UniqueLock lock(mu_);
     while (!closed_ && items_.empty()) cv_not_empty_.wait(lock);
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
@@ -103,34 +104,34 @@ class BlockingQueue {
 
   /// Close the queue: producers fail, consumers drain then get nullopt.
   void close() {
-    LockGuard lock(mu_);
+    check::LockGuard lock(mu_);
     closed_ = true;
     cv_not_empty_.notify_all();
     cv_not_full_.notify_all();
   }
 
   std::size_t size() const {
-    LockGuard lock(mu_);
+    check::LockGuard lock(mu_);
     return items_.size();
   }
 
   std::size_t capacity() const { return capacity_; }
 
   bool closed() const {
-    LockGuard lock(mu_);
+    check::LockGuard lock(mu_);
     return closed_;
   }
 
  private:
-  mutable Mutex mu_;
-  CondVar cv_not_full_;
-  CondVar cv_not_empty_;
+  mutable check::Mutex mu_;
+  check::CondVar cv_not_full_;
+  check::CondVar cv_not_empty_;
   std::deque<T> items_ GUARDED_BY(mu_);
-  std::size_t capacity_;  // immutable after construction
+  std::size_t capacity_;  // unguarded: immutable after construction
   bool closed_ GUARDED_BY(mu_) = false;
 #if defined(SALIENT_FAILPOINTS_ENABLED)
-  fault::Failpoint* push_wedge_ = nullptr;
-  fault::Failpoint* pop_wedge_ = nullptr;
+  fault::Failpoint* push_wedge_ = nullptr;  // unguarded: set_fault_site once
+  fault::Failpoint* pop_wedge_ = nullptr;   // unguarded: set_fault_site once
 #endif
 };
 

@@ -13,7 +13,10 @@
 // Concurrency verification note (docs/STATIC_ANALYSIS.md): this queue holds
 // no capability, so Clang's -Wthread-safety analysis has nothing to check
 // here — its correctness argument is the per-slot acquire/release sequence
-// protocol, which the TSan chaos job exercises dynamically instead.
+// protocol. The atomics go through check::atomic so the model checker
+// (tests/test_model_check.cpp, SALIENT_MODEL_CHECK=ON) explores the SC
+// interleavings of that protocol systematically; the TSan chaos job remains
+// the dynamic check below SC.
 #pragma once
 
 #include <atomic>
@@ -22,6 +25,7 @@
 #include <memory>
 #include <utility>
 
+#include "check/shim.h"
 #include "fault/failpoint.h"
 
 namespace salient {
@@ -129,13 +133,13 @@ class MpmcQueue {
 
  private:
   struct Slot {
-    std::atomic<std::size_t> seq;
+    check::atomic<std::size_t> seq;
     T value;
   };
 
   // Separate cache lines for head and tail to avoid false sharing.
-  alignas(64) std::atomic<std::size_t> head_;
-  alignas(64) std::atomic<std::size_t> tail_;
+  alignas(64) check::atomic<std::size_t> head_;
+  alignas(64) check::atomic<std::size_t> tail_;
   alignas(64) std::unique_ptr<Slot[]> slots_;
   std::size_t mask_;
 #if defined(SALIENT_FAILPOINTS_ENABLED)

@@ -25,7 +25,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    LockGuard lock(mu_);
+    check::LockGuard lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -36,7 +36,7 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
   std::packaged_task<void()> task(std::move(fn));
   std::future<void> fut = task.get_future();
   {
-    LockGuard lock(mu_);
+    check::LockGuard lock(mu_);
     tasks_.push(std::move(task));
   }
   cv_.notify_one();
@@ -65,12 +65,12 @@ void ThreadPool::parallel_for(
   const std::int64_t chunk = (n + nchunks - 1) / nchunks;
 
   // One broadcast job at a time; concurrent external callers queue here.
-  LockGuard job_lock(job_mu_);
+  check::LockGuard job_lock(job_mu_);
   job_exc_ = nullptr;
   job_has_exc_.store(false, std::memory_order_relaxed);
   pending_.store(nchunks - 1, std::memory_order_relaxed);
   {
-    LockGuard lock(mu_);
+    check::LockGuard lock(mu_);
     job_.fn = &fn;
     job_.begin = begin;
     job_.end = end;
@@ -91,13 +91,18 @@ void ThreadPool::parallel_for(
   t_job_owner = nullptr;
 
   // Wait for the workers' chunks. Short jobs usually complete within the
-  // spin; the condvar is the backstop for long tails.
-  for (int spin = 0;
-       spin < 4096 && pending_.load(std::memory_order_acquire) != 0; ++spin) {
-    std::this_thread::yield();
+  // spin; the condvar is the backstop for long tails. Under a model-check
+  // controller the spin is pure schedule-space blowup (every pending_ load
+  // is a yield point), so go straight to the condvar.
+  if (!check::governed()) {
+    for (int spin = 0;
+         spin < 4096 && pending_.load(std::memory_order_acquire) != 0;
+         ++spin) {
+      std::this_thread::yield();
+    }
   }
   if (pending_.load(std::memory_order_acquire) != 0) {
-    UniqueLock lock(done_mu_);
+    check::UniqueLock lock(done_mu_);
     while (pending_.load(std::memory_order_acquire) != 0) {
       done_cv_.wait(lock);
     }
@@ -131,7 +136,7 @@ void ThreadPool::run_job_chunk(const JobDesc& job, std::size_t index) {
   }
   worker_state_[index].jobs_run.fetch_add(1, std::memory_order_relaxed);
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    LockGuard lock(done_mu_);
+    check::LockGuard lock(done_mu_);
     done_cv_.notify_all();
   }
 }
@@ -144,7 +149,7 @@ void ThreadPool::worker_loop(std::size_t index) {
     JobDesc job;
     bool have_job = false;
     {
-      UniqueLock lock(mu_);
+      check::UniqueLock lock(mu_);
       while (!stop_ && tasks_.empty() && job_epoch_ == st.seen_epoch) {
         cv_.wait(lock);
       }

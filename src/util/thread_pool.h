@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/shim.h"
 #include "util/thread_annotations.h"
 
 namespace salient {
@@ -91,7 +92,7 @@ class ThreadPool {
     // the owning worker, compared against job_epoch_ under mu_.
     std::uint64_t seen_epoch = 0;
     // Broadcast jobs in which this worker ran a chunk (diagnostics).
-    std::atomic<std::uint64_t> jobs_run{0};
+    check::atomic<std::uint64_t> jobs_run{0};
   };
 
   // The published broadcast job. Fields are written by the caller and copied
@@ -108,11 +109,11 @@ class ThreadPool {
   void worker_loop(std::size_t index);
   void run_job_chunk(const JobDesc& job, std::size_t index);
 
-  std::vector<std::thread> workers_;  // written only during construction
-  std::unique_ptr<WorkerState[]> worker_state_;  // one slot per worker
+  std::vector<check::thread> workers_;  // unguarded: ctor-written only
+  std::unique_ptr<WorkerState[]> worker_state_;  // unguarded: per-worker
 
-  Mutex mu_;
-  CondVar cv_;
+  check::Mutex mu_;
+  check::CondVar cv_;
   std::queue<std::packaged_task<void()>> tasks_ GUARDED_BY(mu_);
   bool stop_ GUARDED_BY(mu_) = false;
 
@@ -122,20 +123,20 @@ class ThreadPool {
   std::uint64_t job_epoch_ GUARDED_BY(mu_) = 0;
 
   // Serializes concurrent external parallel_for callers (one job in flight).
-  Mutex job_mu_;
+  check::Mutex job_mu_;
 
   // Chunks not yet finished by workers; the caller spins briefly then waits
   // on done_cv_. The worker that takes pending_ to zero notifies.
-  std::atomic<std::int64_t> pending_{0};
-  Mutex done_mu_;
-  CondVar done_cv_;
+  check::atomic<std::int64_t> pending_{0};
+  check::Mutex done_mu_;
+  check::CondVar done_cv_;
 
   // First exception thrown by a worker chunk. job_exc_ is written exactly
   // once per job (publication ordered by the exchange on job_has_exc_ and
   // the release fetch_sub on pending_) and read by the caller only after
   // pending_ reached zero.
-  std::atomic<bool> job_has_exc_{false};
-  std::exception_ptr job_exc_;
+  check::atomic<bool> job_has_exc_{false};
+  std::exception_ptr job_exc_;  // unguarded: see publication note above
 };
 
 }  // namespace salient

@@ -160,6 +160,94 @@ TEST(LintRules, FaultDirectoryMaySleep) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
+TEST(LintRules, ExplicitMemoryOrderFlagsNakedAtomicOps) {
+  LintTree t("memorder");
+  t.write("serve/c.cpp",
+          "void f(std::atomic<int>& a) {\n"
+          "  a.load();\n"
+          "  a.store(1);\n"
+          "  a.fetch_add(2);\n"
+          "  int e = 0;\n"
+          "  a.compare_exchange_strong(e, 1);\n"
+          "}\n");
+  const RunResult r = run_lint("--root " + t.root());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("[explicit-memory-order]"), std::string::npos)
+      << r.output;
+  for (const char* loc :
+       {"serve/c.cpp:2", "serve/c.cpp:3", "serve/c.cpp:4", "serve/c.cpp:6"}) {
+    EXPECT_NE(r.output.find(loc), std::string::npos) << r.output;
+  }
+}
+
+TEST(LintRules, ExplicitMemoryOrderAcceptsAnnotatedOps) {
+  LintTree t("memorder_ok");
+  // Orders anywhere in the argument list count, including the two-order CAS
+  // form and a multi-line call; util/ and check/ own the plain primitives.
+  t.write("serve/ok.cpp",
+          "void f(std::atomic<int>& a) {\n"
+          "  a.load(std::memory_order_acquire);\n"
+          "  a.store(1, std::memory_order_release);\n"
+          "  int e = 0;\n"
+          "  a.compare_exchange_weak(e, 1, std::memory_order_acq_rel,\n"
+          "                          std::memory_order_relaxed);\n"
+          "  a.fetch_add(\n"
+          "      2, std::memory_order_relaxed);\n"
+          "}\n");
+  t.write("util/free.cpp", "int g(std::atomic<int>& a) { return a.load(); }\n");
+  t.write("check/shim.cpp", "int h(std::atomic<int>& a) { return a.load(); }\n");
+  const RunResult r = run_lint("--root " + t.root());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(LintRules, ExplicitMemoryOrderIgnoresNonMemberTokens) {
+  LintTree t("memorder_bounds");
+  // `load`/`store` as free functions or suffixes of longer member names must
+  // not trip the member-call heuristic.
+  t.write("a.cpp",
+          "int load();\n"
+          "int f() { return load(); }\n"
+          "struct W { int preload(); int workload(); };\n"
+          "int g(W& w) { return w.preload() + w.workload(); }\n");
+  const RunResult r = run_lint("--root " + t.root());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(LintRules, GuardedByCoverageFlagsBareFieldNextToMutex) {
+  LintTree t("guardcov");
+  t.write("serve/g.cpp",
+          "class C {\n"
+          "  Mutex mu_;\n"
+          "  int counter_;\n"
+          "};\n");
+  const RunResult r = run_lint("--root " + t.root());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("[guarded-by-coverage]"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("`counter_`"), std::string::npos) << r.output;
+}
+
+TEST(LintRules, GuardedByCoverageAcceptsAnnotatedAndMarkedFields) {
+  LintTree t("guardcov_ok");
+  t.write("serve/ok.cpp",
+          "class C {\n"
+          " public:\n"
+          "  int size() const { return n_; }\n"
+          " private:\n"
+          "  mutable Mutex mu_;\n"
+          "  CondVar cv_;\n"
+          "  int n_ GUARDED_BY(mu_) = 0;\n"
+          "  std::atomic<int> hits_{0};\n"
+          "  int cap_;  // unguarded: immutable after construction\n"
+          "  // unguarded: single-writer, see retire protocol\n"
+          "  int tail_;\n"
+          "  static constexpr int kMax = 8;\n"
+          "};\n"
+          "class NoMutex { int anything_; };\n");
+  const RunResult r = run_lint("--root " + t.root());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
 TEST(LintAllowlist, SuppressesAndReportsUnused) {
   LintTree t("allow");
   t.write("x/a.cpp", "std::mutex m;\n");

@@ -1,0 +1,345 @@
+// Schedule-exploration model-check scenarios (docs/STATIC_ANALYSIS.md,
+// "Model checking"). Built only with SALIENT_MODEL_CHECK=ON and run under
+// `ctest -L model_check`.
+//
+// Three kinds of tests live here:
+//
+//   * Checker self-tests: a deliberately racy toy queue the explorer MUST
+//     catch within the default preemption bound, an ABBA deadlock it must
+//     report with every blocked thread's op, and replay determinism — the
+//     schedule string a failure prints reproduces the identical failure,
+//     bit for bit, every time.
+//
+//   * Unit scenarios: bounded-exhaustive (or, where the space is too large,
+//     seeded-random) exploration of the six shimmed components —
+//     FrequencyTable, MpmcQueue, BlockingQueue, the ThreadPool broadcast
+//     channel, PinnedPool, ResultCache. Each body is self-contained: it
+//     constructs fresh state, spawns check::thread workers, joins them, and
+//     asserts interleaving-independent invariants via check::expect().
+//
+// A scenario body runs once per explored schedule, so keep bodies small:
+// every shim operation is a yield point and the schedule space is
+// exponential in their count.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "check/sched.h"
+#include "check/shim.h"
+#include "prep/frequency_table.h"
+#include "prep/pinned_pool.h"
+#include "serve/result_cache.h"
+#include "tensor/tensor.h"
+#include "util/blocking_queue.h"
+#include "util/mpmc_queue.h"
+#include "util/thread_pool.h"
+
+#if !defined(SALIENT_MODEL_CHECK_ENABLED)
+// The CMake target is gated on SALIENT_MODEL_CHECK=ON, so this branch only
+// triggers if someone adds the test to an OFF build by hand.
+TEST(ModelCheck, RequiresInstrumentedBuild) {
+  GTEST_SKIP() << "rebuild with -DSALIENT_MODEL_CHECK=ON";
+}
+#else
+
+namespace {
+
+using namespace salient;  // NOLINT(build/namespaces)
+
+// ---------------------------------------------------------------------------
+// Checker self-tests: the known-bug queue, deadlock detection, and replay.
+// ---------------------------------------------------------------------------
+
+// The planted bug: size_ is read, the slot written, and size_ written back as
+// three separate steps. Two producers that both read size_ == 0 both write
+// items_[0] and the queue ends up with one element instead of two — the
+// classic lost-update race a CAS (or a mutex) would prevent. The checker must
+// find an interleaving exposing it within the default preemption bound of 2.
+struct RacyToyQueue {
+  check::atomic<int> size_{0};
+  int items_[8] = {};
+
+  bool push(int v) {
+    const int s = size_.load(std::memory_order_acquire);
+    if (s >= 8) return false;
+    items_[s] = v;  // bug: another pusher can claim the same slot
+    size_.store(s + 1, std::memory_order_release);
+    return true;
+  }
+};
+
+void racy_queue_scenario() {
+  RacyToyQueue q;
+  check::thread a([&q] { q.push(1); });
+  check::thread b([&q] { q.push(2); });
+  a.join();
+  b.join();
+  check::expect(q.size_.load(std::memory_order_acquire) == 2,
+                "two pushes must yield two elements (lost update)");
+}
+
+TEST(ModelCheckSelfTest, PlantedRacyQueueBugIsCaughtWithinBound) {
+  const auto res = check::explore("racy_toy_queue", racy_queue_scenario);
+  ASSERT_TRUE(res.found_bug) << res.report();
+  EXPECT_NE(res.failure.find("expectation failed"), std::string::npos)
+      << res.report();
+  EXPECT_NE(res.failure.find("lost update"), std::string::npos)
+      << res.report();
+  // The failure carries a well-formed reproducer schedule string.
+  ASSERT_FALSE(res.schedule.empty()) << res.report();
+  EXPECT_EQ(res.schedule.find_first_not_of("0123456789."), std::string::npos)
+      << "schedule string should be dot-separated thread ids: "
+      << res.schedule;
+}
+
+TEST(ModelCheckSelfTest, ReplayOfAFailingScheduleIsDeterministic) {
+  const auto found = check::explore("racy_toy_queue", racy_queue_scenario);
+  ASSERT_TRUE(found.found_bug) << found.report();
+
+  // Feeding the printed schedule back reproduces the identical interleaving:
+  // same failure, same schedule, bitwise-identical report — twice over.
+  const auto r1 =
+      check::replay("racy_toy_queue", racy_queue_scenario, found.schedule);
+  const auto r2 =
+      check::replay("racy_toy_queue", racy_queue_scenario, found.schedule);
+  ASSERT_TRUE(r1.found_bug) << r1.report();
+  EXPECT_EQ(r1.failure, found.failure);
+  EXPECT_EQ(r1.report(), r2.report());
+  EXPECT_EQ(r1.schedule, r2.schedule);
+}
+
+TEST(ModelCheckSelfTest, RandomExplorationAlsoFindsThePlantedBug) {
+  // The random fallback must be able to land on the same bug, and its
+  // recorded schedule must replay to the same failure.
+  const auto res =
+      check::explore_random("racy_toy_queue", racy_queue_scenario,
+                            /*iterations=*/500, /*seed=*/11);
+  ASSERT_TRUE(res.found_bug) << res.report();
+  const auto replayed =
+      check::replay("racy_toy_queue", racy_queue_scenario, res.schedule);
+  ASSERT_TRUE(replayed.found_bug) << replayed.report();
+  EXPECT_EQ(replayed.failure, res.failure);
+}
+
+TEST(ModelCheckSelfTest, AbbaDeadlockIsDetectedAndReported) {
+  const auto res = check::explore("abba_deadlock", [] {
+    check::Mutex a;
+    check::Mutex b;
+    check::thread t([&] {
+      check::LockGuard la(a);
+      check::LockGuard lb(b);
+    });
+    {
+      check::LockGuard lb(b);
+      check::LockGuard la(a);
+    }
+    t.join();
+  });
+  ASSERT_TRUE(res.found_bug) << res.report();
+  EXPECT_NE(res.failure.find("deadlock"), std::string::npos) << res.report();
+}
+
+// ---------------------------------------------------------------------------
+// Unit scenarios.
+// ---------------------------------------------------------------------------
+
+TEST(ModelCheckScenario, FrequencyTableConcurrentAdds) {
+  // Exercises the CAS slot-claim protocol: both threads add key 7, so they
+  // can race to claim its slot; exactly one CAS must win and both increments
+  // must land on the same counter.
+  const auto res = check::explore("frequency_table_adds", [] {
+    FrequencyTable table(8);
+    check::thread t([&table] {
+      table.add(7);
+      table.add(9);
+    });
+    table.add(7);
+    t.join();
+    check::expect(table.count(7) == 2, "both adds of key 7 must accumulate");
+    check::expect(table.count(9) == 1, "key 9 counted once");
+    check::expect(table.distinct() == 2,
+                  "distinct counter bumps once per claimed key");
+  });
+  EXPECT_FALSE(res.found_bug) << res.report();
+}
+
+TEST(ModelCheckScenario, FrequencyTableFullUnderContention) {
+  // max_keys=1 sizes the table to 2 slots. Three distinct keys are inserted
+  // from two threads: in every interleaving exactly one add() must throw
+  // length_error (the table never over-admits, never throws early).
+  const auto res = check::explore("frequency_table_full", [] {
+    FrequencyTable table(1);
+    int caught_worker = 0;
+    int caught_main = 0;
+    check::thread t([&] {
+      try {
+        table.add(101);
+        table.add(202);
+      } catch (const std::length_error&) {
+        ++caught_worker;
+      }
+    });
+    try {
+      table.add(303);
+    } catch (const std::length_error&) {
+      ++caught_main;
+    }
+    t.join();
+    check::expect(caught_worker + caught_main == 1,
+                  "exactly one of three keys must overflow two slots");
+    check::expect(table.distinct() == 2, "both slots claimed, none leaked");
+  });
+  EXPECT_FALSE(res.found_bug) << res.report();
+}
+
+TEST(ModelCheckScenario, MpmcQueueConcurrentProducers) {
+  // Two producers contend on the Vyukov ticket CAS; neither push may fail
+  // (capacity 2), and draining afterwards must yield both values with no
+  // loss and no duplication.
+  const auto res = check::explore("mpmc_two_producers", [] {
+    MpmcQueue<int> q(2);
+    check::thread p1(
+        [&q] { check::expect(q.try_push(1), "push 1 fits in capacity 2"); });
+    check::thread p2(
+        [&q] { check::expect(q.try_push(2), "push 2 fits in capacity 2"); });
+    p1.join();
+    p2.join();
+    int a = 0;
+    int b = 0;
+    int c = 0;
+    check::expect(q.try_pop(a), "first value present after both pushes");
+    check::expect(q.try_pop(b), "second value present after both pushes");
+    check::expect(!q.try_pop(c), "queue fully drained");
+    check::expect((a == 1 && b == 2) || (a == 2 && b == 1),
+                  "no lost and no duplicated element");
+  });
+  EXPECT_FALSE(res.found_bug) << res.report();
+}
+
+TEST(ModelCheckScenario, BlockingQueueCloseWhileConsumerBlocks) {
+  // The consumer's second pop() can begin before, between, or after the
+  // producer's push+close; in every interleaving the pushed item is
+  // delivered exactly once and the close is observed as nullopt after the
+  // drain — including the interleaving where pop() is already parked in the
+  // (virtualized) condvar wait when close() broadcasts.
+  const auto res = check::explore("blocking_queue_close", [] {
+    BlockingQueue<int> q(1);
+    std::optional<int> first;
+    std::optional<int> second;
+    check::thread consumer([&] {
+      first = q.pop();
+      second = q.pop();
+    });
+    check::expect(q.push(1), "push into an open queue succeeds");
+    q.close();
+    consumer.join();
+    check::expect(first.has_value() && *first == 1,
+                  "the pushed item is delivered exactly once");
+    check::expect(!second.has_value(),
+                  "a closed, drained queue pops nullopt");
+  });
+  EXPECT_FALSE(res.found_bug) << res.report();
+}
+
+TEST(ModelCheckScenario, ThreadPoolConcurrentBroadcastCallers) {
+  // Two external callers race parallel_for() on a shared 1-worker pool —
+  // the cluster trainer's exact usage pattern. The broadcast epoch/job
+  // channel must serialize the jobs and each caller's range must be covered
+  // exactly once. The schedule space (pool worker + two callers + condvar
+  // traffic) is too large for bounded-exhaustive DFS, so this scenario uses
+  // the seeded-random fallback.
+  const auto res = check::explore_random(
+      "thread_pool_broadcast",
+      [] {
+        ThreadPool pool(1);
+        std::array<std::int64_t, 4> out_a{};
+        std::array<std::int64_t, 4> out_b{};
+        check::thread caller_a([&] {
+          pool.parallel_for(0, 4, [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t i = lo; i < hi; ++i) {
+              out_a[static_cast<std::size_t>(i)] = i + 1;
+            }
+          });
+        });
+        check::thread caller_b([&] {
+          pool.parallel_for(0, 4, [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t i = lo; i < hi; ++i) {
+              out_b[static_cast<std::size_t>(i)] = 10 * (i + 1);
+            }
+          });
+        });
+        caller_a.join();
+        caller_b.join();
+        std::int64_t sum_a = 0;
+        std::int64_t sum_b = 0;
+        for (auto v : out_a) sum_a += v;
+        for (auto v : out_b) sum_b += v;
+        check::expect(sum_a == 10, "caller A's job covered its whole range");
+        check::expect(sum_b == 100, "caller B's job covered its whole range");
+      },
+      /*iterations=*/25, /*seed=*/7);
+  EXPECT_FALSE(res.found_bug) << res.report();
+}
+
+TEST(ModelCheckScenario, PinnedPoolBudgetBackpressure) {
+  // A budget of exactly one 64KiB bucket: whichever thread allocates first
+  // exhausts it, and the other must recycle the released buffer instead of
+  // allocating a second one. Under virtual time the backpressure timeout can
+  // never fire while the holder can still run, so the graceful-degradation
+  // overshoot path must stay untaken in every interleaving.
+  const auto res = check::explore("pinned_pool_backpressure", [] {
+    PinnedPoolConfig cfg;
+    cfg.max_bytes = 64 * 1024;
+    cfg.acquire_timeout = std::chrono::milliseconds(50);
+    PinnedPool pool(cfg);
+    check::thread t([&pool] {
+      Tensor x = pool.acquire({16, 16}, DType::kF32);
+      pool.release(std::move(x));
+    });
+    Tensor y = pool.acquire({16, 16}, DType::kF32);
+    pool.release(std::move(y));
+    t.join();
+    check::expect(pool.alloc_count() == 1,
+                  "the budget must force recycling, not a second allocation");
+    check::expect(pool.overshoots() == 0,
+                  "timed wait must not fire while the holder can run");
+    check::expect(pool.idle_count() == 1, "the one buffer ends up pooled");
+  });
+  EXPECT_FALSE(res.found_bug) << res.report();
+}
+
+TEST(ModelCheckScenario, ResultCacheInvalidateRacesInsertAndLookup) {
+  // The generation contract: an insert carrying a retired generation must
+  // never be admitted, and entries from before an invalidate must read as
+  // stale afterwards — regardless of how the updater thread's invalidate()
+  // interleaves with the batcher thread's insert()/lookup(). This is the
+  // contract gen_'s reload-inside-the-lock discipline exists to uphold.
+  const auto res = check::explore("result_cache_invalidate", [] {
+    serve::ResultCache cache(4);
+    const std::uint64_t g0 = cache.generation();
+    cache.insert(1, 10, g0);
+    check::thread updater([&cache] { cache.invalidate(); });
+    check::thread batcher([&cache, g0] {
+      cache.insert(2, 20, g0);
+      (void)cache.lookup(1);  // hit or miss depending on interleaving — both
+                              // fine; must never crash or corrupt the LRU
+    });
+    updater.join();
+    batcher.join();
+    check::expect(!cache.lookup(1).has_value(),
+                  "pre-invalidate entry must be stale afterwards");
+    check::expect(!cache.lookup(2).has_value(),
+                  "insert under a retired generation must not be admitted");
+  });
+  EXPECT_FALSE(res.found_bug) << res.report();
+}
+
+}  // namespace
+
+#endif  // SALIENT_MODEL_CHECK_ENABLED

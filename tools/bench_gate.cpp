@@ -266,8 +266,8 @@ int emit(const std::vector<Measurement>& ms, const std::string& path) {
   return 0;
 }
 
-int check(const std::vector<Measurement>& ms, const std::string& path,
-          double tolerance) {
+int check_gate(const std::vector<Measurement>& ms,
+               const std::string& path, double tolerance) {
   std::ifstream is(path);
   if (!is) {
     std::cerr << "bench_gate: cannot open baseline " << path << "\n";
@@ -392,6 +392,6 @@ int main(int argc, char** argv) {
   std::cerr << "bench_gate: measuring (" << (smoke ? "smoke" : "full")
             << ", min of " << reps << ")\n";
   const std::vector<Measurement> ms = measure(reps);
-  return emit_path.empty() ? check(ms, baseline_path, tolerance)
+  return emit_path.empty() ? check_gate(ms, baseline_path, tolerance)
                            : emit(ms, emit_path);
 }

@@ -265,7 +265,7 @@ int emit(const std::vector<DistResult>& rs, const DistBenchOptions& o) {
   return 0;
 }
 
-int check(const std::vector<DistResult>& rs) {
+int check_gate(const std::vector<DistResult>& rs) {
   int failures = 0;
   const auto fail = [&failures](const std::string& what) {
     std::cerr << "dist_bench: CHECK FAILED — " << what << "\n";
@@ -407,6 +407,6 @@ int main(int argc, char** argv) {
 
   int rc = 0;
   if (!o.emit_path.empty()) rc |= emit(results, o);
-  if (o.check) rc |= check(results);
+  if (o.check) rc |= check_gate(results);
   return rc;
 }

@@ -60,14 +60,6 @@ struct Pattern {
   bool call_only = false;  // require '(' (after spaces) following the match
 };
 
-struct Rule {
-  std::string name;
-  std::string summary;
-  std::string fix;                    // printed under --fix-suggestions
-  std::vector<Pattern> patterns;
-  std::vector<std::string> exempt_dirs;  // path prefixes relative to root
-};
-
 struct Finding {
   std::string rule;
   std::string file;  // relative to root
@@ -75,6 +67,30 @@ struct Finding {
   std::string token;
   std::string line_text;
 };
+
+struct Rule;
+
+/// Rules beyond pattern matching implement one of these: `raw` is the file
+/// as read, `code` the comment/string-scrubbed version (same offsets).
+using CustomCheck = void (*)(const std::string& rel, const std::string& raw,
+                             const std::string& code, const Rule& rule,
+                             std::vector<Finding>& findings);
+
+struct Rule {
+  std::string name;
+  std::string summary;
+  std::string fix;                    // printed under --fix-suggestions
+  std::vector<Pattern> patterns;
+  std::vector<std::string> exempt_dirs;  // path prefixes relative to root
+  CustomCheck custom = nullptr;          // runs instead of pattern matching
+};
+
+void check_memory_order(const std::string& rel, const std::string& raw,
+                        const std::string& code, const Rule& rule,
+                        std::vector<Finding>& findings);
+void check_guarded_by(const std::string& rel, const std::string& raw,
+                      const std::string& code, const Rule& rule,
+                      std::vector<Finding>& findings);
 
 const std::vector<Rule>& rules() {
   static const std::vector<Rule> kRules = {
@@ -93,7 +109,7 @@ const std::vector<Rule>& rules() {
         {"std::shared_lock"},
         {"std::condition_variable"},
         {"std::condition_variable_any"}},
-       {"util/"}},
+       {"util/", "check/"}},
       {"nondeterminism",
        "unseeded / wall-clock randomness in a deterministic pipeline",
        "use salient::Xoshiro256ss (util/rng.h) with an explicit seed; derive "
@@ -131,6 +147,26 @@ const std::vector<Rule>& rules() {
        "feature-pipeline path forfeits that bandwidth",
        {{"float_to_half", true}, {"half_to_float", true}},
        {"util/"}},
+      {"explicit-memory-order",
+       "atomic operation without an explicit std::memory_order argument",
+       "state the ordering deliberately (relaxed / acquire / release / "
+       "acq_rel / seq_cst) — a defaulted seq_cst hides whether the cost was "
+       "chosen or forgotten; the model checker (docs/STATIC_ANALYSIS.md) "
+       "explores SC interleavings either way, so the annotation is the only "
+       "record of the intended contract",
+       {},
+       {"util/", "check/"},
+       check_memory_order},
+      {"guarded-by-coverage",
+       "field of a Mutex-holding class lacks GUARDED_BY or an `unguarded:` "
+       "note",
+       "annotate the field with GUARDED_BY(mu_); fields deliberately outside "
+       "the lock (immutable after construction, self-synchronizing atomics, "
+       "published by a protocol the comment explains) get a "
+       "`// unguarded: <why>` comment on or above the declaration",
+       {},
+       {"check/"},
+       check_guarded_by},
   };
   return kRules;
 }
@@ -281,11 +317,192 @@ bool path_exempt(const std::string& rel, const Rule& rule) {
   return false;
 }
 
+/// explicit-memory-order: every `.op(args)` / `->op(args)` atomic call must
+/// name a std::memory_order inside its argument list. Token-level like the
+/// rest of the linter: the receiver's type is unknown, but no non-atomic
+/// type in this repository exposes these method names, and a false positive
+/// is one allowlist line away.
+void check_memory_order(const std::string& rel, const std::string& raw,
+                        const std::string& code, const Rule& rule,
+                        std::vector<Finding>& findings) {
+  static const char* kOps[] = {
+      "load",      "store",    "exchange",
+      "fetch_add", "fetch_sub", "fetch_or",
+      "fetch_and", "fetch_xor", "compare_exchange_weak",
+      "compare_exchange_strong"};
+  for (const char* op : kOps) {
+    const std::string tok = op;
+    std::size_t pos = 0;
+    while ((pos = code.find(tok, pos)) != std::string::npos) {
+      const std::size_t start = pos;
+      pos += tok.size();
+      // Member-call boundary: preceded by `.` or `->`, followed by `(`.
+      if (start == 0 ||
+          !(code[start - 1] == '.' ||
+            (code[start - 1] == '>' && start >= 2 && code[start - 2] == '-'))) {
+        continue;
+      }
+      std::size_t open = start + tok.size();
+      while (open < code.size() &&
+             (code[open] == ' ' || code[open] == '\t' || code[open] == '\n')) {
+        ++open;
+      }
+      if (open >= code.size() || code[open] != '(') continue;
+      // Span the argument list (scrubbed text: parens never hide in
+      // strings/comments).
+      std::size_t close = open;
+      int depth = 0;
+      for (; close < code.size(); ++close) {
+        if (code[close] == '(') ++depth;
+        if (code[close] == ')' && --depth == 0) break;
+      }
+      const std::string args = code.substr(open, close - open + 1);
+      if (args.find("memory_order") == std::string::npos) {
+        findings.push_back({rule.name, rel, line_of(code, start), tok,
+                            line_text_at(raw, start)});
+      }
+    }
+  }
+}
+
+/// guarded-by-coverage: inside any brace scope that declares a Mutex member,
+/// every other plain data member (trailing-underscore name, no GUARDED_BY /
+/// REQUIRES, not itself a synchronization object, not a function/alias/
+/// static) needs either the annotation or an `unguarded: <why>` comment on
+/// its own or the preceding raw line. Heuristic by design — see
+/// docs/STATIC_ANALYSIS.md for the audit policy.
+void check_guarded_by(const std::string& rel, const std::string& raw,
+                      const std::string& code, const Rule& rule,
+                      std::vector<Finding>& findings) {
+  const auto has_token = [](const std::string& text, const std::string& tok) {
+    std::size_t pos = 0;
+    while ((pos = text.find(tok, pos)) != std::string::npos) {
+      const bool lb = pos == 0 || !ident_char(text[pos - 1]);
+      const std::size_t end = pos + tok.size();
+      const bool rb = end >= text.size() || !ident_char(text[end]);
+      if (lb && rb) return true;
+      pos = end;
+    }
+    return false;
+  };
+
+  struct Chunk {
+    std::string text;
+    std::size_t end = 0;  // offset of the terminating ';'
+  };
+  struct Scope {
+    std::vector<Chunk> chunks;
+    std::string pending;
+    std::string saved_parent_pending;
+  };
+  std::vector<Scope> stack(1);
+
+  const auto evaluate = [&](const Scope& sc) {
+    bool holds_mutex = false;
+    for (const Chunk& ch : sc.chunks) {
+      if (has_token(ch.text, "Mutex") &&
+          ch.text.find('(') == std::string::npos &&
+          ch.text.find('&') == std::string::npos &&
+          ch.text.find('*') == std::string::npos) {
+        holds_mutex = true;
+        break;
+      }
+    }
+    if (!holds_mutex) return;
+    static const char* kSkip[] = {
+        "GUARDED_BY", "PT_GUARDED_BY", "REQUIRES", "Mutex",
+        "CondVar",    "atomic",        "static",   "constexpr",
+        "using",      "typedef",       "friend",   "enum",
+        "class",      "struct",        "template", "operator",
+        "NO_THREAD_SAFETY_ANALYSIS",   "TS_NO_ANALYSIS"};
+    for (const Chunk& ch : sc.chunks) {
+      if (ch.text.find('(') != std::string::npos) continue;  // functions
+      if (ch.text.find('#') != std::string::npos) continue;  // preprocessor
+      bool skip = false;
+      for (const char* t : kSkip) {
+        if (has_token(ch.text, t)) {
+          skip = true;
+          break;
+        }
+      }
+      if (skip) continue;
+      // Declared name: last identifier before any initializer.
+      std::string head = ch.text.substr(0, ch.text.find('='));
+      std::string name;
+      for (std::size_t i = 0; i < head.size();) {
+        if (ident_char(head[i]) &&
+            !std::isdigit(static_cast<unsigned char>(head[i]))) {
+          std::size_t j = i;
+          while (j < head.size() && ident_char(head[j])) ++j;
+          name = head.substr(i, j - i);
+          i = j;
+        } else {
+          ++i;
+        }
+      }
+      if (name.empty() || name.back() != '_') continue;  // not a member
+      // `unguarded:` note on the declaration's raw line or the line above.
+      const std::size_t lineno = line_of(code, ch.end);
+      std::size_t line_start = raw.rfind('\n', ch.end);
+      line_start = line_start == std::string::npos ? 0 : line_start + 1;
+      std::size_t line_end = raw.find('\n', ch.end);
+      if (line_end == std::string::npos) line_end = raw.size();
+      std::size_t prev_start = line_start >= 2
+                                   ? raw.rfind('\n', line_start - 2)
+                                   : std::string::npos;
+      prev_start = prev_start == std::string::npos && line_start > 0
+                       ? 0
+                       : (prev_start == std::string::npos ? line_start
+                                                          : prev_start + 1);
+      const std::string context =
+          raw.substr(prev_start, line_end - prev_start);
+      if (context.find("unguarded:") != std::string::npos) continue;
+      findings.push_back(
+          {rule.name, rel, lineno, name, line_text_at(raw, ch.end)});
+    }
+  };
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '{') {
+      Scope sc;
+      sc.saved_parent_pending = stack.back().pending;
+      stack.back().pending.clear();
+      stack.push_back(std::move(sc));
+    } else if (c == '}') {
+      if (stack.size() > 1) {
+        Scope done = std::move(stack.back());
+        stack.pop_back();
+        evaluate(done);
+        // Restore the header so `struct X {...} x_;` still declares x_ and
+        // `Foo x_{0};` keeps its name through the brace-init — but an inline
+        // function definition (header contains '(') is complete at its '}',
+        // and must not bleed into the next member's chunk.
+        if (done.saved_parent_pending.find('(') != std::string::npos) {
+          stack.back().pending.clear();
+        } else {
+          stack.back().pending = std::move(done.saved_parent_pending);
+        }
+      }
+    } else if (c == ';') {
+      stack.back().chunks.push_back({std::move(stack.back().pending), i});
+      stack.back().pending.clear();
+    } else {
+      stack.back().pending += c;
+    }
+  }
+  evaluate(stack.front());
+}
+
 void lint_file(const std::string& rel, const std::string& raw,
                std::vector<Finding>& findings) {
   const std::string code = scrub(raw);
   for (const Rule& rule : rules()) {
     if (path_exempt(rel, rule)) continue;
+    if (rule.custom != nullptr) {
+      rule.custom(rel, raw, code, rule, findings);
+      continue;
+    }
     for (const Pattern& pat : rule.patterns) {
       std::size_t pos = 0;
       while ((pos = code.find(pat.text, pos)) != std::string::npos) {
